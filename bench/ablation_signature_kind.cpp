@@ -1,0 +1,117 @@
+// Ablation — signature definition: set of distinct log points (the paper's
+// choice) vs a frequency-sensitive variant (log point + log2-bucketed count).
+//
+// The paper argues for set semantics: "a task signature is a set of unique
+// log points encountered by the task" — frequency differences (how many
+// packets a block had) are normal variation, not flow changes. This ablation
+// quantifies what frequency-sensitivity would cost: the signature space
+// explodes, the head gets lighter, and training needs far more data before
+// new-signature false positives die out.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/table.h"
+#include "harness.h"
+
+namespace saad::bench {
+namespace {
+
+/// Frequency-bucketed signature: (point, floor(log2(count))) pairs.
+std::vector<std::uint32_t> freq_signature(const core::Synopsis& s) {
+  std::vector<std::uint32_t> out;
+  out.reserve(s.log_points.size());
+  for (const auto& lp : s.log_points) {
+    std::uint32_t bucket = 0;
+    std::uint32_t c = lp.count;
+    while (c >>= 1) bucket++;
+    out.push_back((static_cast<std::uint32_t>(lp.point) << 8) | bucket);
+  }
+  return out;
+}
+
+struct Stats {
+  std::size_t distinct = 0;
+  std::size_t covering_95 = 0;
+  double new_rate_second_half = 0;  // new-signature tasks per 1k tasks
+};
+
+template <typename KeyFn>
+Stats evaluate(const std::vector<core::Synopsis>& trace, KeyFn key_fn) {
+  using Key = decltype(key_fn(trace[0]));
+  std::map<std::pair<core::StageId, Key>, std::uint64_t> counts;
+  // First half = "training"; second half = fresh traffic.
+  const std::size_t half = trace.size() / 2;
+  for (std::size_t i = 0; i < half; ++i)
+    counts[{trace[i].stage, key_fn(trace[i])}]++;
+
+  Stats stats;
+  stats.distinct = counts.size();
+  std::vector<std::uint64_t> sorted;
+  for (const auto& [k, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  std::uint64_t cum = 0;
+  for (auto c : sorted) {
+    cum += c;
+    stats.covering_95++;
+    if (cum >= half * 95 / 100) break;
+  }
+  std::uint64_t fresh = 0;
+  for (std::size_t i = half; i < trace.size(); ++i) {
+    if (!counts.contains({trace[i].stage, key_fn(trace[i])})) fresh++;
+  }
+  stats.new_rate_second_half =
+      1000.0 * static_cast<double>(fresh) /
+      static_cast<double>(trace.size() - half);
+  return stats;
+}
+
+}  // namespace
+}  // namespace saad::bench
+
+int main(int argc, char** argv) {
+  using namespace saad;
+  using namespace saad::bench;
+  Flags flags(argc, argv);
+  const auto train_min = flags.get_int("train-min", 8);
+
+  std::printf("=== Ablation: set signatures (paper) vs frequency-bucketed "
+              "signatures ===\n\n");
+
+  // The HBase/HDFS world: DataXceiver tasks carry per-packet frequencies
+  // (L2/L4 counts vary block-by-block), so this is where set vs frequency
+  // semantics actually diverge.
+  HBaseWorld world(/*seed=*/5);
+  world.warm_train_arm(minutes(2), minutes(train_min));
+  const auto& trace = world.monitor->training_trace();
+  std::printf("trace: %zu HBase/HDFS task synopses\n\n", trace.size());
+
+  const auto set_stats = evaluate(
+      trace, [](const core::Synopsis& s) { return core::Signature::from(s); });
+  const auto freq_stats = evaluate(trace, freq_signature);
+
+  TextTable table({"Signature kind", "distinct", "covering 95%",
+                   "new-sig rate (per 1k fresh tasks)"});
+  table.add_row({"set of points (paper)",
+                 TextTable::num(static_cast<std::int64_t>(set_stats.distinct)),
+                 TextTable::num(static_cast<std::int64_t>(set_stats.covering_95)),
+                 TextTable::num(set_stats.new_rate_second_half, 3)});
+  table.add_row(
+      {"frequency-bucketed",
+       TextTable::num(static_cast<std::int64_t>(freq_stats.distinct)),
+       TextTable::num(static_cast<std::int64_t>(freq_stats.covering_95)),
+       TextTable::num(freq_stats.new_rate_second_half, 3)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Takeaway: frequency-sensitive signatures enlarge the "
+              "signature space (%zu -> %zu here;\nthe gap grows with "
+              "block-size variance) without adding flow information — a "
+              "task that\nwrote 7 packets instead of 6 is not a different "
+              "execution path. Set semantics keep\nthe space minimal, "
+              "which is what makes the rare-signature statistics and the\n"
+              "new-signature rule workable; the frequencies stay available "
+              "in the synopsis for\nroot-cause inspection.\n",
+              set_stats.distinct, freq_stats.distinct);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Baseline comparison — SAAD vs PCA subspace detection (Xu et al., SOSP'09).
+//
+// Both detectors consume the *same* synopsis stream from one deterministic
+// Cassandra run with a WAL-error fault on one host. PCA sees per-window
+// log-point count vectors (what console-log mining extracts); SAAD sees the
+// per-task stage/signature/duration structure.
+//
+// The paper's positioning (§6): count-vector methods can flag that a window
+// is anomalous, but "do not associate anomalies with the semantic of server
+// code". This bench makes that concrete: detection windows are similar, but
+// PCA's output is one bit per window while SAAD names the stage, the host,
+// and the flow.
+#include <cstdio>
+
+#include "baseline/pca_detector.h"
+#include "common/table.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace saad;
+  using namespace saad::bench;
+  Flags flags(argc, argv);
+  const UsTime phase = minutes(flags.get_int("phase-min", 8));
+
+  std::printf("=== Baseline comparison: SAAD vs PCA on the same synopsis "
+              "stream ===\n\n");
+
+  // One deterministic run: training span, quiet phase, fault phase.
+  std::vector<core::Synopsis> training, quiet, faulty;
+  std::size_t num_points = 0;
+  {
+    CassandraWorld world(/*seed=*/31);
+    world.warm_train_arm(minutes(2), minutes(6));
+    training = world.monitor->training_trace();
+    num_points = world.registry.num_log_points();
+
+    world.monitor->start_training();
+    world.engine.run_until(world.engine.now() + phase);
+    world.monitor->poll(world.engine.now());
+    quiet = world.monitor->training_trace();
+
+    faults::FaultSpec fault;
+    fault.host = 3;
+    fault.activity = faults::Activity::kWalAppend;
+    fault.mode = faults::FaultMode::kError;
+    fault.intensity = 1.0;
+    fault.from = world.engine.now();
+    fault.until = fault.from + phase;
+    world.plane.add(fault);
+    world.monitor->start_training();
+    world.engine.run_until(fault.until);
+    world.monitor->poll(world.engine.now());
+    faulty = world.monitor->training_trace();
+  }
+  const UsTime window = kUsPerMin;
+  std::printf("streams: %zu training / %zu quiet / %zu fault synopses, "
+              "%zu log points, 1-minute windows\n\n",
+              training.size(), quiet.size(), faulty.size(), num_points);
+
+  // ---- PCA: per-window count vectors -------------------------------------
+  const auto train_matrix =
+      baseline::count_matrix(training, num_points, window);
+  const auto pca = baseline::PcaDetector::train(train_matrix);
+  auto pca_flags = [&](const std::vector<core::Synopsis>& trace) {
+    const auto matrix = baseline::count_matrix(trace, num_points, window);
+    std::size_t flagged = 0, windows = 0;
+    for (const auto& row : matrix) {
+      bool empty = true;
+      for (double v : row) empty &= (v == 0.0);
+      if (empty) continue;  // window offsets differ per phase
+      windows++;
+      if (pca.anomalous(row)) flagged++;
+    }
+    return std::make_pair(flagged, windows);
+  };
+  const auto [pca_quiet, quiet_windows] = pca_flags(quiet);
+  const auto [pca_fault, fault_windows] = pca_flags(faulty);
+
+  // ---- SAAD ------------------------------------------------------------------
+  const auto model = core::OutlierModel::train(training);
+  auto saad_run = [&](const std::vector<core::Synopsis>& trace) {
+    core::AnomalyDetector detector(&model);
+    for (const auto& s : trace) detector.ingest(s);
+    return detector.finish();
+  };
+  const auto saad_quiet = saad_run(quiet);
+  const auto saad_fault = saad_run(faulty);
+  std::size_t saad_fault_windows = 0, on_faulted_host = 0;
+  {
+    std::set<std::size_t> windows_with;
+    for (const auto& a : saad_fault) {
+      windows_with.insert(a.window);
+      if (a.host == 3) on_faulted_host++;
+    }
+    saad_fault_windows = windows_with.size();
+  }
+
+  TextTable table({"Detector", "quiet windows flagged", "fault windows flagged",
+                   "localization"});
+  table.add_row({"PCA (Xu et al.)",
+                 TextTable::num(static_cast<std::int64_t>(pca_quiet)) + "/" +
+                     TextTable::num(static_cast<std::int64_t>(quiet_windows)),
+                 TextTable::num(static_cast<std::int64_t>(pca_fault)) + "/" +
+                     TextTable::num(static_cast<std::int64_t>(fault_windows)),
+                 "window only"});
+  table.add_row(
+      {"SAAD",
+       TextTable::num(static_cast<std::int64_t>(saad_quiet.size())) +
+           " anomalies",
+       TextTable::num(static_cast<std::int64_t>(saad_fault_windows)) + "/" +
+           TextTable::num(static_cast<std::int64_t>(fault_windows)) +
+           " windows (" +
+           TextTable::num(static_cast<std::int64_t>(saad_fault.size())) +
+           " anomalies)",
+       "stage + host + flow"});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("of SAAD's fault-phase anomalies, %zu/%zu point at the faulted "
+              "host —\nand each carries the anomalous flow's log templates. "
+              "PCA's flags carry no\nlocalization: the operator still has to "
+              "search the logs.\n",
+              on_faulted_host, saad_fault.size());
+  return 0;
+}

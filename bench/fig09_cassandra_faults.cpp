@@ -1,0 +1,137 @@
+// Figure 9 (a-d) + Table 1 — Anomalies per stage in Cassandra under injected
+// I/O faults.
+//
+// Paper protocol (§5.4): on host 4 (index 3 here), inject the fault at 1%
+// intensity at minute 10 for 10 minutes, then at 100% intensity at minute 30
+// for 10 minutes; watch SAAD's per-stage flow/performance anomalies, the
+// error-log baseline, and throughput over a 50-minute timeline.
+//
+// Four experiments:
+//   (a) error on appending to WAL      -> Table flow anomalies (frozen
+//       MemTable, Table 1), hinted-hand-off flows on healthy hosts, barely
+//       any error log lines, eventual OOM crash of host 4;
+//   (b) error on flushing MemTable     -> Memtable/CompactionManager flow
+//       anomalies, GCInspector pressure that lingers after the fault lifts;
+//   (c) delay on appending to WAL      -> WorkerProcess/StorageProxy
+//       performance anomalies;
+//   (d) delay on flushing MemTable     -> CommitLog/WorkerProcess
+//       performance anomalies.
+#include <cstdio>
+#include <string>
+
+#include "harness.h"
+
+namespace saad::bench {
+namespace {
+
+struct Experiment {
+  const char* key;
+  const char* title;
+  faults::Activity activity;
+  faults::FaultMode mode;
+};
+
+constexpr Experiment kExperiments[] = {
+    {"error-wal", "(a) Error on appending to WAL", faults::Activity::kWalAppend,
+     faults::FaultMode::kError},
+    {"error-flush", "(b) Error on flushing MemTable",
+     faults::Activity::kMemtableFlush, faults::FaultMode::kError},
+    {"delay-wal", "(c) Delay on appending to WAL",
+     faults::Activity::kWalAppend, faults::FaultMode::kDelay},
+    {"delay-flush", "(d) Delay on flushing MemTable",
+     faults::Activity::kMemtableFlush, faults::FaultMode::kDelay},
+};
+
+void run_experiment(const Experiment& exp, UsTime timeline,
+                    std::uint64_t seed) {
+  std::printf("=== Figure 9 %s ===\n\n", exp.title);
+
+  CassandraWorld world(seed);
+  world.warm_train_arm(minutes(2), minutes(6));
+  const UsTime t0 = world.engine.now();  // experiment timeline origin
+  const int faulted_host = 3;            // the paper's "host 4"
+
+  faults::FaultSpec low;
+  low.host = faulted_host;
+  low.activity = exp.activity;
+  low.mode = exp.mode;
+  low.intensity = 0.01;
+  low.delay = ms(100);
+  low.from = t0 + minutes(10);
+  low.until = t0 + minutes(20);
+  world.plane.add(low);
+
+  faults::FaultSpec high = low;
+  high.intensity = 1.0;
+  high.from = t0 + minutes(30);
+  high.until = t0 + minutes(40);
+  world.plane.add(high);
+
+  auto anomalies = world.run_collect(t0 + timeline);
+  // Shift windows to the experiment origin for the chart.
+  const std::size_t offset = static_cast<std::size_t>(t0 / kUsPerMin);
+  for (auto& a : anomalies) {
+    a.window -= offset;
+    a.window_start -= t0;
+  }
+
+  print_anomalies("anomalies per Stage(host); faults on host 3: low@10-20, "
+                  "high@30-40",
+                  anomalies, world.registry,
+                  static_cast<std::size_t>(timeline / kUsPerMin));
+
+  // Error-log baseline overlay: what a grep-for-ERROR monitor would see.
+  const auto& alerts = world.sinks.errors->alerts();
+  std::printf("error-log baseline: %zu ERROR lines total;", alerts.size());
+  std::size_t shown = 0;
+  for (const auto& alert : alerts) {
+    if (alert.at < t0) continue;
+    if (shown++ >= 6) {
+      std::printf(" ...");
+      break;
+    }
+    std::printf(" [min %lld]",
+                static_cast<long long>(to_min(alert.at - t0)));
+  }
+  std::printf("\n\n");
+  print_throughput(*world.ycsb, t0 + timeline);
+
+  std::printf("host states:");
+  for (int n = 0; n < world.cassandra->num_nodes(); ++n) {
+    std::printf(" host%d=%s", n,
+                world.cassandra->node_crashed(n)   ? "CRASHED"
+                : world.cassandra->node_wedged(n) ? "wedged"
+                                                   : "up");
+  }
+  std::printf("  hints stored: %llu\n\n",
+              static_cast<unsigned long long>(world.cassandra->hints_stored()));
+
+  if (std::string(exp.key) == "error-wal") {
+    // Table 1: the frozen-MemTable flow vs the normal Table flow.
+    const auto& lp = world.cassandra->points();
+    const core::Signature normal({lp.tbl_start, lp.tbl_apply, lp.tbl_done});
+    const core::Signature anomalous({lp.tbl_frozen});
+    std::printf("--- Table 1: normal vs anomalous Table-stage signature ---\n");
+    std::printf("%s\n",
+                core::signature_comparison(normal, anomalous, world.registry)
+                    .c_str());
+  }
+}
+
+}  // namespace
+}  // namespace saad::bench
+
+int main(int argc, char** argv) {
+  using namespace saad;
+  using namespace saad::bench;
+  Flags flags(argc, argv);
+  const UsTime timeline = minutes(flags.get_int("minutes", 50));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2014));
+  const std::string only = flags.get("exp", "");
+
+  for (const auto& exp : kExperiments) {
+    if (!only.empty() && only != exp.key) continue;
+    run_experiment(exp, timeline, seed);
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Figure 10 (a, b) + Table 2 — Anomalies per stage in HBase Regionservers
+// and HDFS DataNodes under escalating disk hogs.
+//
+// Paper protocol (§5.5, Table 2): dd-style disk hogs on all 4 hosts —
+//   low        minutes  8-16   1 process
+//   medium     minutes 28-44   2 processes
+//   high-1     minutes 56-64   4 processes
+//   high-2     minutes 116-130 4 processes (during the YCSB put-batching
+//              backlog: the server sees mostly reads)
+// plus a major compaction around minute 150 (a legitimate rare activity that
+// SAAD flags — the paper's false positive).
+//
+// Expected shapes: low ≈ invisible; medium -> Call/Handler performance
+// anomalies on Regionservers but clean DataNodes (CPU contention); high-1 ->
+// WAL-sync timeouts, the premature-recovery-termination bug (RecoverBlocks
+// flow anomalies), a Regionserver crash, and a cluster-wide flow-outlier
+// surge (SplitLogWorker/OpenRegionHandler); high-2 -> mostly read-side
+// anomalies and few 'log sync' tasks; ~150 -> compaction-stage flow
+// anomalies on Regionservers and DataXceiver load on DataNodes.
+#include <cstdio>
+#include <set>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace saad;
+  using namespace saad::bench;
+  Flags flags(argc, argv);
+  const UsTime timeline = minutes(flags.get_int("minutes", 180));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 2014));
+
+  std::printf("=== Figure 10: HBase/HDFS disk-hog faults (Table 2 schedule) "
+              "===\n\n");
+
+  HBaseWorld world(seed);
+  world.warm_train_arm(minutes(2), minutes(8));
+  const UsTime t0 = world.engine.now();
+
+  struct Phase {
+    const char* name;
+    int minutes_from, minutes_until, processes;
+  };
+  const Phase phases[] = {
+      {"low", 8, 16, 1},
+      {"medium", 28, 44, 2},
+      {"high-1", 56, 64, 4},
+      {"high-2", 116, 130, 4},
+  };
+  for (const auto& p : phases) {
+    faults::HogSpec hog;
+    hog.host = faults::kAnyHost;
+    hog.from = t0 + minutes(p.minutes_from);
+    hog.until = t0 + minutes(p.minutes_until);
+    hog.processes = p.processes;
+    world.plane.add_hog(hog);
+    std::printf("fault: %-7s dd x%d at minutes %d-%d\n", p.name, p.processes,
+                p.minutes_from, p.minutes_until);
+  }
+
+  // High-2 coincides with the put-batching backlog: server-side writes dry
+  // up and the mix becomes read-dominated (§5.5, the YCSB 0.1.4 quirk).
+  workload::YcsbOptions::MixOverride quirk;
+  quirk.from = t0 + minutes(112);
+  quirk.until = t0 + minutes(134);
+  quirk.read_proportion = 0.9;
+  world.ycsb->options().mix_overrides.push_back(quirk);
+  std::printf("quirk: put-batching backlog emulated as a read-heavy mix at "
+              "minutes 112-134\n\n");
+
+  // The legitimate-but-rare major compaction near minute 150.
+  const UsTime compaction_at = t0 + minutes(150);
+  world.engine.schedule_at(compaction_at,
+                           [&] { world.hbase->trigger_major_compaction(); });
+
+  auto anomalies = world.run_collect(t0 + timeline);
+  const std::size_t offset = static_cast<std::size_t>(t0 / kUsPerMin);
+  for (auto& a : anomalies) {
+    a.window -= offset;
+    a.window_start -= t0;
+  }
+
+  // Split rows like the paper: (a) Regionserver stages, (b) DataNode stages.
+  const std::set<core::StageId> dn_stages = {
+      world.hdfs->stages().data_xceiver, world.hdfs->stages().packet_responder,
+      world.hdfs->stages().handler, world.hdfs->stages().listener,
+      world.hdfs->stages().reader, world.hdfs->stages().recover_blocks,
+      world.hdfs->stages().data_transfer};
+  std::vector<core::Anomaly> rs_anomalies, dn_anomalies;
+  for (const auto& a : anomalies) {
+    (dn_stages.contains(a.stage) ? dn_anomalies : rs_anomalies).push_back(a);
+  }
+
+  const auto windows = static_cast<std::size_t>(timeline / kUsPerMin);
+  print_anomalies("(a) HBase Regionservers", rs_anomalies, world.registry,
+                  windows, 24);
+  print_anomalies("(b) HDFS DataNodes", dn_anomalies, world.registry, windows,
+                  24);
+
+  print_throughput(*world.ycsb, t0 + timeline);
+
+  std::printf("regionserver states:");
+  for (int i = 0; i < world.hbase->num_regionservers(); ++i) {
+    std::printf(" RS%d=%s", i,
+                world.hbase->rs_crashed(i) ? "CRASHED" : "up");
+  }
+  std::printf("\nrecoveries attempted: %llu, recovery rejections (the bug): "
+              "%llu, regions reassigned: %llu\n",
+              static_cast<unsigned long long>(
+                  world.hbase->recoveries_attempted()),
+              static_cast<unsigned long long>(
+                  world.hdfs->recovery_rejections()),
+              static_cast<unsigned long long>(
+                  world.hbase->regions_reassigned()));
+
+  // The paper's high-2 observation: very few 'log sync' tasks vs high-1.
+  std::uint64_t h1_puts = 0, h2_puts = 0;
+  const auto& server_puts = world.ycsb->stats().server_puts;
+  for (std::size_t w = 0; w < server_puts.num_windows(); ++w) {
+    const UsTime at = static_cast<UsTime>(w) * sec(10);
+    if (at >= t0 + minutes(56) && at < t0 + minutes(64))
+      h1_puts += server_puts.count_in(w);
+    if (at >= t0 + minutes(116) && at < t0 + minutes(130))
+      h2_puts += server_puts.count_in(w);
+  }
+  std::printf("server-side puts per fault minute: high-1 %.0f, high-2 %.0f "
+              "(the paper saw very few log-sync tasks during high-2)\n",
+              static_cast<double>(h1_puts) / 8.0,
+              static_cast<double>(h2_puts) / 14.0);
+  return 0;
+}

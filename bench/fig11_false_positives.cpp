@@ -1,0 +1,145 @@
+// Figure 11 (a, b) + Table 3 — Empirical false-positive analysis.
+//
+// Paper protocol (§5.6): for each of 7 fault types on the Cassandra write
+// path (Table 3), run repeated controlled experiments: a fault-free "before"
+// phase, then the fault. Compare the average number of detected flow /
+// performance anomalies before vs during the fault.
+//
+// Paper findings to reproduce in shape:
+//  * error faults raise flow anomalies by an order of magnitude (10-60x);
+//  * delay-WAL-high and delay-MemTable-low raise performance anomalies
+//    (3-8x);
+//  * anomalies before the fault (false positives) are rare.
+//
+// Scaled by default to 3 runs x 8-minute phases (the paper uses 10 runs x
+// 30 minutes); use --runs / --phase-min for the full-scale version.
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness.h"
+
+namespace saad::bench {
+namespace {
+
+struct FaultCase {
+  const char* name;
+  faults::Activity activity;
+  faults::FaultMode mode;
+  double intensity;
+};
+
+// Table 3: 7 faults on the write path of one Cassandra node.
+constexpr FaultCase kFaults[] = {
+    {"error-WAL-low", faults::Activity::kWalAppend, faults::FaultMode::kError,
+     0.01},
+    {"error-WAL-high", faults::Activity::kWalAppend, faults::FaultMode::kError,
+     1.0},
+    {"error-MemTable-low", faults::Activity::kMemtableFlush,
+     faults::FaultMode::kError, 0.01},
+    {"error-MemTable-high", faults::Activity::kMemtableFlush,
+     faults::FaultMode::kError, 1.0},
+    {"delay-WAL-low", faults::Activity::kWalAppend, faults::FaultMode::kDelay,
+     0.01},
+    {"delay-WAL-high", faults::Activity::kWalAppend, faults::FaultMode::kDelay,
+     1.0},
+    {"delay-MemTable-low", faults::Activity::kMemtableFlush,
+     faults::FaultMode::kDelay, 0.01},
+};
+
+struct PhaseCounts {
+  double flow = 0, perf = 0;
+};
+
+}  // namespace
+}  // namespace saad::bench
+
+int main(int argc, char** argv) {
+  using namespace saad;
+  using namespace saad::bench;
+  Flags flags(argc, argv);
+  const int runs = static_cast<int>(flags.get_int("runs", 3));
+  const UsTime phase = minutes(flags.get_int("phase-min", 8));
+
+  std::printf("=== Figure 11: anomalies before vs during faults "
+              "(%d runs x %lld-minute phases; paper: 10 x 30) ===\n\n",
+              runs, static_cast<long long>(phase / kUsPerMin));
+
+  TextTable table({"Fault (Table 3)", "flow before", "flow during",
+                   "perf before", "perf during"});
+  double total_fp_flow = 0, total_fp_perf = 0;
+  double observed_minutes = 0;
+
+  for (const auto& fault : kFaults) {
+    PhaseCounts before, during;
+    for (int run = 0; run < runs; ++run) {
+      CassandraWorld world(static_cast<std::uint64_t>(1000 + run));
+      world.warm_train_arm(minutes(2), minutes(6));
+      const UsTime t0 = world.engine.now();
+
+      // Fault-free "before" phase.
+      const auto quiet = world.run_collect(t0 + phase);
+      for (const auto& a : quiet) {
+        auto& slot =
+            (a.kind == core::AnomalyKind::kFlow) ? before.flow : before.perf;
+        slot += 1.0;
+      }
+
+      // Fault phase on host 3.
+      faults::FaultSpec spec;
+      spec.host = 3;
+      spec.activity = fault.activity;
+      spec.mode = fault.mode;
+      spec.intensity = fault.intensity;
+      spec.delay = ms(100);
+      spec.from = world.engine.now();
+      spec.until = spec.from + phase;
+      world.plane.add(spec);
+      const auto faulty = world.run_collect(spec.until);
+      for (const auto& a : faulty) {
+        auto& slot =
+            (a.kind == core::AnomalyKind::kFlow) ? during.flow : during.perf;
+        slot += 1.0;
+      }
+      observed_minutes += to_min(phase);
+    }
+    before.flow /= runs;
+    before.perf /= runs;
+    during.flow /= runs;
+    during.perf /= runs;
+    total_fp_flow += before.flow * runs;
+    total_fp_perf += before.perf * runs;
+
+    table.add_row({fault.name, TextTable::num(before.flow, 1),
+                   TextTable::num(during.flow, 1),
+                   TextTable::num(before.perf, 1),
+                   TextTable::num(during.perf, 1)});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("false positives (fault-free phases): %.0f flow + %.0f perf "
+              "anomalies over %.0f observed minutes\n",
+              total_fp_flow, total_fp_perf, observed_minutes);
+  if (total_fp_flow > 0) {
+    std::printf("  mean time between flow false positives: %.1f minutes "
+                "(paper: 38 minutes)\n",
+                observed_minutes / total_fp_flow);
+  } else {
+    std::printf("  no flow false positives observed (paper: one per ~38 "
+                "minutes)\n");
+  }
+  if (total_fp_perf > 0) {
+    std::printf("  mean time between perf false positives: %.1f minutes "
+                "(paper: ~10 minutes)\n",
+                observed_minutes / total_fp_perf);
+  } else {
+    std::printf("  no perf false positives observed (paper: one per ~10 "
+                "minutes)\n");
+  }
+  std::printf("\nShape check (paper): error faults multiply FLOW anomalies "
+              "10-60x; delay-WAL-high and\ndelay-MemTable-low multiply PERF "
+              "anomalies 3-8x; the paper's delay-WAL-low shows no\nincrease "
+              "(our reproduction is more sensitive: windows hold more tasks, "
+              "so the t-test\nresolves the 1%% delayed writes — see "
+              "EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,187 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/incidents.h"
+
+namespace saad::bench {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_.emplace_back(arg, "");
+    } else {
+      kv_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    }
+  }
+}
+
+std::int64_t Flags::get_int(const std::string& key,
+                            std::int64_t fallback) const {
+  for (const auto& [k, v] : kv_)
+    if (k == key) return std::stoll(v);
+  return fallback;
+}
+
+double Flags::get_double(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : kv_)
+    if (k == key) return std::stod(v);
+  return fallback;
+}
+
+bool Flags::has(const std::string& key) const {
+  for (const auto& [k, v] : kv_)
+    if (k == key) return true;
+  return false;
+}
+
+std::string Flags::get(const std::string& key,
+                       const std::string& fallback) const {
+  for (const auto& [k, v] : kv_)
+    if (k == key) return v;
+  return fallback;
+}
+
+namespace {
+
+void build_sink_stack(SinkStack& sinks, const core::LogRegistry* registry,
+                      const Clock* clock) {
+  // logger -> renderer (full lines) -> error monitor -> byte counter
+  sinks.errors = std::make_unique<baseline::ErrorLogMonitor>(
+      clock, &sinks.counting, core::Level::kError);
+  sinks.render = std::make_unique<baseline::RenderingSink>(registry, clock,
+                                                           sinks.errors.get());
+  sinks.head = sinks.render.get();
+}
+
+}  // namespace
+
+CassandraWorld::CassandraWorld(std::uint64_t seed, core::Level log_threshold,
+                               bool with_monitor) {
+  monitor = std::make_unique<core::Monitor>(&registry, &engine.clock());
+  build_sink_stack(sinks, &registry, &engine.clock());
+  systems::CassandraOptions options;
+  cassandra = std::make_unique<systems::MiniCassandra>(
+      &engine, &registry, with_monitor ? monitor.get() : nullptr, sinks.head,
+      log_threshold, &plane, options, seed);
+  workload::YcsbOptions wl;
+  wl.clients = 8;
+  wl.think_mean = ms(10);
+  wl.read_proportion = 0.2;  // write-intensive, as in the paper
+  wl.key_space = 20000;
+  ycsb = std::make_unique<workload::YcsbDriver>(&engine, cassandra.get(), wl,
+                                                seed ^ 0x9E3779B9);
+}
+
+void CassandraWorld::warm_train_arm(UsTime warmup, UsTime train) {
+  cassandra->preload(20000, 100);
+  cassandra->start();
+  ycsb->start(minutes(24 * 60));  // clients never stop during a bench
+  engine.run_until(warmup);
+  monitor->start_training();
+  engine.run_until(warmup + train);
+  monitor->train({});
+  monitor->arm();
+}
+
+std::vector<core::Anomaly> CassandraWorld::run_collect(UsTime until) {
+  engine.run_until(until);
+  return monitor->poll(engine.now());
+}
+
+HBaseWorld::HBaseWorld(std::uint64_t seed, core::Level log_threshold,
+                       bool with_monitor, int put_batch_size) {
+  monitor = std::make_unique<core::Monitor>(&registry, &engine.clock());
+  build_sink_stack(hdfs_sinks, &registry, &engine.clock());
+  build_sink_stack(hbase_sinks, &registry, &engine.clock());
+  hdfs = std::make_unique<systems::MiniHdfs>(
+      &engine, &registry, with_monitor ? monitor.get() : nullptr,
+      hdfs_sinks.head, log_threshold, &plane, systems::HdfsOptions{}, seed);
+  hbase = std::make_unique<systems::MiniHBase>(
+      &engine, &registry, with_monitor ? monitor.get() : nullptr,
+      hbase_sinks.head, log_threshold, &plane, hdfs.get(),
+      systems::HBaseOptions{}, seed ^ 0xB5297A4D);
+  workload::YcsbOptions wl;
+  wl.clients = 8;
+  wl.think_mean = ms(10);
+  wl.read_proportion = 0.2;
+  wl.key_space = 20000;
+  wl.put_batch_size = put_batch_size;
+  ycsb = std::make_unique<workload::YcsbDriver>(&engine, hbase.get(), wl,
+                                                seed ^ 0x1B56C4E9);
+}
+
+void HBaseWorld::warm_train_arm(UsTime warmup, UsTime train) {
+  hbase->preload(20000, 100);
+  hdfs->start();
+  hbase->start();
+  ycsb->start(minutes(24 * 60));
+  engine.run_until(warmup);
+  monitor->start_training();
+  engine.run_until(warmup + train);
+  monitor->train({});
+  monitor->arm();
+}
+
+std::vector<core::Anomaly> HBaseWorld::run_collect(UsTime until) {
+  engine.run_until(until);
+  return monitor->poll(engine.now());
+}
+
+void print_anomalies(const std::string& title,
+                     const std::vector<core::Anomaly>& anomalies,
+                     const core::LogRegistry& registry,
+                     std::size_t num_windows, std::size_t max_lines) {
+  const auto chart =
+      core::anomaly_timeline(anomalies, registry, num_windows, title);
+  std::printf("%s", chart.to_string().c_str());
+  std::printf("  markers: F flow anomaly, N new-signature flow anomaly, "
+              "P performance anomaly; columns are minutes\n\n");
+  // Incident view: the bands a human reads off the chart.
+  const auto incidents = core::group_incidents(anomalies);
+  std::printf("incidents (%zu):\n", incidents.size());
+  std::size_t shown = 0;
+  for (const auto& incident : incidents) {
+    if (shown++ >= max_lines) {
+      std::printf("  ... %zu more incidents\n", incidents.size() - max_lines);
+      break;
+    }
+    std::printf("  %s\n", core::describe(incident, registry).c_str());
+  }
+  std::printf("\n");
+  shown = 0;
+  for (const auto& a : anomalies) {
+    if (shown++ >= max_lines) {
+      std::printf("  ... %zu more anomalies\n",
+                  anomalies.size() - max_lines);
+      break;
+    }
+    std::printf("  %s\n", core::describe(a, registry).c_str());
+  }
+  std::printf("\n");
+}
+
+void print_throughput(const workload::YcsbDriver& ycsb, UsTime until) {
+  const auto& ops = ycsb.stats().ops;
+  double peak = 1.0;
+  const auto windows =
+      std::min<std::size_t>(ops.num_windows(),
+                            static_cast<std::size_t>(until / sec(10)));
+  for (std::size_t w = 0; w < windows; ++w)
+    peak = std::max(peak, ops.rate_in(w));
+  std::string spark;
+  for (std::size_t w = 0; w < windows; ++w) {
+    static const char* levels[] = {" ", ".", ":", "-", "=", "#"};
+    const int idx = static_cast<int>(5.0 * ops.rate_in(w) / peak);
+    spark += levels[std::clamp(idx, 0, 5)];
+  }
+  std::printf("throughput (op/s per 10 s, peak %.0f):\n  |%s|\n\n", peak,
+              spark.c_str());
+}
+
+}  // namespace saad::bench

@@ -1,0 +1,100 @@
+// Shared experiment harness for the per-figure benchmark binaries.
+//
+// Each bench builds a "world" (simulated cluster + YCSB + SAAD monitor),
+// warms it to steady state, trains on a fault-free span, arms the detector,
+// runs the experiment timeline, and prints the paper's rows/series.
+//
+// Every world is fully deterministic for a given seed: running a bench twice
+// produces byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/error_monitor.h"
+#include "baseline/log_renderer.h"
+#include "core/report.h"
+#include "core/saad.h"
+#include "systems/cassandra/cassandra.h"
+#include "systems/hbase/hbase.h"
+#include "workload/ycsb.h"
+
+namespace saad::bench {
+
+/// Tiny --key=value flag reader for bench binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/// What the logger writes and who counts it.
+struct SinkStack {
+  core::CountingSink counting;                      // byte/message totals
+  std::unique_ptr<baseline::RenderingSink> render;  // full log-file lines
+  std::unique_ptr<baseline::ErrorLogMonitor> errors;
+  core::LogSink* head = nullptr;  // what the Logger writes into
+};
+
+/// 4-node MiniCassandra world (paper §5.4 testbed).
+struct CassandraWorld {
+  sim::Engine engine;
+  core::LogRegistry registry;
+  faults::FaultPlane plane;
+  std::unique_ptr<core::Monitor> monitor;
+  SinkStack sinks;
+  std::unique_ptr<systems::MiniCassandra> cassandra;
+  std::unique_ptr<workload::YcsbDriver> ycsb;
+
+  /// `log_threshold` controls rendered text (SAAD runs at INFO; the volume
+  /// study uses DEBUG). Workload: 8 closed-loop clients, write-heavy.
+  explicit CassandraWorld(std::uint64_t seed,
+                          core::Level log_threshold = core::Level::kInfo,
+                          bool with_monitor = true);
+
+  /// preload + start + warmup + train + arm. Timeline origin stays at 0.
+  void warm_train_arm(UsTime warmup = minutes(2), UsTime train = minutes(6));
+
+  std::vector<core::Anomaly> run_collect(UsTime until);
+};
+
+/// 4-host MiniHBase-on-MiniHdfs world (paper §5.5 testbed).
+struct HBaseWorld {
+  sim::Engine engine;
+  core::LogRegistry registry;
+  faults::FaultPlane plane;
+  std::unique_ptr<core::Monitor> monitor;
+  SinkStack hdfs_sinks;   // DataNode log volume, counted separately
+  SinkStack hbase_sinks;  // Regionserver log volume
+  std::unique_ptr<systems::MiniHdfs> hdfs;
+  std::unique_ptr<systems::MiniHBase> hbase;
+  std::unique_ptr<workload::YcsbDriver> ycsb;
+
+  explicit HBaseWorld(std::uint64_t seed,
+                      core::Level log_threshold = core::Level::kInfo,
+                      bool with_monitor = true, int put_batch_size = 1);
+
+  void warm_train_arm(UsTime warmup = minutes(2), UsTime train = minutes(6));
+
+  std::vector<core::Anomaly> run_collect(UsTime until);
+};
+
+/// Prints an anomaly timeline chart plus per-anomaly lines.
+void print_anomalies(const std::string& title,
+                     const std::vector<core::Anomaly>& anomalies,
+                     const core::LogRegistry& registry,
+                     std::size_t num_windows, std::size_t max_lines = 40);
+
+/// Per-10s throughput series rendered as a compact sparkline row.
+void print_throughput(const workload::YcsbDriver& ycsb, UsTime until);
+
+}  // namespace saad::bench

@@ -1,0 +1,129 @@
+// Google-benchmark microbenchmarks for the SAAD hot paths:
+//  - tracker on_log (the per-log-statement cost, the Fig. 7 story),
+//  - task begin/end + synopsis emission,
+//  - synopsis encode/decode (wire path to the analyzer),
+//  - model classification and detector ingest (analyzer per-task cost,
+//    the §5.3.3 story),
+//  - model training throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/saad.h"
+
+namespace {
+
+using namespace saad;
+
+core::Synopsis sample_synopsis(Rng& rng, core::StageId stage) {
+  core::Synopsis s;
+  s.stage = stage;
+  s.uid = rng.next_u64() >> 1;
+  s.start = static_cast<UsTime>(rng.next_below(minutes(10)));
+  s.duration = static_cast<UsTime>(rng.lognormal_median(ms(10), 0.2));
+  s.log_points = {{1, 1}, {2, static_cast<std::uint32_t>(1 + rng.next_below(30))},
+                  {4, 1}, {5, 1}};
+  if (rng.chance(0.01)) s.log_points.insert(s.log_points.begin() + 2, {3, 1});
+  return s;
+}
+
+std::vector<core::Synopsis> sample_trace(std::size_t n) {
+  Rng rng(1);
+  std::vector<core::Synopsis> trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) trace.push_back(sample_synopsis(rng, 0));
+  return trace;
+}
+
+void BM_TrackerOnLog(benchmark::State& state) {
+  ManualClock clock;
+  core::TaskExecutionTracker tracker(0, &clock, nullptr);
+  auto task = tracker.begin_task(0);
+  core::TaskBinding bind(tracker, task.get());
+  core::LogPointId p = 0;
+  for (auto _ : state) {
+    tracker.on_log(p);
+    p = (p + 1) % 8;  // a few distinct points, like a real task
+    clock.advance(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrackerOnLog);
+
+void BM_TrackerTaskLifecycle(benchmark::State& state) {
+  ManualClock clock;
+  std::uint64_t emitted = 0;
+  core::TaskExecutionTracker tracker(
+      0, &clock, [&](const core::Synopsis&) { emitted++; });
+  for (auto _ : state) {
+    auto task = tracker.begin_task(0);
+    for (core::LogPointId p = 0; p < 4; ++p) task->on_log(p, clock.now());
+    tracker.end_task(std::move(task));
+    clock.advance(100);
+  }
+  benchmark::DoNotOptimize(emitted);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrackerTaskLifecycle);
+
+void BM_SynopsisEncode(benchmark::State& state) {
+  Rng rng(2);
+  const auto s = sample_synopsis(rng, 3);
+  std::vector<std::uint8_t> buf;
+  for (auto _ : state) {
+    buf.clear();
+    benchmark::DoNotOptimize(core::encode_synopsis(s, buf));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SynopsisEncode);
+
+void BM_SynopsisDecode(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::uint8_t> buf;
+  core::encode_synopsis(sample_synopsis(rng, 3), buf);
+  for (auto _ : state) {
+    std::span<const std::uint8_t> in(buf);
+    core::Synopsis out;
+    benchmark::DoNotOptimize(core::decode_synopsis(in, out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SynopsisDecode);
+
+void BM_ModelTrain(benchmark::State& state) {
+  const auto trace = sample_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::OutlierModel::train(trace));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ModelTrain)->Arg(10000)->Arg(100000);
+
+void BM_ModelClassify(benchmark::State& state) {
+  const auto trace = sample_trace(50000);
+  const auto model = core::OutlierModel::train(trace);
+  Rng rng(4);
+  const auto feature = core::make_feature(sample_synopsis(rng, 0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.classify(feature));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ModelClassify);
+
+void BM_DetectorIngest(benchmark::State& state) {
+  const auto trace = sample_trace(50000);
+  const auto model = core::OutlierModel::train(trace);
+  core::AnomalyDetector detector(&model);
+  Rng rng(5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    detector.ingest(trace[i++ % trace.size()]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorIngest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

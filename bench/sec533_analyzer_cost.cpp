@@ -1,0 +1,132 @@
+// §5.3.3 — Statistical-analyzer cost vs conventional text mining.
+//
+// Paper: reverse-matching one hour of Cassandra DEBUG logs (11.9 M messages,
+// ~1.6 GB) with regular expressions took ~12 minutes on a dedicated 8-core
+// cluster; SAAD processes the same workload's synopses in real time on one
+// core (up to 1500 synopses/s observed), and builds its model in ~60 s per
+// host from 5.5 M synopses.
+//
+// This bench generates a Cassandra DEBUG corpus and the matching synopsis
+// stream from the same virtual run, then measures real wall-clock cost of
+//   (1) the regex reverse-matching baseline over the rendered lines, and
+//   (2) SAAD's model construction + streaming detection over the synopses.
+// The mining corpus is capped (std::regex is slow — which is the point) and
+// extrapolated; the shape to verify is the orders-of-magnitude gap.
+#include <chrono>
+#include <cstdio>
+
+#include "baseline/text_miner.h"
+#include "harness.h"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace saad;
+  using namespace saad::bench;
+  Flags flags(argc, argv);
+  const UsTime corpus_min = minutes(flags.get_int("minutes", 2));
+  const std::size_t mine_cap =
+      static_cast<std::size_t>(flags.get_int("mine-lines", 20000));
+
+  std::printf("=== §5.3.3: analyzer cost — regex text mining vs SAAD "
+              "===\n\n");
+
+  // Generate the corpus: Cassandra at DEBUG with a memory sink capturing the
+  // rendered lines, while the monitor captures the synopsis stream.
+  core::MemorySink memory;
+  sim::Engine engine;
+  core::LogRegistry registry;
+  faults::FaultPlane plane;
+  core::Monitor monitor(&registry, &engine.clock());
+  baseline::RenderingSink render(&registry, &engine.clock(), &memory);
+  systems::MiniCassandra cassandra(&engine, &registry, &monitor, &render,
+                                   core::Level::kDebug, &plane,
+                                   systems::CassandraOptions{}, 7);
+  workload::YcsbOptions wl;
+  wl.clients = 8;
+  wl.think_mean = ms(10);
+  wl.read_proportion = 0.2;
+  wl.key_space = 20000;
+  workload::YcsbDriver ycsb(&engine, &cassandra, wl, 99);
+  cassandra.preload(20000, 100);
+  cassandra.start();
+  monitor.start_training();
+  ycsb.start(corpus_min);
+  engine.run_until(corpus_min);
+  monitor.poll(engine.now());
+
+  std::vector<std::string> lines;
+  lines.reserve(memory.lines().size());
+  for (const auto& l : memory.lines()) lines.push_back(l.text);
+  const auto& synopses = monitor.training_trace();
+  std::printf("corpus: %zu DEBUG log lines (%.1f MB) and %zu synopses from "
+              "%lld virtual minutes\n\n",
+              lines.size(), static_cast<double>(memory.total_bytes()) / 1e6,
+              synopses.size(),
+              static_cast<long long>(corpus_min / kUsPerMin));
+
+  // ---- Baseline: regex reverse matching ---------------------------------
+  baseline::TextMiner miner(registry);
+  const std::size_t mined = std::min(mine_cap, lines.size());
+  std::vector<std::string> sample(lines.begin(),
+                                  lines.begin() + static_cast<long>(mined));
+  auto begin = std::chrono::steady_clock::now();
+  const auto counts = miner.mine(sample);
+  const double mine_sec = seconds_since(begin);
+  const double lines_per_sec = static_cast<double>(mined) / mine_sec;
+  std::uint64_t matched = 0;
+  for (std::size_t i = 0; i + 1 < counts.size(); ++i) matched += counts[i];
+  std::printf("text mining: %zu lines in %.2f s -> %.0f lines/s on one core "
+              "(%.1f%% matched to a template)\n",
+              mined, mine_sec, lines_per_sec,
+              100.0 * static_cast<double>(matched) /
+                  static_cast<double>(mined));
+  const double paper_corpus = 11.9e6;
+  std::printf("  extrapolated to the paper's 11.9 M-line hour: %.0f "
+              "core-minutes (paper: ~96 core-minutes on 8 cores)\n\n",
+              paper_corpus / lines_per_sec / 60.0);
+
+  // ---- SAAD: model construction + streaming detection --------------------
+  begin = std::chrono::steady_clock::now();
+  const core::OutlierModel model = core::OutlierModel::train(synopses);
+  const double train_sec = seconds_since(begin);
+  std::printf("SAAD model construction: %zu synopses in %.3f s (%.0f "
+              "synopses/s; paper: 5.5 M in ~60 s)\n",
+              synopses.size(), train_sec,
+              static_cast<double>(synopses.size()) / train_sec);
+
+  core::AnomalyDetector detector(&model);
+  begin = std::chrono::steady_clock::now();
+  for (const auto& s : synopses) detector.ingest(s);
+  (void)detector.finish();
+  const double detect_sec = seconds_since(begin);
+  const double syn_per_sec = static_cast<double>(synopses.size()) / detect_sec;
+  std::printf("SAAD streaming detection: %zu synopses in %.3f s -> %.0f "
+              "synopses/s on one core (paper observed up to 1500/s live)\n\n",
+              synopses.size(), detect_sec, syn_per_sec);
+
+  // ---- Comparison ----------------------------------------------------------
+  // Per unit of monitored work: one task produces ~3 log lines but only one
+  // synopsis; normalize to tasks.
+  const double lines_per_task = static_cast<double>(lines.size()) /
+                                static_cast<double>(synopses.size());
+  const double mining_us_per_task = 1e6 * lines_per_task / lines_per_sec;
+  const double saad_us_per_task = 1e6 / syn_per_sec;
+  std::printf("cost per monitored task: text mining %.1f us vs SAAD %.2f us "
+              "-> %.0fx cheaper\n",
+              mining_us_per_task, saad_us_per_task,
+              mining_us_per_task / saad_us_per_task);
+  std::printf("\nShape check: SAAD's streaming analysis is orders of "
+              "magnitude cheaper than regex\nreverse-matching, reproducing "
+              "the paper's '8-core offline job vs one-core real-time'\n"
+              "comparison.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The paper's motivating example (§2, Fig. 2-4): HDFS write pipelines.
+//
+// Drives block writes through a simulated 3-way DataXceiver/PacketResponder
+// replication pipeline and shows what SAAD's tracker sees: the dominant
+// signature [L1, L2, L4, L5], the rare empty-packet flow containing L3, and
+// the duration distribution that separates normal from slow tasks — the
+// exact structure of Fig. 4.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/saad.h"
+#include "systems/hdfs/hdfs.h"
+
+using namespace saad;
+
+int main() {
+  sim::Engine engine;
+  core::LogRegistry registry;
+  core::NullSink sink;
+  faults::FaultPlane plane;
+  core::Monitor monitor(&registry, &engine.clock());
+
+  systems::HdfsOptions options;
+  options.empty_packet_chance = 0.02;  // make Fig. 4's rare branch visible
+  systems::MiniHdfs hdfs(&engine, &registry, &monitor, &sink,
+                         core::Level::kInfo, &plane, options, /*seed=*/3);
+  hdfs.start();
+  monitor.start_training();
+
+  // A client writing 4-packet blocks, one every ~20 ms (Fig. 2's client).
+  auto client = [&]() -> sim::Process {
+    for (std::uint64_t block = 0; block < 3000; ++block) {
+      (void)co_await hdfs.write_block(block, 64 * 1024);
+      co_await engine.delay(ms(20));
+    }
+  };
+  client();
+  engine.run_until(minutes(2));
+  monitor.poll(engine.now());
+
+  // Group DataXceiver tasks by signature, like Fig. 4.
+  const auto dx = hdfs.stages().data_xceiver;
+  std::map<core::Signature, std::vector<UsTime>> groups;
+  std::uint64_t total = 0;
+  for (const auto& s : monitor.training_trace()) {
+    if (s.stage != dx) continue;
+    groups[core::Signature::from(s)].push_back(s.duration);
+    total++;
+  }
+
+  std::printf("=== DataXceiver task flows (cf. Fig. 4) ===\n\n");
+  for (auto& [sig, durations] : groups) {
+    std::sort(durations.begin(), durations.end());
+    const double share =
+        100.0 * static_cast<double>(durations.size()) / static_cast<double>(total);
+    std::printf("signature %-14s %6.2f%% of tasks, median %.1f ms, p99 %.1f ms\n",
+                sig.to_string().c_str(), share,
+                to_ms(durations[durations.size() / 2]),
+                to_ms(durations[durations.size() * 99 / 100]));
+    for (const auto& text : core::signature_templates(sig, registry))
+      std::printf("    %s\n", text.c_str());
+  }
+
+  std::printf("\nLike the paper's example: one flow dominates, the "
+              "empty-packet flow (with\n'Receiving empty packet') is rare, "
+              "and task durations are tightly clustered —\nthe raw material "
+              "for SAAD's per-stage outlier statistics.\n");
+  return 0;
+}

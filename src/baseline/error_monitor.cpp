@@ -1,0 +1,15 @@
+#include "baseline/error_monitor.h"
+
+namespace saad::baseline {
+
+void ErrorLogMonitor::write(core::Level level, core::LogPointId point,
+                            std::string_view message) {
+  if (level >= alert_level_) {
+    alerts_.push_back(
+        Alert{clock_->now(), level, point, std::string(message)});
+    alerts_per_window_.record(std::max<UsTime>(clock_->now(), 0));
+  }
+  if (inner_ != nullptr) inner_->write(level, point, message);
+}
+
+}  // namespace saad::baseline

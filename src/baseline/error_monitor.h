@@ -1,0 +1,54 @@
+// Error-log alerting baseline (paper §5.4): "common log monitoring alert
+// systems, where the system alerts the user when an error log is generated."
+//
+// A LogSink decorator that records WARN/ERROR lines into time windows; the
+// Fig. 9 benches overlay these alerts on SAAD's anomaly timeline to show the
+// faults that error-grep misses entirely (the frozen-MemTable wedge produces
+// exactly one non-error line until the node is already dying).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "core/logger.h"
+
+namespace saad::baseline {
+
+class ErrorLogMonitor final : public core::LogSink {
+ public:
+  struct Alert {
+    UsTime at;
+    core::Level level;
+    core::LogPointId point;
+    std::string line;
+  };
+
+  /// Forwards everything to `inner` (may be null to drop text), recording
+  /// alerts for lines at or above `alert_level`.
+  ErrorLogMonitor(const Clock* clock, core::LogSink* inner,
+                  core::Level alert_level = core::Level::kError,
+                  UsTime window = kUsPerMin)
+      : clock_(clock), inner_(inner), alert_level_(alert_level),
+        alerts_per_window_(window) {}
+
+  void write(core::Level level, core::LogPointId point,
+             std::string_view message) override;
+
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  const WindowedCounter& alerts_per_window() const {
+    return alerts_per_window_;
+  }
+  std::uint64_t total_alerts() const { return alerts_.size(); }
+
+ private:
+  const Clock* clock_;
+  core::LogSink* inner_;
+  core::Level alert_level_;
+  std::vector<Alert> alerts_;
+  WindowedCounter alerts_per_window_;
+};
+
+}  // namespace saad::baseline

@@ -1,0 +1,41 @@
+#include "baseline/log_renderer.h"
+
+#include <cstdio>
+
+namespace saad::baseline {
+
+std::string render_line(const core::LogRegistry& registry,
+                        core::LogPointId point, UsTime at,
+                        std::string_view message) {
+  const auto& info = registry.log_point(point);
+  const auto& stage = registry.stage(info.stage);
+
+  const long long total_ms = at / kUsPerMs;
+  const long long h = total_ms / 3600000;
+  const long long m = (total_ms / 60000) % 60;
+  const long long s = (total_ms / 1000) % 60;
+  const long long millis = total_ms % 1000;
+
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix),
+                "2014-12-08 %02lld:%02lld:%02lld,%03lld %-5s %s: ", h, m, s,
+                millis,
+                std::string(core::level_name(info.level)).c_str(),
+                stage.name.c_str());
+  std::string line(prefix);
+  if (message.empty()) {
+    line += info.template_text;  // tracepoint-only call: static text
+  } else {
+    line.append(message.data(), message.size());
+  }
+  return line;
+}
+
+void RenderingSink::write(core::Level level, core::LogPointId point,
+                          std::string_view message) {
+  const std::string line =
+      render_line(*registry_, point, clock_->now(), message);
+  inner_->write(level, point, line);
+}
+
+}  // namespace saad::baseline

@@ -1,0 +1,41 @@
+// Renders full log-file lines the way a log4j file appender would:
+//
+//   2014-12-08 10:00:00,123 DEBUG DataXceiver: Receiving block blk_42
+//
+// Used by the volume study (Fig. 8: DEBUG text vs synopses) and to produce
+// the corpus the text-mining baseline (§5.3.3) parses back.
+#pragma once
+
+#include <string>
+
+#include "common/clock.h"
+#include "core/log_registry.h"
+#include "core/logger.h"
+
+namespace saad::baseline {
+
+/// One rendered line (no trailing newline). `at` is virtual time since the
+/// experiment epoch; it is formatted as a log4j-style timestamp.
+std::string render_line(const core::LogRegistry& registry,
+                        core::LogPointId point, UsTime at,
+                        std::string_view message);
+
+/// A LogSink decorator that renders and forwards full lines (with timestamp,
+/// level and stage prefix) to an inner sink — the "file appender" of the
+/// simulated servers. The inner sink sees realistic log-file bytes.
+class RenderingSink final : public core::LogSink {
+ public:
+  RenderingSink(const core::LogRegistry* registry, const Clock* clock,
+                core::LogSink* inner)
+      : registry_(registry), clock_(clock), inner_(inner) {}
+
+  void write(core::Level level, core::LogPointId point,
+             std::string_view message) override;
+
+ private:
+  const core::LogRegistry* registry_;
+  const Clock* clock_;
+  core::LogSink* inner_;
+};
+
+}  // namespace saad::baseline

@@ -1,0 +1,138 @@
+#include "baseline/pca_detector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace saad::baseline {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm(const std::vector<double>& v) { return std::sqrt(dot(v, v)); }
+
+/// Leading eigenvector of cov(X) by power iteration; X is centered,
+/// row-major. Returns the explained variance (eigenvalue) via `lambda`.
+std::vector<double> leading_component(const std::vector<std::vector<double>>& x,
+                                      int iterations, double* lambda) {
+  const std::size_t d = x.empty() ? 0 : x[0].size();
+  // Deterministic start vector with energy in every coordinate.
+  std::vector<double> v(d);
+  for (std::size_t i = 0; i < d; ++i)
+    v[i] = 1.0 + 0.001 * static_cast<double>(i % 7);
+  double len = norm(v);
+  for (auto& c : v) c /= len;
+
+  std::vector<double> next(d);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    // next = X^T (X v)
+    for (const auto& row : x) {
+      const double proj = dot(row, v);
+      for (std::size_t i = 0; i < d; ++i) next[i] += proj * row[i];
+    }
+    len = norm(next);
+    if (len < 1e-12) break;  // no variance left
+    for (std::size_t i = 0; i < d; ++i) v[i] = next[i] / len;
+  }
+  if (lambda != nullptr) {
+    *lambda = x.size() > 1 ? len / static_cast<double>(x.size() - 1) : 0.0;
+  }
+  return v;
+}
+
+}  // namespace
+
+PcaDetector PcaDetector::train(const std::vector<std::vector<double>>& rows,
+                               const Options& options) {
+  assert(!rows.empty() && !rows[0].empty());
+  const std::size_t d = rows[0].size();
+
+  PcaDetector detector;
+  detector.mean_.assign(d, 0.0);
+  for (const auto& row : rows) {
+    assert(row.size() == d);
+    for (std::size_t i = 0; i < d; ++i) detector.mean_[i] += row[i];
+  }
+  for (auto& m : detector.mean_) m /= static_cast<double>(rows.size());
+
+  // Centered working copy; deflated in place as components are extracted.
+  std::vector<std::vector<double>> x = rows;
+  double total_variance = 0.0;
+  for (auto& row : x) {
+    for (std::size_t i = 0; i < d; ++i) {
+      row[i] -= detector.mean_[i];
+      total_variance += row[i] * row[i];
+    }
+  }
+  total_variance /= static_cast<double>(std::max<std::size_t>(rows.size() - 1, 1));
+
+  double captured = 0.0;
+  const std::size_t limit = std::min(options.max_components, d);
+  while (detector.components_.size() < limit && total_variance > 0.0 &&
+         captured / total_variance < options.variance_captured) {
+    double lambda = 0.0;
+    auto component = leading_component(x, options.power_iterations, &lambda);
+    if (lambda <= 1e-12) break;
+    captured += lambda;
+    // Deflate: remove the component's contribution from every row.
+    for (auto& row : x) {
+      const double proj = dot(row, component);
+      for (std::size_t i = 0; i < d; ++i) row[i] -= proj * component[i];
+    }
+    detector.components_.push_back(std::move(component));
+  }
+
+  // Threshold = quantile of the training SPE distribution.
+  std::vector<double> spes;
+  spes.reserve(rows.size());
+  for (const auto& row : rows) spes.push_back(detector.spe(row));
+  std::sort(spes.begin(), spes.end());
+  detector.threshold_ =
+      stats::percentile_sorted(spes, options.spe_quantile);
+  return detector;
+}
+
+double PcaDetector::spe(const std::vector<double>& row) const {
+  assert(row.size() == mean_.size());
+  std::vector<double> residual(row.size());
+  for (std::size_t i = 0; i < row.size(); ++i)
+    residual[i] = row[i] - mean_[i];
+  for (const auto& component : components_) {
+    const double proj = dot(residual, component);
+    for (std::size_t i = 0; i < residual.size(); ++i)
+      residual[i] -= proj * component[i];
+  }
+  return dot(residual, residual);
+}
+
+std::vector<std::vector<double>> count_matrix(
+    std::span<const core::Synopsis> trace, std::size_t num_points,
+    UsTime window) {
+  assert(window > 0);
+  std::size_t num_windows = 0;
+  for (const auto& s : trace) {
+    const auto w =
+        static_cast<std::size_t>(std::max<UsTime>(s.start, 0) / window);
+    num_windows = std::max(num_windows, w + 1);
+  }
+  std::vector<std::vector<double>> matrix(
+      num_windows, std::vector<double>(num_points, 0.0));
+  for (const auto& s : trace) {
+    const auto w =
+        static_cast<std::size_t>(std::max<UsTime>(s.start, 0) / window);
+    for (const auto& lp : s.log_points) {
+      if (lp.point < num_points) matrix[w][lp.point] += lp.count;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace saad::baseline

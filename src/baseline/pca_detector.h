@@ -1,0 +1,69 @@
+// PCA anomaly-detection baseline, after Xu et al. (SOSP'09) — the
+// console-log mining approach the paper positions itself against (§6).
+//
+// Xu et al. parse console logs into per-window message-count vectors and
+// flag windows whose residual after projection onto the principal subspace
+// (the squared prediction error, "SPE" / Q-statistic) is abnormally large.
+//
+// This implementation consumes SAAD synopses (so both detectors see exactly
+// the same information) but deliberately discards stage/task structure: one
+// count vector per time window, like the original. The comparison bench
+// shows the consequence — PCA can say *when* something is off, SAAD says
+// when, where (stage + host) and *what* (the anomalous flow).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/synopsis.h"
+
+namespace saad::baseline {
+
+class PcaDetector {
+ public:
+  struct Options {
+    /// Keep principal components until this fraction of variance is
+    /// captured (Xu et al. use the dominant few components).
+    double variance_captured = 0.95;
+    std::size_t max_components = 10;
+    /// SPE threshold = this quantile of the training windows' SPE.
+    double spe_quantile = 0.995;
+    int power_iterations = 200;
+  };
+
+  /// Trains on per-window count vectors (rows: windows, columns: features).
+  /// Rows must be non-empty and uniform in width.
+  static PcaDetector train(const std::vector<std::vector<double>>& rows,
+                           const Options& options);
+  static PcaDetector train(const std::vector<std::vector<double>>& rows) {
+    return train(rows, Options{});
+  }
+
+  /// Squared prediction error of a fresh window against the trained
+  /// principal subspace.
+  double spe(const std::vector<double>& row) const;
+
+  bool anomalous(const std::vector<double>& row) const {
+    return spe(row) > threshold_;
+  }
+
+  std::size_t num_components() const { return components_.size(); }
+  double threshold() const { return threshold_; }
+
+ private:
+  PcaDetector() = default;
+
+  std::vector<double> mean_;
+  std::vector<std::vector<double>> components_;  // orthonormal, row-major
+  double threshold_ = 0.0;
+};
+
+/// Builds the per-window log-point count matrix Xu et al. mine from log text
+/// — here derived losslessly from synopses. `num_points` fixes the feature
+/// width; windows are indexed by synopsis start time.
+std::vector<std::vector<double>> count_matrix(
+    std::span<const core::Synopsis> trace, std::size_t num_points,
+    UsTime window);
+
+}  // namespace saad::baseline

@@ -1,0 +1,77 @@
+#include "baseline/text_miner.h"
+
+namespace saad::baseline {
+
+namespace {
+
+/// Escape regex metacharacters in the template's static text and turn each
+/// '%' placeholder into a non-greedy wildcard.
+std::string template_to_pattern(const std::string& text) {
+  std::string pattern = ".*";  // skip the timestamp/level/stage prefix
+  for (char c : text) {
+    switch (c) {
+      case '%':
+        pattern += ".*?";
+        break;
+      case '\\':
+      case '^':
+      case '$':
+      case '.':
+      case '|':
+      case '?':
+      case '*':
+      case '+':
+      case '(':
+      case ')':
+      case '[':
+      case ']':
+      case '{':
+      case '}':
+        pattern += '\\';
+        [[fallthrough]];
+      default:
+        pattern += c;
+    }
+  }
+  pattern += ".*";
+  return pattern;
+}
+
+}  // namespace
+
+TextMiner::TextMiner(const core::LogRegistry& registry) {
+  const std::size_t n = registry.num_log_points();
+  regexes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<core::LogPointId>(i);
+    regexes_.emplace_back(
+        std::regex(template_to_pattern(registry.log_point(id).template_text),
+                   std::regex::optimize),
+        id);
+  }
+}
+
+core::LogPointId TextMiner::match(std::string_view line) const {
+  // Linear scan over templates, exactly like the reverse-matching MapReduce
+  // job: every line is tried against the template set until one fits.
+  for (const auto& [regex, id] : regexes_) {
+    if (std::regex_match(line.begin(), line.end(), regex)) return id;
+  }
+  return core::kInvalidLogPoint;
+}
+
+std::vector<std::uint64_t> TextMiner::mine(
+    const std::vector<std::string>& lines) const {
+  std::vector<std::uint64_t> counts(regexes_.size() + 1, 0);
+  for (const auto& line : lines) {
+    const auto id = match(line);
+    if (id == core::kInvalidLogPoint) {
+      counts.back()++;  // unmatched bucket
+    } else {
+      counts[id]++;
+    }
+  }
+  return counts;
+}
+
+}  // namespace saad::baseline

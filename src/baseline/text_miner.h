@@ -1,0 +1,43 @@
+// Text-mining baseline (paper §5.3.3): the conventional log-analytics
+// pipeline that SAAD's synopses replace. It reverse-matches rendered log
+// lines to their originating statements with regular expressions built from
+// the source templates (the approach of Xu et al., SOSP'09), then aggregates
+// per-template counts.
+//
+// This is deliberately the expensive way to recover what SAAD gets for free:
+// the benchmark compares its wall-clock cost against the analyzer's
+// streaming cost on the same workload.
+#pragma once
+
+#include <cstdint>
+#include <regex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/log_registry.h"
+
+namespace saad::baseline {
+
+class TextMiner {
+ public:
+  /// Compiles one regex per log template in the registry. `%` in templates
+  /// matches any token sequence.
+  explicit TextMiner(const core::LogRegistry& registry);
+
+  /// Matches one rendered line (without the timestamp/level prefix, or with:
+  /// the regexes are unanchored at the front) to a log point.
+  /// Returns kInvalidLogPoint when nothing matches.
+  core::LogPointId match(std::string_view line) const;
+
+  /// Runs the full mining job over a corpus: per-template message counts.
+  /// This is the CPU-heavy phase the paper runs as a MapReduce job.
+  std::vector<std::uint64_t> mine(const std::vector<std::string>& lines) const;
+
+  std::size_t num_templates() const { return regexes_.size(); }
+
+ private:
+  std::vector<std::pair<std::regex, core::LogPointId>> regexes_;
+};
+
+}  // namespace saad::baseline

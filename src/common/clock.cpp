@@ -1,0 +1,19 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace saad {
+
+namespace {
+UsTime steady_now_us() {
+  using namespace std::chrono;
+  return duration_cast<microseconds>(steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RealClock::RealClock() : origin_(steady_now_us()) {}
+
+UsTime RealClock::now() const { return steady_now_us() - origin_; }
+
+}  // namespace saad

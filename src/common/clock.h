@@ -1,0 +1,43 @@
+// Clock abstraction: the SAAD tracker and analyzer are written against this
+// interface so the same code runs on real threads (overhead benchmark) and on
+// the deterministic discrete-event simulator (all statistical experiments).
+#pragma once
+
+#include <atomic>
+
+#include "common/time.h"
+
+namespace saad {
+
+/// Monotonic time source in microseconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual UsTime now() const = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock. Thread-safe.
+class RealClock final : public Clock {
+ public:
+  RealClock();
+  UsTime now() const override;
+
+ private:
+  UsTime origin_;
+};
+
+/// Manually advanced clock for tests and the simulator. Thread-safe: reads
+/// and writes are atomic, though simulation code advances it single-threaded.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(UsTime start = 0) : now_(start) {}
+
+  UsTime now() const override { return now_.load(std::memory_order_relaxed); }
+  void set(UsTime t) { now_.store(t, std::memory_order_relaxed); }
+  void advance(UsTime dt) { now_.fetch_add(dt, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<UsTime> now_;
+};
+
+}  // namespace saad

@@ -1,0 +1,108 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace saad {
+
+namespace {
+// 64 orders-of-two, 32 sub-buckets each: ~3% relative resolution.
+constexpr std::size_t kSubBuckets = 32;
+constexpr std::size_t kNumBuckets = 64 * kSubBuckets;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t Histogram::bucket_for(std::int64_t value) {
+  if (value < 1) value = 1;
+  const auto v = static_cast<std::uint64_t>(value);
+  const int msb = 63 - __builtin_clzll(v);
+  std::size_t sub = 0;
+  if (msb >= 5) {
+    sub = (v >> (msb - 5)) & (kSubBuckets - 1);
+  } else {
+    sub = (v << (5 - msb)) & (kSubBuckets - 1);
+  }
+  const std::size_t b = static_cast<std::size_t>(msb) * kSubBuckets + sub;
+  return std::min(b, kNumBuckets - 1);
+}
+
+std::int64_t Histogram::bucket_upper(std::size_t bucket) {
+  const std::size_t msb = bucket / kSubBuckets;
+  const std::size_t sub = bucket % kSubBuckets;
+  if (msb < 5) {
+    // Low buckets degenerate; return a small exact-ish value.
+    return static_cast<std::int64_t>((1ull << msb) + sub);
+  }
+  const std::uint64_t base = 1ull << msb;
+  const std::uint64_t step = base / kSubBuckets;
+  return static_cast<std::int64_t>(base + (sub + 1) * step - 1);
+}
+
+void Histogram::record(std::int64_t value) {
+  buckets_[bucket_for(value)]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  sum_ += static_cast<double>(value);
+  count_++;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::clamp(bucket_upper(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void WindowedCounter::record(UsTime at, std::uint64_t n) {
+  assert(at >= 0 && width_ > 0);
+  const auto w = static_cast<std::size_t>(at / width_);
+  if (w >= counts_.size()) counts_.resize(w + 1, 0);
+  counts_[w] += n;
+}
+
+std::uint64_t WindowedCounter::count_in(std::size_t window) const {
+  return window < counts_.size() ? counts_[window] : 0;
+}
+
+double WindowedCounter::rate_in(std::size_t window) const {
+  return static_cast<double>(count_in(window)) / to_sec(width_);
+}
+
+std::vector<double> WindowedCounter::rates() const {
+  std::vector<double> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = rate_in(i);
+  return out;
+}
+
+}  // namespace saad

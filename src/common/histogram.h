@@ -1,0 +1,65 @@
+// Simple value recorders used by benches and the workload generator:
+//  - Histogram: fixed-resolution log-scale histogram for latency percentiles
+//    without storing every sample.
+//  - WindowedCounter: per-fixed-window event counts (e.g. throughput per 10 s).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace saad {
+
+/// Log-scale histogram over positive int64 values (e.g. latencies in us).
+/// Buckets are <= 2% wide; percentile error is bounded by the bucket width.
+class Histogram {
+ public:
+  Histogram();
+
+  void record(std::int64_t value);
+  void merge(const Histogram& other);
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  std::int64_t min() const { return count_ ? min_ : 0; }
+  std::int64_t max() const { return count_ ? max_ : 0; }
+
+  /// Value at quantile q in [0, 1]; 0 when empty.
+  std::int64_t percentile(double q) const;
+
+ private:
+  static std::size_t bucket_for(std::int64_t value);
+  static std::int64_t bucket_upper(std::size_t bucket);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Counts events into fixed-width time windows; used for throughput series.
+class WindowedCounter {
+ public:
+  explicit WindowedCounter(UsTime window_width) : width_(window_width) {}
+
+  void record(UsTime at, std::uint64_t n = 1);
+
+  UsTime window_width() const { return width_; }
+  std::size_t num_windows() const { return counts_.size(); }
+  std::uint64_t count_in(std::size_t window) const;
+
+  /// Events per second in the given window.
+  double rate_in(std::size_t window) const;
+
+  /// Per-window rates for the whole series.
+  std::vector<double> rates() const;
+
+ private:
+  UsTime width_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace saad

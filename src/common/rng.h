@@ -1,0 +1,89 @@
+// Deterministic random number generation and the distributions used by the
+// workload generator and simulator.
+//
+// We ship our own small PRNG (xoshiro256**, seeded via SplitMix64) instead of
+// <random> engines so that experiment benches are bit-reproducible across
+// standard-library implementations. Distribution helpers are methods on Rng.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace saad {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA'14).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased multiply-shift.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mu = 0.0, double sigma = 1.0);
+
+  /// Log-normal parameterized by the *resulting* median and sigma of the
+  /// underlying normal. Service times in the simulator use this: heavy right
+  /// tail, strictly positive.
+  double lognormal_median(double median, double sigma);
+
+  /// Fork a statistically independent generator (for per-component streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipfian distribution over [0, n) with skew theta (YCSB uses 0.99),
+/// implemented with the Gray et al. rejection-free method as in YCSB's
+/// ZipfianGenerator. Deterministic given the Rng passed to next().
+class Zipfian {
+ public:
+  Zipfian(std::uint64_t n, double theta = 0.99);
+
+  std::uint64_t next(Rng& rng) const;
+  std::uint64_t n() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// Draw an index from a discrete distribution given cumulative weights.
+/// `cumulative` must be non-empty, non-decreasing, with cumulative.back() > 0.
+std::size_t pick_cumulative(Rng& rng, const std::vector<double>& cumulative);
+
+}  // namespace saad

@@ -1,0 +1,93 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace saad {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::num(std::int64_t v) { return std::to_string(v); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+TimelineChart::TimelineChart(std::size_t num_buckets, std::string title)
+    : num_buckets_(num_buckets), title_(std::move(title)) {}
+
+void TimelineChart::mark(const std::string& row_label, std::size_t bucket,
+                         char marker) {
+  if (bucket >= num_buckets_) return;
+  std::size_t idx = labels_.size();
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == row_label) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == labels_.size()) {
+    labels_.push_back(row_label);
+    rows_.emplace_back(num_buckets_, '.');
+  }
+  rows_[idx][bucket] = marker;
+}
+
+std::string TimelineChart::to_string(std::size_t tick) const {
+  std::size_t label_w = 0;
+  for (const auto& l : labels_) label_w = std::max(label_w, l.size());
+
+  std::ostringstream out;
+  out << title_ << '\n';
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    out << labels_[i] << std::string(label_w - labels_[i].size(), ' ') << " |"
+        << rows_[i] << "|\n";
+  }
+  // Axis with tick marks.
+  out << std::string(label_w, ' ') << " +";
+  for (std::size_t b = 0; b < num_buckets_; ++b)
+    out << (tick != 0 && b % tick == 0 ? '+' : '-');
+  out << "+\n";
+  out << std::string(label_w, ' ') << "  ";
+  std::string axis(num_buckets_ + 1, ' ');
+  for (std::size_t b = 0; tick != 0 && b < num_buckets_; b += tick) {
+    const std::string t = std::to_string(b);
+    for (std::size_t k = 0; k < t.size() && b + k < axis.size(); ++k)
+      axis[b + k] = t[k];
+  }
+  out << axis << '\n';
+  return out.str();
+}
+
+}  // namespace saad

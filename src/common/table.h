@@ -1,0 +1,48 @@
+// Plain-text table rendering for bench/example output. The experiment benches
+// print the same rows/series the paper's tables and figures report; this keeps
+// that output aligned and diffable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace saad {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::int64_t v);
+
+  /// Render with column alignment and a header underline.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a sparse timeline like the paper's Fig. 9/10: one row per label,
+/// one column per time bucket, with single-character event markers. Later
+/// marks overwrite earlier ones in the same cell.
+class TimelineChart {
+ public:
+  TimelineChart(std::size_t num_buckets, std::string title);
+
+  void mark(const std::string& row_label, std::size_t bucket, char marker);
+
+  /// Rows appear in first-mark order; axis is labeled every `tick` buckets.
+  std::string to_string(std::size_t tick = 10) const;
+
+ private:
+  std::size_t num_buckets_;
+  std::string title_;
+  std::vector<std::string> labels_;
+  std::vector<std::string> rows_;
+};
+
+}  // namespace saad

@@ -1,0 +1,27 @@
+// Time units used across the SAAD reproduction.
+//
+// All timestamps and durations are signed 64-bit microsecond counts. A single
+// scalar type keeps virtual (simulated) and real clocks interchangeable and
+// makes synopsis encoding trivially portable.
+#pragma once
+
+#include <cstdint>
+
+namespace saad {
+
+/// Microseconds since an arbitrary epoch (simulation start or process start).
+using UsTime = std::int64_t;
+
+inline constexpr UsTime kUsPerMs = 1000;
+inline constexpr UsTime kUsPerSec = 1000 * 1000;
+inline constexpr UsTime kUsPerMin = 60 * kUsPerSec;
+
+constexpr UsTime ms(std::int64_t v) { return v * kUsPerMs; }
+constexpr UsTime sec(std::int64_t v) { return v * kUsPerSec; }
+constexpr UsTime minutes(std::int64_t v) { return v * kUsPerMin; }
+
+constexpr double to_ms(UsTime t) { return static_cast<double>(t) / kUsPerMs; }
+constexpr double to_sec(UsTime t) { return static_cast<double>(t) / kUsPerSec; }
+constexpr double to_min(UsTime t) { return static_cast<double>(t) / kUsPerMin; }
+
+}  // namespace saad

@@ -1,0 +1,30 @@
+#include "core/channel.h"
+
+namespace saad::core {
+
+void SynopsisChannel::push(const Synopsis& s) {
+  const std::size_t wire = encoded_size(s);
+  std::lock_guard lock(mu_);
+  queue_.push_back(s);
+  pushed_++;
+  encoded_bytes_ += wire;
+}
+
+void SynopsisChannel::drain(std::vector<Synopsis>& out) {
+  std::lock_guard lock(mu_);
+  out.reserve(out.size() + queue_.size());
+  for (auto& s : queue_) out.push_back(std::move(s));
+  queue_.clear();
+}
+
+std::uint64_t SynopsisChannel::pushed() const {
+  std::lock_guard lock(mu_);
+  return pushed_;
+}
+
+std::uint64_t SynopsisChannel::encoded_bytes() const {
+  std::lock_guard lock(mu_);
+  return encoded_bytes_;
+}
+
+}  // namespace saad::core

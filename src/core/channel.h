@@ -1,0 +1,36 @@
+// In-memory synopsis stream from per-host trackers to the centralized
+// analyzer (paper §3.1: synopses are "streamed out to a centralized
+// statistical analyzer", all in memory, never on persistent storage).
+//
+// The channel also keeps wire-volume accounting (encoded bytes), which the
+// Fig. 8 storage-overhead bench reads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/synopsis.h"
+
+namespace saad::core {
+
+class SynopsisChannel {
+ public:
+  /// Thread-safe multi-producer push.
+  void push(const Synopsis& s);
+
+  /// Moves all queued synopses into `out` (appended). Single consumer.
+  void drain(std::vector<Synopsis>& out);
+
+  std::uint64_t pushed() const;
+  std::uint64_t encoded_bytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Synopsis> queue_;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t encoded_bytes_ = 0;
+};
+
+}  // namespace saad::core

@@ -1,0 +1,162 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace saad::core {
+
+AnomalyDetector::AnomalyDetector(const OutlierModel* model,
+                                 DetectorConfig config)
+    : model_(model), config_(config) {
+  assert(model_ != nullptr);
+  assert(config_.window > 0);
+}
+
+void AnomalyDetector::ingest(const Synopsis& synopsis) {
+  const Feature f = make_feature(synopsis);
+  const auto window =
+      static_cast<std::size_t>(std::max<UsTime>(f.start, 0) / config_.window);
+  // Late synopses for windows already closed are attributed to the oldest
+  // open window rather than dropped: anomalies should not escape detection
+  // because a long task finished after its start window closed.
+  const std::size_t effective = std::max(window, next_window_to_close_);
+  auto& stage_stats = open_windows_[effective][{f.host, f.stage}];
+
+  const Classification c = model_->classify(f);
+  stage_stats.n++;
+  if (c.flow_outlier) {
+    stage_stats.flow_outliers++;
+    if (stage_stats.example_flow_outlier.empty())
+      stage_stats.example_flow_outlier = f.signature;
+  }
+  if (c.new_signature) {
+    auto& fresh = stage_stats.new_signatures;
+    if (std::find(fresh.begin(), fresh.end(), f.signature) == fresh.end())
+      fresh.push_back(f.signature);
+  }
+  auto& sig_stats = stage_stats.per_signature[f.signature];
+  sig_stats.n++;
+  sig_stats.perf_applicable = c.perf_applicable;
+  if (c.perf_outlier) sig_stats.perf_outliers++;
+  ingested_++;
+}
+
+std::vector<Anomaly> AnomalyDetector::advance_to(UsTime now) {
+  std::vector<Anomaly> out;
+  while (!open_windows_.empty()) {
+    auto it = open_windows_.begin();
+    const UsTime window_end =
+        static_cast<UsTime>(it->first + 1) * config_.window;
+    if (window_end > now) break;
+    auto produced = close_window(it->first, it->second);
+    out.insert(out.end(), produced.begin(), produced.end());
+    next_window_to_close_ = it->first + 1;
+    open_windows_.erase(it);
+  }
+  return out;
+}
+
+std::vector<Anomaly> AnomalyDetector::finish() {
+  std::vector<Anomaly> out;
+  for (auto& [index, stats] : open_windows_) {
+    auto produced = close_window(index, stats);
+    out.insert(out.end(), produced.begin(), produced.end());
+    next_window_to_close_ = index + 1;
+  }
+  open_windows_.clear();
+  return out;
+}
+
+std::vector<Anomaly> AnomalyDetector::close_window(std::size_t index,
+                                                   WindowStats& stats) {
+  std::vector<Anomaly> out;
+
+  double alpha = config_.alpha;
+  if (config_.bonferroni) {
+    // Count the hypothesis tests this window will run: one flow test per
+    // (host, stage) with outliers, one perf test per applicable signature
+    // with outliers.
+    std::size_t tests = 0;
+    for (const auto& [key, stage_stats] : stats) {
+      if (stage_stats.flow_outliers > 0) tests++;
+      for (const auto& [sig, sig_stats] : stage_stats.per_signature) {
+        if (sig_stats.perf_applicable && sig_stats.perf_outliers > 0) tests++;
+      }
+    }
+    if (tests > 1) alpha /= static_cast<double>(tests);
+  }
+
+  for (auto& [key, stage_stats] : stats) {
+    const auto [host, stage] = key;
+    const StageModel* sm = model_->stage_model(stage);
+    const double train_flow_rate = sm ? sm->train_flow_outlier_rate : 0.0;
+
+    // ---- Flow anomaly ---------------------------------------------------
+    Anomaly flow;
+    flow.window = index;
+    flow.window_start = static_cast<UsTime>(index) * config_.window;
+    flow.host = host;
+    flow.stage = stage;
+    flow.kind = AnomalyKind::kFlow;
+    flow.n = stage_stats.n;
+    flow.outliers = stage_stats.flow_outliers;
+    flow.proportion = stage_stats.n > 0
+                          ? static_cast<double>(stage_stats.flow_outliers) /
+                                static_cast<double>(stage_stats.n)
+                          : 0.0;
+    flow.train_proportion = train_flow_rate;
+    flow.example_signature = stage_stats.example_flow_outlier;
+
+    bool flow_anomalous = false;
+    if (config_.new_signature_is_anomaly && !stage_stats.new_signatures.empty()) {
+      flow_anomalous = true;
+      flow.due_to_new_signature = true;
+      flow.example_signature = stage_stats.new_signatures.front();
+      flow.p_value = 0.0;  // condition (ii): categorical, not a test
+    } else if (stage_stats.flow_outliers > 0) {
+      const auto result = stats::proportion_above(
+          stage_stats.flow_outliers, stage_stats.n, train_flow_rate, alpha,
+          config_.test_kind, config_.min_n);
+      flow.p_value = result.p_value;
+      flow_anomalous = result.reject;
+    }
+    if (flow_anomalous) out.push_back(flow);
+
+    // ---- Performance anomaly ---------------------------------------------
+    // Tested per signature; the stage is anomalous if any signature rejects.
+    bool perf_anomalous = false;
+    Anomaly perf;
+    perf.window = index;
+    perf.window_start = flow.window_start;
+    perf.host = host;
+    perf.stage = stage;
+    perf.kind = AnomalyKind::kPerformance;
+    perf.p_value = 1.0;
+    if (sm != nullptr) {
+      for (const auto& [sig, sig_stats] : stage_stats.per_signature) {
+        if (!sig_stats.perf_applicable || sig_stats.perf_outliers == 0)
+          continue;
+        const auto trained = sm->signatures.find(sig);
+        if (trained == sm->signatures.end()) continue;
+        const auto result = stats::proportion_above(
+            sig_stats.perf_outliers, sig_stats.n,
+            trained->second.train_perf_outlier_rate, alpha,
+            config_.test_kind, config_.min_n);
+        if (result.reject && result.p_value <= perf.p_value) {
+          perf_anomalous = true;
+          perf.p_value = result.p_value;
+          perf.n = sig_stats.n;
+          perf.outliers = sig_stats.perf_outliers;
+          perf.proportion = static_cast<double>(sig_stats.perf_outliers) /
+                            static_cast<double>(sig_stats.n);
+          perf.train_proportion = trained->second.train_perf_outlier_rate;
+          perf.example_signature = sig;
+        }
+      }
+    }
+    if (perf_anomalous) out.push_back(perf);
+  }
+  return out;
+}
+
+}  // namespace saad::core

@@ -1,0 +1,29 @@
+// Identifier types shared across the SAAD core.
+//
+// Log points and stages are pre-assigned small dense integers by the
+// instrumentation pass (paper §3.2.2), which keeps per-task tracking to a few
+// array/hash operations and the synopsis to a few tens of bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace saad::core {
+
+/// Identifies a log statement site in the server source.
+using LogPointId = std::uint16_t;
+
+/// Identifies a stage (code module executed by pooled/spawned threads).
+using StageId = std::uint16_t;
+
+/// Identifies a host (node) in the cluster. The tracker runs per host; the
+/// centralized analyzer distinguishes stage instances per host (Fig. 9/10
+/// label rows "Stage(host)").
+using HostId = std::uint16_t;
+
+/// Unique id per task, assigned by the tracker at task start.
+using TaskUid = std::uint64_t;
+
+inline constexpr LogPointId kInvalidLogPoint = 0xFFFF;
+inline constexpr StageId kInvalidStage = 0xFFFF;
+
+}  // namespace saad::core

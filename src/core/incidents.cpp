@@ -1,0 +1,76 @@
+#include "core/incidents.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/report.h"
+
+namespace saad::core {
+
+std::vector<Incident> group_incidents(const std::vector<Anomaly>& anomalies,
+                                      std::size_t max_gap_windows) {
+  // Bucket by identity, then sweep windows in order.
+  using Key = std::tuple<HostId, StageId, AnomalyKind>;
+  std::map<Key, std::vector<const Anomaly*>> buckets;
+  for (const auto& a : anomalies)
+    buckets[{a.host, a.stage, a.kind}].push_back(&a);
+
+  std::vector<Incident> incidents;
+  for (auto& [key, list] : buckets) {
+    std::sort(list.begin(), list.end(),
+              [](const Anomaly* a, const Anomaly* b) {
+                return a->window < b->window;
+              });
+    Incident current;
+    bool open = false;
+    auto flush = [&] {
+      if (open) incidents.push_back(current);
+      open = false;
+    };
+    for (const Anomaly* a : list) {
+      if (open && a->window > current.last_window + max_gap_windows + 1) {
+        flush();
+      }
+      if (!open) {
+        current = Incident{};
+        current.host = a->host;
+        current.stage = a->stage;
+        current.kind = a->kind;
+        current.first_window = a->window;
+        current.last_window = a->window;
+        open = true;
+      }
+      current.last_window = a->window;
+      current.windows++;
+      current.any_new_signature |= a->due_to_new_signature;
+      if (a->p_value <= current.min_p_value) {
+        current.min_p_value = a->p_value;
+        current.example_signature = a->example_signature;
+      }
+    }
+    flush();
+  }
+  std::sort(incidents.begin(), incidents.end(),
+            [](const Incident& a, const Incident& b) {
+              if (a.first_window != b.first_window)
+                return a.first_window < b.first_window;
+              if (a.host != b.host) return a.host < b.host;
+              return a.stage < b.stage;
+            });
+  return incidents;
+}
+
+std::string describe(const Incident& incident, const LogRegistry& registry) {
+  char buf[160];
+  std::snprintf(
+      buf, sizeof(buf), "windows %zu-%zu (%zu flagged): %s %s%s, p<=%.2g",
+      incident.first_window, incident.last_window, incident.windows,
+      incident.kind == AnomalyKind::kFlow ? "FLOW" : "PERF",
+      stage_host_label(registry, incident.stage, incident.host).c_str(),
+      incident.any_new_signature ? ", new signature" : "",
+      incident.min_p_value);
+  return buf;
+}
+
+}  // namespace saad::core

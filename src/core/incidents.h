@@ -1,0 +1,40 @@
+// Incident grouping: collapse per-window anomalies into contiguous bands per
+// (host, stage, kind) — the horizontal bars a human reads off the paper's
+// Fig. 9/10 timelines. Operators page on incidents, not on every one-minute
+// re-confirmation of the same problem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/log_registry.h"
+
+namespace saad::core {
+
+struct Incident {
+  HostId host = 0;
+  StageId stage = kInvalidStage;
+  AnomalyKind kind = AnomalyKind::kFlow;
+  std::size_t first_window = 0;
+  std::size_t last_window = 0;  // inclusive
+  std::size_t windows = 0;      // windows actually flagged within the band
+  bool any_new_signature = false;
+  double min_p_value = 1.0;
+  Signature example_signature;  // from the band's most significant anomaly
+
+  std::size_t span() const { return last_window - first_window + 1; }
+};
+
+/// Groups anomalies (any order) into incidents. Two anomalies of the same
+/// (host, stage, kind) belong to the same incident when their windows are at
+/// most `max_gap_windows` apart. Result is sorted by first window, then
+/// host, then stage.
+std::vector<Incident> group_incidents(const std::vector<Anomaly>& anomalies,
+                                      std::size_t max_gap_windows = 1);
+
+/// One line per incident, e.g.
+///   "minutes 30-40 (10 windows): FLOW Table(4), new signature, p<=1e-12".
+std::string describe(const Incident& incident, const LogRegistry& registry);
+
+}  // namespace saad::core

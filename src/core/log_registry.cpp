@@ -1,0 +1,165 @@
+#include "core/log_registry.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/varint.h"
+
+namespace saad::core {
+
+std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+StageId LogRegistry::register_stage(std::string name) {
+  std::lock_guard lock(mu_);
+  if (stages_.size() >= kInvalidStage)
+    throw std::length_error("too many stages");
+  StageInfo info;
+  info.id = static_cast<StageId>(stages_.size());
+  info.name = std::move(name);
+  stages_.push_back(std::move(info));
+  return stages_.back().id;
+}
+
+LogPointId LogRegistry::register_log_point(StageId stage, Level level,
+                                           std::string template_text,
+                                           std::string file, int line) {
+  std::lock_guard lock(mu_);
+  if (points_.size() >= kInvalidLogPoint)
+    throw std::length_error("too many log points");
+  LogPointInfo info;
+  info.id = static_cast<LogPointId>(points_.size());
+  info.stage = stage;
+  info.level = level;
+  info.template_text = std::move(template_text);
+  info.file = std::move(file);
+  info.line = line;
+  points_.push_back(std::move(info));
+  return points_.back().id;
+}
+
+const StageInfo& LogRegistry::stage(StageId id) const {
+  std::lock_guard lock(mu_);
+  assert(id < stages_.size());
+  return stages_[id];
+}
+
+const LogPointInfo& LogRegistry::log_point(LogPointId id) const {
+  std::lock_guard lock(mu_);
+  assert(id < points_.size());
+  return points_[id];
+}
+
+StageId LogRegistry::find_stage(std::string_view name) const {
+  std::lock_guard lock(mu_);
+  for (const auto& s : stages_)
+    if (s.name == name) return s.id;
+  return kInvalidStage;
+}
+
+std::size_t LogRegistry::num_stages() const {
+  std::lock_guard lock(mu_);
+  return stages_.size();
+}
+
+std::size_t LogRegistry::num_log_points() const {
+  std::lock_guard lock(mu_);
+  return points_.size();
+}
+
+std::vector<LogPointId> LogRegistry::log_points_of(StageId stage) const {
+  std::lock_guard lock(mu_);
+  std::vector<LogPointId> out;
+  for (const auto& p : points_)
+    if (p.stage == stage) out.push_back(p.id);
+  return out;
+}
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'A', 'A', 'D', 'R', 'E', 'G', '1'};
+
+void put_string(const std::string& s, std::vector<std::uint8_t>& out) {
+  put_varint(s.size(), out);
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+bool get_string(std::span<const std::uint8_t>& in, std::string& s) {
+  std::uint64_t len = 0;
+  if (!get_varint(in, len) || len > in.size() || len > 0x100000) return false;
+  s.assign(reinterpret_cast<const char*>(in.data()), len);
+  in = in.subspan(len);
+  return true;
+}
+
+}  // namespace
+
+void LogRegistry::save(std::vector<std::uint8_t>& out) const {
+  std::lock_guard lock(mu_);
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  put_varint(stages_.size(), out);
+  for (const auto& stage : stages_) put_string(stage.name, out);
+  put_varint(points_.size(), out);
+  for (const auto& point : points_) {
+    put_varint(point.stage, out);
+    put_varint(static_cast<std::uint64_t>(point.level), out);
+    put_string(point.template_text, out);
+    put_string(point.file, out);
+    put_varint(static_cast<std::uint64_t>(std::max(point.line, 0)), out);
+  }
+}
+
+bool LogRegistry::load(std::span<const std::uint8_t> in) {
+  if (in.size() < sizeof(kMagic) ||
+      std::memcmp(in.data(), kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  in = in.subspan(sizeof(kMagic));
+
+  std::vector<StageInfo> stages;
+  std::vector<LogPointInfo> points;
+  std::uint64_t n = 0;
+  if (!get_varint(in, n) || n > kInvalidStage) return false;
+  stages.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    StageInfo info;
+    info.id = static_cast<StageId>(i);
+    if (!get_string(in, info.name)) return false;
+    stages.push_back(std::move(info));
+  }
+  if (!get_varint(in, n) || n > kInvalidLogPoint) return false;
+  points.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    LogPointInfo info;
+    info.id = static_cast<LogPointId>(i);
+    std::uint64_t v = 0;
+    if (!get_varint(in, v) || v >= stages.size()) return false;
+    info.stage = static_cast<StageId>(v);
+    if (!get_varint(in, v) || v > 3) return false;
+    info.level = static_cast<Level>(v);
+    if (!get_string(in, info.template_text)) return false;
+    if (!get_string(in, info.file)) return false;
+    if (!get_varint(in, v)) return false;
+    info.line = static_cast<int>(v);
+    points.push_back(std::move(info));
+  }
+
+  std::lock_guard lock(mu_);
+  stages_ = std::move(stages);
+  points_ = std::move(points);
+  return true;
+}
+
+}  // namespace saad::core

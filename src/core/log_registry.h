@@ -1,0 +1,81 @@
+// Log-point and stage registry: the C++ equivalent of the paper's static
+// pre-processing pass (§3.2.2, §4.1.1).
+//
+// The paper's Ruby scripts rewrite Java sources to pass a unique id at every
+// log statement and to mark stage beginnings. Here, server code registers its
+// stages and log points once at construction; the registry hands out dense
+// ids and keeps the *log template dictionary* (static text of each statement,
+// source location, level) used for anomaly reporting and for the text-mining
+// baseline.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace saad::core {
+
+/// Severity levels, mirroring log4j's subset that matters here.
+enum class Level : std::uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+std::string_view level_name(Level level);
+
+struct LogPointInfo {
+  LogPointId id = kInvalidLogPoint;
+  StageId stage = kInvalidStage;  // stage whose code contains the statement
+  Level level = Level::kDebug;
+  std::string template_text;  // static portion, e.g. "Receiving block blk_%"
+  std::string file;           // source location, for the dictionary
+  int line = 0;
+};
+
+struct StageInfo {
+  StageId id = kInvalidStage;
+  std::string name;
+};
+
+/// Thread-safe append-only registry. Registration happens at system
+/// construction; lookups afterwards are lock-free reads in practice but we
+/// keep the mutex for correctness under concurrent late registration.
+class LogRegistry {
+ public:
+  StageId register_stage(std::string name);
+  LogPointId register_log_point(StageId stage, Level level,
+                                std::string template_text,
+                                std::string file = {}, int line = 0);
+
+  const StageInfo& stage(StageId id) const;
+  const LogPointInfo& log_point(LogPointId id) const;
+
+  /// Name lookup; returns kInvalidStage when absent.
+  StageId find_stage(std::string_view name) const;
+
+  std::size_t num_stages() const;
+  std::size_t num_log_points() const;
+
+  /// All log points belonging to a stage, in registration order.
+  std::vector<LogPointId> log_points_of(StageId stage) const;
+
+  // ---- Persistence ----------------------------------------------------------
+  // The registry is the log template dictionary (paper §4.1.1): produced by
+  // the instrumentation pass, shipped to wherever anomalies are inspected.
+
+  /// Appends a self-contained binary encoding to `out`.
+  void save(std::vector<std::uint8_t>& out) const;
+
+  /// Replaces this registry's contents with a dictionary produced by
+  /// save(). False (and unchanged contents) on malformed input.
+  bool load(std::span<const std::uint8_t> in);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<StageInfo> stages_;
+  std::vector<LogPointInfo> points_;
+};
+
+}  // namespace saad::core

@@ -1,0 +1,65 @@
+#include "core/logger.h"
+
+#include <cassert>
+
+#include "core/tracker.h"
+
+namespace saad::core {
+
+void CountingSink::write(Level level, LogPointId, std::string_view message) {
+  auto& slot = per_level_[static_cast<std::size_t>(level)];
+  slot.messages.fetch_add(1, std::memory_order_relaxed);
+  // +1 for the newline a file appender would add.
+  slot.bytes.fetch_add(message.size() + 1, std::memory_order_relaxed);
+}
+
+std::uint64_t CountingSink::messages(Level level) const {
+  return per_level_[static_cast<std::size_t>(level)].messages.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t CountingSink::bytes(Level level) const {
+  return per_level_[static_cast<std::size_t>(level)].bytes.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t CountingSink::total_messages() const {
+  std::uint64_t sum = 0;
+  for (const auto& slot : per_level_)
+    sum += slot.messages.load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::uint64_t CountingSink::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& slot : per_level_)
+    sum += slot.bytes.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void MemorySink::write(Level level, LogPointId point,
+                       std::string_view message) {
+  std::lock_guard lock(mu_);
+  lines_.push_back(Line{level, point, std::string(message)});
+  bytes_ += message.size() + 1;
+}
+
+void MemorySink::clear() {
+  std::lock_guard lock(mu_);
+  lines_.clear();
+  bytes_ = 0;
+}
+
+Logger::Logger(const LogRegistry* registry, LogSink* sink, Level threshold)
+    : registry_(registry), sink_(sink), threshold_(threshold) {
+  assert(registry_ != nullptr && sink_ != nullptr);
+}
+
+void Logger::log(LogPointId point, std::string_view message) {
+  // Tracepoint first: SAAD observes every log call, whatever the verbosity.
+  if (tracker_ != nullptr) tracker_->on_log(point);
+  const Level level = registry_->log_point(point).level;
+  if (level >= threshold_) sink_->write(level, point, message);
+}
+
+}  // namespace saad::core

@@ -1,0 +1,115 @@
+// Logger shim: the thin layer the paper inserts between server code and
+// log4j (§4.1). Every log call carries its pre-assigned LogPointId.
+//
+// Two things happen on each call:
+//  1. Tracepoint: the call is reported to the host's TaskExecutionTracker
+//     regardless of verbosity — SAAD uses DEBUG statements as tracepoints even
+//     when their text is never rendered or written (that is the whole point:
+//     DEBUG-level insight at INFO-level cost).
+//  2. Logging: if the statement's level passes the logger's threshold, the
+//     rendered message is handed to the sink (file emulation, counting, ...).
+//
+// Rendering is the caller's job and should be guarded with `writes(level)` so
+// the DEBUG formatting cost is not paid when DEBUG text is off — mirroring
+// log4j's isDebugEnabled() idiom that the paper's instrumentation preserves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/log_registry.h"
+
+namespace saad::core {
+
+class TaskExecutionTracker;
+
+/// Where rendered log text goes. Implementations must be thread-safe.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void write(Level level, LogPointId point,
+                     std::string_view message) = 0;
+};
+
+/// Discards everything (still counts bytes for volume accounting).
+class NullSink final : public LogSink {
+ public:
+  void write(Level, LogPointId, std::string_view) override {}
+};
+
+/// Counts messages and bytes per level; used for the Fig. 8 volume study.
+class CountingSink final : public LogSink {
+ public:
+  void write(Level level, LogPointId point, std::string_view message) override;
+
+  std::uint64_t messages(Level level) const;
+  std::uint64_t bytes(Level level) const;
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes() const;
+
+ private:
+  struct PerLevel {
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+  PerLevel per_level_[4];
+};
+
+/// Retains every rendered line (with level and point) in memory; feeds the
+/// text-mining baseline. Not for long real-thread runs.
+class MemorySink final : public LogSink {
+ public:
+  struct Line {
+    Level level;
+    LogPointId point;
+    std::string text;
+  };
+
+  void write(Level level, LogPointId point, std::string_view message) override;
+
+  const std::vector<Line>& lines() const { return lines_; }
+  std::uint64_t total_bytes() const { return bytes_; }
+  void clear();
+
+ private:
+  std::mutex mu_;
+  std::vector<Line> lines_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Per-host logger. Cheap to call; hot path is two branches plus the tracker
+/// update.
+class Logger {
+ public:
+  Logger(const LogRegistry* registry, LogSink* sink, Level threshold);
+
+  /// True when text at `level` will actually be written — use to guard
+  /// message rendering (the isDebugEnabled() idiom).
+  bool writes(Level level) const { return level >= threshold_; }
+
+  void set_threshold(Level level) { threshold_ = level; }
+  Level threshold() const { return threshold_; }
+
+  /// Attach / detach the task execution tracker (may be null: plain logging).
+  void set_tracker(TaskExecutionTracker* tracker) { tracker_ = tracker; }
+  TaskExecutionTracker* tracker() const { return tracker_; }
+
+  /// Log with pre-rendered text. `message` may be empty when the caller
+  /// skipped rendering because writes(level) was false; the tracepoint still
+  /// fires.
+  void log(LogPointId point, std::string_view message = {});
+
+  const LogRegistry& registry() const { return *registry_; }
+
+ private:
+  const LogRegistry* registry_;
+  LogSink* sink_;
+  Level threshold_;
+  TaskExecutionTracker* tracker_ = nullptr;
+};
+
+}  // namespace saad::core

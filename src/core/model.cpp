@@ -1,0 +1,109 @@
+#include "core/model.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+#include "stats/kfold.h"
+
+namespace saad::core {
+
+OutlierModel OutlierModel::train(std::span<const Synopsis> trace,
+                                 const TrainingConfig& config) {
+  OutlierModel model;
+  model.config_ = config;
+
+  // Pass 1: group durations per (stage, signature).
+  struct Group {
+    std::vector<double> durations;
+  };
+  std::unordered_map<StageId,
+                     std::unordered_map<Signature, Group, SignatureHash>>
+      groups;
+  for (const auto& synopsis : trace) {
+    const Feature f = make_feature(synopsis);
+    groups[f.stage][f.signature].durations.push_back(
+        static_cast<double>(f.duration));
+  }
+
+  for (auto& [stage_id, sig_groups] : groups) {
+    StageModel sm;
+    sm.stage = stage_id;
+    for (const auto& [sig, group] : sig_groups)
+      sm.task_count += group.durations.size();
+
+    std::uint64_t flow_outlier_tasks = 0;
+    for (auto& [sig, group] : sig_groups) {
+      SignatureStats ss;
+      ss.task_count = group.durations.size();
+      ss.share = static_cast<double>(ss.task_count) /
+                 static_cast<double>(sm.task_count);
+      ss.flow_outlier = ss.share < config.flow_share_threshold;
+      if (ss.flow_outlier) flow_outlier_tasks += ss.task_count;
+
+      // Performance threshold: quantile of training durations, gated by
+      // sample size and the cross-validated stability filter.
+      if (ss.task_count >= config.min_signature_samples) {
+        std::vector<double> sorted = group.durations;
+        std::sort(sorted.begin(), sorted.end());
+        const double threshold =
+            stats::percentile_sorted(sorted, config.duration_quantile);
+        ss.duration_threshold = static_cast<UsTime>(threshold);
+
+        std::uint64_t above = 0;
+        for (double d : sorted)
+          if (d > threshold) ++above;
+        ss.train_perf_outlier_rate =
+            static_cast<double>(above) / static_cast<double>(ss.task_count);
+
+        if (config.kfold_k >= 2) {
+          const auto stability = stats::kfold_quantile_stability(
+              group.durations, config.kfold_k, config.duration_quantile,
+              config.unstable_factor);
+          ss.perf_applicable = stability.stable;
+        } else {
+          ss.perf_applicable = true;
+        }
+      }
+      sm.signatures.emplace(sig, ss);
+    }
+    sm.train_flow_outlier_rate =
+        sm.task_count > 0 ? static_cast<double>(flow_outlier_tasks) /
+                                static_cast<double>(sm.task_count)
+                          : 0.0;
+    model.trained_tasks_ += sm.task_count;
+    model.stages_.emplace(stage_id, std::move(sm));
+  }
+  return model;
+}
+
+Classification OutlierModel::classify(const Feature& feature) const {
+  Classification c;
+  const auto stage_it = stages_.find(feature.stage);
+  if (stage_it == stages_.end()) {
+    // A stage never seen in training: every task is a new flow.
+    c.new_signature = true;
+    c.flow_outlier = true;
+    return c;
+  }
+  c.known_stage = true;
+  const StageModel& sm = stage_it->second;
+  const auto sig_it = sm.signatures.find(feature.signature);
+  if (sig_it == sm.signatures.end()) {
+    c.new_signature = true;
+    c.flow_outlier = true;
+    return c;
+  }
+  const SignatureStats& ss = sig_it->second;
+  c.flow_outlier = ss.flow_outlier;
+  c.perf_applicable = ss.perf_applicable;
+  if (ss.perf_applicable)
+    c.perf_outlier = feature.duration > ss.duration_threshold;
+  return c;
+}
+
+const StageModel* OutlierModel::stage_model(StageId stage) const {
+  const auto it = stages_.find(stage);
+  return it == stages_.end() ? nullptr : &it->second;
+}
+
+}  // namespace saad::core

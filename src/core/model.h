@@ -1,0 +1,104 @@
+// Trained outlier model (paper §3.3.2): built offline from a fault-free trace
+// of task synopses, then queried online by the detector.
+//
+// Training is deliberately limited to counting and percentiles:
+//  * per stage, signatures are ranked by task share; signatures below the
+//    share threshold (default 1%, i.e. the paper's "99th percentile rank")
+//    are *flow outliers*;
+//  * per (stage, signature), the duration_quantile (default 99th percentile)
+//    of task durations is the *performance outlier* threshold;
+//  * signatures whose duration distribution cannot support that threshold
+//    (k-fold cross-validated held-out outlier rate > unstable_factor x the
+//    nominal tail) are discarded for performance detection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/feature.h"
+
+namespace saad::core {
+
+struct TrainingConfig {
+  /// Signatures accounting for less than this share of a stage's tasks are
+  /// flow outliers (paper example: 99th-percentile rank == share < 1%).
+  double flow_share_threshold = 0.01;
+
+  /// Quantile of per-(stage, signature) durations used as the performance
+  /// outlier threshold.
+  double duration_quantile = 0.99;
+
+  /// k for the cross-validated stability filter; k < 2 disables the filter.
+  std::size_t kfold_k = 5;
+
+  /// A signature is unstable (excluded from performance detection) when its
+  /// mean held-out outlier rate exceeds unstable_factor x (1 - quantile).
+  double unstable_factor = 2.0;
+
+  /// Signatures with fewer training tasks than this are excluded from
+  /// performance detection (too little data for a tail threshold).
+  std::size_t min_signature_samples = 50;
+};
+
+struct SignatureStats {
+  std::uint64_t task_count = 0;
+  double share = 0.0;           // of the stage's training tasks
+  bool flow_outlier = false;    // rare flow in training
+  bool perf_applicable = false; // stable enough for duration thresholding
+  UsTime duration_threshold = 0;
+  double train_perf_outlier_rate = 0.0;  // empirical, measured on training
+};
+
+struct StageModel {
+  StageId stage = kInvalidStage;
+  std::uint64_t task_count = 0;
+  double train_flow_outlier_rate = 0.0;
+  std::unordered_map<Signature, SignatureStats, SignatureHash> signatures;
+};
+
+/// How the model classifies a single task.
+struct Classification {
+  bool known_stage = false;     // stage present in training
+  bool new_signature = false;   // never seen in training (strong flow signal)
+  bool flow_outlier = false;    // rare-in-training signature (incl. new)
+  bool perf_applicable = false; // duration test meaningful for this signature
+  bool perf_outlier = false;    // duration above the trained threshold
+};
+
+class OutlierModel {
+ public:
+  /// Trains from a fault-free trace. Signatures are pooled across hosts:
+  /// the statistical strength comes from comparing the many instances of the
+  /// same stage within and across nodes (paper §2).
+  static OutlierModel train(std::span<const Synopsis> trace,
+                            const TrainingConfig& config = {});
+
+  Classification classify(const Feature& feature) const;
+
+  const StageModel* stage_model(StageId stage) const;
+  const TrainingConfig& config() const { return config_; }
+  std::size_t num_stages() const { return stages_.size(); }
+
+  /// Total training tasks across stages.
+  std::uint64_t trained_tasks() const { return trained_tasks_; }
+
+  // ---- Persistence ----------------------------------------------------------
+  // Train once (e.g. from an overnight fault-free trace), deploy many times:
+  // the serialized model is a few KB and loads in microseconds.
+
+  /// Appends a self-contained binary encoding of the model to `out`.
+  void save(std::vector<std::uint8_t>& out) const;
+
+  /// Decodes a model produced by save(). nullopt on malformed input.
+  static std::optional<OutlierModel> load(std::span<const std::uint8_t> in);
+
+ private:
+  TrainingConfig config_;
+  std::unordered_map<StageId, StageModel> stages_;
+  std::uint64_t trained_tasks_ = 0;
+};
+
+}  // namespace saad::core

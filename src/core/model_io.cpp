@@ -1,0 +1,116 @@
+// Binary persistence for OutlierModel (declared in model.h).
+//
+// Format (all integers varint, all rates IEEE-754 doubles):
+//   magic "SAADMDL1"
+//   config: flow_share_threshold, duration_quantile, kfold_k,
+//           unstable_factor, min_signature_samples
+//   trained_tasks, num_stages
+//   per stage: stage_id, task_count, train_flow_outlier_rate, num_signatures
+//     per signature: point count, delta-encoded points, task_count, share,
+//       flags (flow_outlier | perf_applicable << 1), duration_threshold,
+//       train_perf_outlier_rate
+#include <cstring>
+
+#include "core/model.h"
+#include "core/varint.h"
+
+namespace saad::core {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'A', 'A', 'D', 'M', 'D', 'L', '1'};
+}
+
+void OutlierModel::save(std::vector<std::uint8_t>& out) const {
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  put_double(config_.flow_share_threshold, out);
+  put_double(config_.duration_quantile, out);
+  put_varint(config_.kfold_k, out);
+  put_double(config_.unstable_factor, out);
+  put_varint(config_.min_signature_samples, out);
+
+  put_varint(trained_tasks_, out);
+  put_varint(stages_.size(), out);
+  for (const auto& [stage_id, sm] : stages_) {
+    put_varint(stage_id, out);
+    put_varint(sm.task_count, out);
+    put_double(sm.train_flow_outlier_rate, out);
+    put_varint(sm.signatures.size(), out);
+    for (const auto& [sig, ss] : sm.signatures) {
+      put_varint(sig.points().size(), out);
+      LogPointId prev = 0;
+      for (const LogPointId p : sig.points()) {
+        put_varint(static_cast<std::uint64_t>(p - prev), out);
+        prev = p;
+      }
+      put_varint(ss.task_count, out);
+      put_double(ss.share, out);
+      const std::uint64_t flags =
+          (ss.flow_outlier ? 1u : 0u) | (ss.perf_applicable ? 2u : 0u);
+      put_varint(flags, out);
+      put_varint(zigzag(ss.duration_threshold), out);
+      put_double(ss.train_perf_outlier_rate, out);
+    }
+  }
+}
+
+std::optional<OutlierModel> OutlierModel::load(
+    std::span<const std::uint8_t> in) {
+  if (in.size() < sizeof(kMagic) ||
+      std::memcmp(in.data(), kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  in = in.subspan(sizeof(kMagic));
+
+  OutlierModel model;
+  std::uint64_t v = 0;
+  if (!get_double(in, model.config_.flow_share_threshold)) return std::nullopt;
+  if (!get_double(in, model.config_.duration_quantile)) return std::nullopt;
+  if (!get_varint(in, v)) return std::nullopt;
+  model.config_.kfold_k = static_cast<std::size_t>(v);
+  if (!get_double(in, model.config_.unstable_factor)) return std::nullopt;
+  if (!get_varint(in, v)) return std::nullopt;
+  model.config_.min_signature_samples = static_cast<std::size_t>(v);
+
+  if (!get_varint(in, model.trained_tasks_)) return std::nullopt;
+  std::uint64_t num_stages = 0;
+  if (!get_varint(in, num_stages) || num_stages > 0x10000) return std::nullopt;
+  for (std::uint64_t s = 0; s < num_stages; ++s) {
+    StageModel sm;
+    if (!get_varint(in, v) || v > 0xFFFF) return std::nullopt;
+    sm.stage = static_cast<StageId>(v);
+    if (!get_varint(in, sm.task_count)) return std::nullopt;
+    if (!get_double(in, sm.train_flow_outlier_rate)) return std::nullopt;
+    std::uint64_t num_sigs = 0;
+    if (!get_varint(in, num_sigs) || num_sigs > 0x100000) return std::nullopt;
+    for (std::uint64_t g = 0; g < num_sigs; ++g) {
+      std::uint64_t num_points = 0;
+      if (!get_varint(in, num_points) || num_points > 0x10000)
+        return std::nullopt;
+      std::vector<LogPointId> points;
+      points.reserve(num_points);
+      std::uint64_t prev = 0;
+      for (std::uint64_t p = 0; p < num_points; ++p) {
+        std::uint64_t delta = 0;
+        if (!get_varint(in, delta)) return std::nullopt;
+        prev += delta;
+        if (prev > 0xFFFF) return std::nullopt;
+        points.push_back(static_cast<LogPointId>(prev));
+      }
+      SignatureStats ss;
+      if (!get_varint(in, ss.task_count)) return std::nullopt;
+      if (!get_double(in, ss.share)) return std::nullopt;
+      std::uint64_t flags = 0;
+      if (!get_varint(in, flags)) return std::nullopt;
+      ss.flow_outlier = (flags & 1u) != 0;
+      ss.perf_applicable = (flags & 2u) != 0;
+      if (!get_varint(in, v)) return std::nullopt;
+      ss.duration_threshold = unzigzag(v);
+      if (!get_double(in, ss.train_perf_outlier_rate)) return std::nullopt;
+      sm.signatures.emplace(Signature(std::move(points)), ss);
+    }
+    model.stages_.emplace(sm.stage, std::move(sm));
+  }
+  return model;
+}
+
+}  // namespace saad::core

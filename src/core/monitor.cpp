@@ -1,0 +1,75 @@
+#include "core/monitor.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "core/log_registry.h"
+
+namespace saad::core {
+
+Monitor::Monitor(const LogRegistry* registry, const Clock* clock)
+    : registry_(registry), clock_(clock) {
+  assert(registry_ != nullptr && clock_ != nullptr);
+}
+
+TaskExecutionTracker& Monitor::tracker(HostId host) {
+  if (host >= trackers_.size()) trackers_.resize(host + 1);
+  if (trackers_[host] == nullptr) {
+    trackers_[host] = std::make_unique<TaskExecutionTracker>(
+        host, clock_, [this](const Synopsis& s) { channel_.push(s); });
+  }
+  return *trackers_[host];
+}
+
+void Monitor::start_training() {
+  // Discard anything queued before training formally began.
+  std::vector<Synopsis> scratch;
+  channel_.drain(scratch);
+  training_trace_.clear();
+  mode_ = Mode::kTraining;
+}
+
+void Monitor::train(const TrainingConfig& config) {
+  if (mode_ != Mode::kTraining)
+    throw std::logic_error("Monitor::train without start_training");
+  channel_.drain(training_trace_);
+  model_ = std::make_unique<OutlierModel>(
+      OutlierModel::train(training_trace_, config));
+  mode_ = Mode::kIdle;
+}
+
+void Monitor::set_model(OutlierModel model) {
+  model_ = std::make_unique<OutlierModel>(std::move(model));
+}
+
+void Monitor::arm(const DetectorConfig& config) {
+  if (model_ == nullptr)
+    throw std::logic_error("Monitor::arm requires a trained model");
+  // Drop synopses produced between training and arming.
+  std::vector<Synopsis> scratch;
+  channel_.drain(scratch);
+  detector_ = std::make_unique<AnomalyDetector>(model_.get(), config);
+  mode_ = Mode::kDetecting;
+}
+
+std::vector<Anomaly> Monitor::poll(UsTime now) {
+  std::vector<Synopsis> batch;
+  channel_.drain(batch);
+  if (mode_ == Mode::kTraining) {
+    training_trace_.insert(training_trace_.end(), batch.begin(), batch.end());
+    return {};
+  }
+  if (mode_ != Mode::kDetecting) return {};
+  for (const auto& s : batch) detector_->ingest(s);
+  return detector_->advance_to(now);
+}
+
+std::vector<Anomaly> Monitor::finish() {
+  if (detector_ == nullptr) return {};
+  auto out = poll(clock_->now());
+  auto tail = detector_->finish();
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+}  // namespace saad::core

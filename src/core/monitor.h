@@ -1,0 +1,74 @@
+// Monitor: the end-to-end SAAD facade (Fig. 5). Wires per-host task execution
+// trackers through the synopsis channel into either a training trace capture
+// or the armed anomaly detector.
+//
+// Lifecycle:
+//   Monitor mon(&registry, &clock);
+//   auto& tracker = mon.tracker(host);      // attach to the host's Logger
+//   mon.start_training();
+//   ... run fault-free workload ...
+//   mon.train(training_config);             // builds the outlier model
+//   mon.arm(detector_config);               // switch to detection
+//   ... run workload; periodically: auto anomalies = mon.poll(clock.now());
+//   auto tail = mon.finish();
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/detector.h"
+#include "core/tracker.h"
+
+namespace saad::core {
+
+class LogRegistry;
+
+class Monitor {
+ public:
+  Monitor(const LogRegistry* registry, const Clock* clock);
+
+  /// Tracker for `host`, created on first use. Stable address; attach it to
+  /// the host's Logger(s) via Logger::set_tracker.
+  TaskExecutionTracker& tracker(HostId host);
+
+  /// Start capturing the fault-free training trace.
+  void start_training();
+
+  /// Drain outstanding synopses into the training trace and build the model.
+  void train(const TrainingConfig& config = {});
+
+  /// Provide an externally trained model instead.
+  void set_model(OutlierModel model);
+  const OutlierModel* model() const { return model_.get(); }
+
+  /// Switch to detection. Requires a trained model.
+  void arm(const DetectorConfig& config = {});
+  bool armed() const { return detector_ != nullptr; }
+
+  /// Drain the channel; when armed, ingest and close windows ending <= now.
+  std::vector<Anomaly> poll(UsTime now);
+
+  /// Close all remaining windows.
+  std::vector<Anomaly> finish();
+
+  const std::vector<Synopsis>& training_trace() const {
+    return training_trace_;
+  }
+  const SynopsisChannel& channel() const { return channel_; }
+  const LogRegistry& registry() const { return *registry_; }
+
+ private:
+  enum class Mode { kIdle, kTraining, kDetecting };
+
+  const LogRegistry* registry_;
+  const Clock* clock_;
+  SynopsisChannel channel_;
+  std::vector<std::unique_ptr<TaskExecutionTracker>> trackers_;  // by host
+  std::vector<Synopsis> training_trace_;
+  std::unique_ptr<OutlierModel> model_;
+  std::unique_ptr<AnomalyDetector> detector_;
+  Mode mode_ = Mode::kIdle;
+};
+
+}  // namespace saad::core

@@ -1,0 +1,86 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace saad::core {
+
+std::string stage_host_label(const LogRegistry& registry, StageId stage,
+                             HostId host) {
+  std::string name = stage < registry.num_stages()
+                         ? registry.stage(stage).name
+                         : "stage#" + std::to_string(stage);
+  return name + "(" + std::to_string(host) + ")";
+}
+
+std::string describe(const Anomaly& anomaly, const LogRegistry& registry) {
+  std::ostringstream out;
+  out << "[min " << static_cast<long long>(to_min(anomaly.window_start))
+      << "] "
+      << (anomaly.kind == AnomalyKind::kFlow ? "FLOW" : "PERF") << " "
+      << stage_host_label(registry, anomaly.stage, anomaly.host) << ": ";
+  if (anomaly.due_to_new_signature) {
+    out << "new signature " << anomaly.example_signature.to_string() << "; ";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu/%llu outliers (p=%.4g, train=%.4g)",
+                static_cast<unsigned long long>(anomaly.outliers),
+                static_cast<unsigned long long>(anomaly.n), anomaly.p_value,
+                anomaly.train_proportion);
+  out << buf;
+  return out.str();
+}
+
+std::vector<std::string> signature_templates(const Signature& signature,
+                                             const LogRegistry& registry) {
+  std::vector<std::string> out;
+  out.reserve(signature.size());
+  for (LogPointId p : signature.points()) {
+    if (p < registry.num_log_points()) {
+      out.push_back(registry.log_point(p).template_text);
+    } else {
+      out.push_back("<unknown log point " + std::to_string(p) + ">");
+    }
+  }
+  return out;
+}
+
+std::string signature_comparison(const Signature& normal,
+                                 const Signature& anomalous,
+                                 const LogRegistry& registry) {
+  std::vector<LogPointId> all(normal.points());
+  all.insert(all.end(), anomalous.points().begin(), anomalous.points().end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  TextTable table({"Description of log statements", "Normal", "Anomalous"});
+  for (LogPointId p : all) {
+    const std::string text = p < registry.num_log_points()
+                                 ? registry.log_point(p).template_text
+                                 : "<log point " + std::to_string(p) + ">";
+    table.add_row({text, normal.contains(p) ? "x" : "",
+                   anomalous.contains(p) ? "x" : ""});
+  }
+  return table.to_string();
+}
+
+TimelineChart anomaly_timeline(const std::vector<Anomaly>& anomalies,
+                               const LogRegistry& registry,
+                               std::size_t num_windows, std::string title) {
+  TimelineChart chart(num_windows, std::move(title));
+  // Performance marks first, then flow marks so a co-located flow anomaly
+  // stays visible (flow is the stronger signal in the paper's narrative).
+  for (const auto& a : anomalies) {
+    if (a.kind != AnomalyKind::kPerformance) continue;
+    chart.mark(stage_host_label(registry, a.stage, a.host), a.window, 'P');
+  }
+  for (const auto& a : anomalies) {
+    if (a.kind != AnomalyKind::kFlow) continue;
+    chart.mark(stage_host_label(registry, a.stage, a.host), a.window,
+               a.due_to_new_signature ? 'N' : 'F');
+  }
+  return chart;
+}
+
+}  // namespace saad::core

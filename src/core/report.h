@@ -1,0 +1,41 @@
+// Anomaly reporting (paper §3.3.3 "Anomaly Reporting"): anomalies are
+// rendered for humans with stage names and the log templates of the
+// signature's log points — the semantics of the execution flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/detector.h"
+#include "core/log_registry.h"
+
+namespace saad::core {
+
+/// "Stage(host)" label used on the paper's timeline figures.
+std::string stage_host_label(const LogRegistry& registry, StageId stage,
+                             HostId host);
+
+/// One human-readable line per anomaly, e.g.
+///   [min 31] FLOW Table(4): new signature {1,2}; 14/120 outliers (p=0.000)
+std::string describe(const Anomaly& anomaly, const LogRegistry& registry);
+
+/// The log templates of a signature's points, in id order — what the paper's
+/// visualization shows the user for root-cause inspection.
+std::vector<std::string> signature_templates(const Signature& signature,
+                                             const LogRegistry& registry);
+
+/// Side-by-side template table in the style of the paper's Table 1: rows are
+/// the union of both signatures' log templates; columns mark membership.
+std::string signature_comparison(const Signature& normal,
+                                 const Signature& anomalous,
+                                 const LogRegistry& registry);
+
+/// Builds a Fig. 9/10-style timeline: rows are "Stage(host)" (first-anomaly
+/// order), columns are windows, markers: F = flow anomaly, P = performance
+/// anomaly, N = flow anomaly due to a new signature.
+TimelineChart anomaly_timeline(const std::vector<Anomaly>& anomalies,
+                               const LogRegistry& registry,
+                               std::size_t num_windows, std::string title);
+
+}  // namespace saad::core

@@ -1,0 +1,113 @@
+#include "core/report_html.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/report.h"
+
+namespace saad::core {
+
+namespace {
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+const char* cell_class(const Anomaly& a) {
+  if (a.kind == AnomalyKind::kPerformance) return "perf";
+  return a.due_to_new_signature ? "newsig" : "flow";
+}
+
+}  // namespace
+
+std::string render_html_report(const std::vector<Anomaly>& anomalies,
+                               const LogRegistry& registry,
+                               const HtmlReportOptions& options) {
+  std::ostringstream out;
+  out << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n<title>"
+      << escape(options.title) << "</title>\n<style>\n"
+      << "body{font-family:system-ui,sans-serif;margin:2em;color:#222}\n"
+      << "h1{font-size:1.4em} h2{font-size:1.1em;margin-top:2em}\n"
+      << "table{border-collapse:collapse;font-size:0.85em}\n"
+      << "td,th{border:1px solid #ddd;padding:2px 6px;text-align:left}\n"
+      << ".grid td{width:10px;height:14px;padding:0}\n"
+      << ".grid th{white-space:nowrap;font-weight:normal}\n"
+      << ".flow{background:#d9534f}.newsig{background:#8e44ad}"
+      << ".perf{background:#f0ad4e}\n"
+      << ".legend span{display:inline-block;width:12px;height:12px;"
+      << "margin:0 4px 0 12px;vertical-align:middle}\n"
+      << "details{margin:0.4em 0} summary{cursor:pointer}\n"
+      << "code{background:#f6f6f6;padding:1px 4px}\n"
+      << "</style></head><body>\n";
+  out << "<h1>" << escape(options.title) << "</h1>\n";
+  out << "<p>" << anomalies.size()
+      << " anomalies. <span class=\"legend\"><span class=\"flow\"></span>flow "
+      << "<span class=\"newsig\"></span>new signature "
+      << "<span class=\"perf\"></span>performance</span></p>\n";
+
+  // ---- Timeline grid -----------------------------------------------------
+  std::map<std::string, std::map<std::size_t, const Anomaly*>> rows;
+  for (const auto& a : anomalies) {
+    if (a.window >= options.num_windows) continue;
+    auto& row = rows[stage_host_label(registry, a.stage, a.host)];
+    const auto it = row.find(a.window);
+    // Flow anomalies win a shared cell (the stronger signal).
+    if (it == row.end() || a.kind == AnomalyKind::kFlow) row[a.window] = &a;
+  }
+  out << "<h2>Timeline (columns are windows)</h2>\n<table class=\"grid\">\n";
+  for (const auto& [label, cells] : rows) {
+    out << "<tr><th>" << escape(label) << "</th>";
+    for (std::size_t w = 0; w < options.num_windows; ++w) {
+      const auto it = cells.find(w);
+      if (it == cells.end()) {
+        out << "<td></td>";
+      } else {
+        out << "<td class=\"" << cell_class(*it->second) << "\" title=\""
+            << escape(describe(*it->second, registry)) << "\"></td>";
+      }
+    }
+    out << "</tr>\n";
+  }
+  out << "</table>\n";
+
+  // ---- Details -------------------------------------------------------------
+  out << "<h2>Anomalies</h2>\n";
+  std::size_t shown = 0;
+  for (const auto& a : anomalies) {
+    if (shown++ >= options.max_details) {
+      out << "<p>... " << (anomalies.size() - options.max_details)
+          << " more anomalies omitted.</p>\n";
+      break;
+    }
+    out << "<details><summary>" << escape(describe(a, registry))
+        << "</summary>\n<table><tr><th>log template</th></tr>\n";
+    for (const auto& text : signature_templates(a.example_signature, registry))
+      out << "<tr><td><code>" << escape(text) << "</code></td></tr>\n";
+    out << "</table></details>\n";
+  }
+  out << "</body></html>\n";
+  return out.str();
+}
+
+}  // namespace saad::core

@@ -1,0 +1,31 @@
+// Standalone HTML anomaly report — the reproduction's version of the paper's
+// visualization tool (§3.3.3 "Anomaly Reporting"): a per-stage/host timeline
+// grid plus, for each anomaly, the log templates of its signature so an
+// operator can read the semantics of the flow.
+//
+// The output is a single self-contained page (inline CSS, no scripts, no
+// external assets) safe to attach to an incident ticket.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/log_registry.h"
+
+namespace saad::core {
+
+struct HtmlReportOptions {
+  std::string title = "SAAD anomaly report";
+  /// Timeline columns (windows); window width is taken from the anomalies'
+  /// window_start / window values.
+  std::size_t num_windows = 60;
+  /// Cap on the detailed per-anomaly sections.
+  std::size_t max_details = 100;
+};
+
+std::string render_html_report(const std::vector<Anomaly>& anomalies,
+                               const LogRegistry& registry,
+                               const HtmlReportOptions& options = {});
+
+}  // namespace saad::core

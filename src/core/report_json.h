@@ -1,0 +1,33 @@
+// JSON export of anomalies and incidents — the machine-readable side of the
+// paper's anomaly reporting, for feeding alerting pipelines (PagerDuty-style
+// webhooks, log shippers) instead of humans. Self-contained: no JSON library
+// dependency, RFC 8259-conformant escaping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/incidents.h"
+#include "core/log_registry.h"
+
+namespace saad::core {
+
+/// One JSON object per anomaly, e.g.
+/// {"window":31,"window_start_us":1860000000,"host":4,"stage":"Table",
+///  "kind":"flow","new_signature":true,"p_value":0.0,"outliers":14,"n":120,
+///  "signature":[8],"templates":["MemTable is already frozen; ..."]}
+std::string to_json(const Anomaly& anomaly, const LogRegistry& registry);
+
+/// {"anomalies":[...]} for a whole batch.
+std::string to_json(const std::vector<Anomaly>& anomalies,
+                    const LogRegistry& registry);
+
+/// {"incidents":[...]} — grouped bands (see core/incidents.h).
+std::string to_json(const std::vector<Incident>& incidents,
+                    const LogRegistry& registry);
+
+/// RFC 8259 string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view text);
+
+}  // namespace saad::core

@@ -1,0 +1,27 @@
+// Umbrella header for the SAAD core library.
+//
+// Typical embedding (cf. Fig. 5):
+//   LogRegistry registry;            // stages + log points + templates
+//   RealClock clock;                 // or the simulator's virtual clock
+//   Monitor monitor(&registry, &clock);
+//   Logger logger(&registry, &sink, Level::kInfo);
+//   logger.set_tracker(&monitor.tracker(host));
+//   ... server calls logger.log(point, text) from instrumented statements,
+//       tracker.set_context(stage) at stage beginnings ...
+#pragma once
+
+#include "core/channel.h"     // IWYU pragma: export
+#include "core/detector.h"    // IWYU pragma: export
+#include "core/feature.h"     // IWYU pragma: export
+#include "core/ids.h"         // IWYU pragma: export
+#include "core/incidents.h"   // IWYU pragma: export
+#include "core/log_registry.h"  // IWYU pragma: export
+#include "core/logger.h"      // IWYU pragma: export
+#include "core/model.h"       // IWYU pragma: export
+#include "core/monitor.h"     // IWYU pragma: export
+#include "core/report.h"      // IWYU pragma: export
+#include "core/report_html.h" // IWYU pragma: export
+#include "core/report_json.h" // IWYU pragma: export
+#include "core/synopsis.h"    // IWYU pragma: export
+#include "core/trace_io.h"    // IWYU pragma: export
+#include "core/tracker.h"     // IWYU pragma: export

@@ -1,0 +1,264 @@
+#include "core/source_scan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace saad::core {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Extracts the first double-quoted string literal after `from` in `line`
+/// (handling \" escapes). Empty when none.
+std::string first_string_literal(std::string_view line, std::size_t from) {
+  const auto open = line.find('"', from);
+  if (open == std::string_view::npos) return {};
+  std::string out;
+  for (std::size_t i = open + 1; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      out += line[i + 1];
+      ++i;
+      continue;
+    }
+    if (line[i] == '"') return out;
+    out += line[i];
+  }
+  return {};
+}
+
+/// Finds `needle` at a word-ish boundary (not preceded by an identifier
+/// character), case-insensitive on the first letter to catch LOG./log. use.
+std::size_t find_call(std::string_view line, std::string_view needle) {
+  for (std::size_t pos = 0; pos + needle.size() <= line.size(); ++pos) {
+    bool match = true;
+    for (std::size_t i = 0; i < needle.size(); ++i) {
+      const char a = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(line[pos + i])));
+      if (a != needle[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    // Word boundary only matters when the needle begins with an identifier
+    // character (e.g. "saad_stage("); needles like ".info(" legitimately
+    // follow a receiver name.
+    const char first = needle.front();
+    if ((std::isalnum(static_cast<unsigned char>(first)) || first == '_') &&
+        pos > 0) {
+      const char prev = line[pos - 1];
+      if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_')
+        continue;
+    }
+    return pos;
+  }
+  return std::string_view::npos;
+}
+
+/// The enclosing class name from a `class Foo ...` line, if this is one.
+std::string class_name_of(std::string_view line) {
+  const auto trimmed = trim(line);
+  if (trimmed.rfind("class ", 0) != 0 &&
+      trimmed.find(" class ") == std::string_view::npos) {
+    return {};
+  }
+  const auto kw = trimmed.find("class ");
+  auto rest = trim(trimmed.substr(kw + 6));
+  std::string name;
+  for (char c : rest) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') break;
+    name += c;
+  }
+  return name;
+}
+
+bool is_commented(std::string_view line, std::size_t pos) {
+  const auto comment = line.find("//");
+  return comment != std::string_view::npos && comment < pos;
+}
+
+std::string sanitize_identifier(std::string_view text, std::size_t index) {
+  std::string out;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!out.empty() && out.back() != '_') {
+      out += '_';
+    }
+    if (out.size() >= 28) break;
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])))
+    out = "lp_" + std::to_string(index);
+  return out;
+}
+
+std::string escape_literal(std::string_view text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+ScanResult scan_source(std::string_view source, const std::string& file_name) {
+  ScanResult result;
+  std::string current_class;
+
+  static constexpr std::string_view kLevels[] = {"debug", "info", "warn",
+                                                 "error"};
+  static constexpr std::string_view kDequeues[] = {".take(", ".poll(",
+                                                   ".dequeue(", ".pop("};
+
+  int line_number = 0;
+  std::size_t begin = 0;
+  while (begin <= source.size()) {
+    const auto end = source.find('\n', begin);
+    const std::string_view line =
+        source.substr(begin, end == std::string_view::npos ? std::string_view::npos
+                                                           : end - begin);
+    line_number++;
+
+    if (const auto name = class_name_of(line); !name.empty()) {
+      current_class = name;
+    }
+
+    // Explicit stage markers: SAAD_STAGE("Name") / setContext(stageId).
+    if (const auto pos = find_call(line, "saad_stage(");
+        pos != std::string_view::npos && !is_commented(line, pos)) {
+      ScannedStage stage;
+      stage.file = file_name;
+      stage.line = line_number;
+      stage.name = first_string_literal(line, pos);
+      stage.explicit_marker = true;
+      if (!stage.name.empty()) result.stages.push_back(std::move(stage));
+    }
+
+    // Runnable-style stage beginnings: `void run()` inside a class.
+    if (const auto pos = find_call(line, "void run(");
+        pos != std::string_view::npos && !is_commented(line, pos) &&
+        !current_class.empty()) {
+      ScannedStage stage;
+      stage.file = file_name;
+      stage.line = line_number;
+      stage.name = current_class;
+      result.stages.push_back(std::move(stage));
+    }
+
+    // Logging statements: log.<level>("...") / LOG.<level>("...").
+    for (const auto level : kLevels) {
+      const std::string call = std::string(".") + std::string(level) + "(";
+      const auto pos = find_call(line, call);
+      if (pos == std::string_view::npos || is_commented(line, pos)) continue;
+      // Require a log-ish receiver right before the call.
+      const auto recv_end = pos;
+      std::size_t recv_begin = recv_end;
+      while (recv_begin > 0 &&
+             (std::isalnum(static_cast<unsigned char>(line[recv_begin - 1])) ||
+              line[recv_begin - 1] == '_')) {
+        recv_begin--;
+      }
+      std::string receiver(line.substr(recv_begin, recv_end - recv_begin));
+      std::transform(receiver.begin(), receiver.end(), receiver.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (receiver.find("log") == std::string::npos) continue;
+
+      const auto text = first_string_literal(line, pos);
+      if (text.empty()) continue;
+      ScannedLogPoint point;
+      point.file = file_name;
+      point.line = line_number;
+      point.level = std::string(level);
+      point.template_text = text;
+      point.stage = current_class;
+      result.log_points.push_back(std::move(point));
+    }
+
+    // Dequeue sites: candidate consumer-stage beginnings.
+    for (const auto needle : kDequeues) {
+      const auto pos = find_call(line, needle);
+      if (pos == std::string_view::npos || is_commented(line, pos)) continue;
+      ScannedDequeueSite site;
+      site.file = file_name;
+      site.line = line_number;
+      site.text = std::string(trim(line));
+      result.dequeue_sites.push_back(std::move(site));
+      break;
+    }
+
+    if (end == std::string_view::npos) break;
+    begin = end + 1;
+  }
+  return result;
+}
+
+void merge(ScanResult& into, ScanResult&& from) {
+  auto move_all = [](auto& dst, auto& src) {
+    dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+               std::make_move_iterator(src.end()));
+  };
+  move_all(into.stages, from.stages);
+  move_all(into.log_points, from.log_points);
+  move_all(into.dequeue_sites, from.dequeue_sites);
+}
+
+std::string generate_registration(const ScanResult& result) {
+  std::ostringstream out;
+  out << "// Generated by saad_instrument — do not edit.\n"
+      << "#include \"core/log_registry.h\"\n\n"
+      << "struct Stages {\n";
+  for (std::size_t i = 0; i < result.stages.size(); ++i) {
+    out << "  saad::core::StageId "
+        << sanitize_identifier(result.stages[i].name, i) << ";\n";
+  }
+  out << "};\n\nstruct LogPoints {\n";
+  for (std::size_t i = 0; i < result.log_points.size(); ++i) {
+    out << "  saad::core::LogPointId "
+        << sanitize_identifier(result.log_points[i].template_text, i) << ";\n";
+  }
+  out << "};\n\ninline void register_instrumented("
+      << "saad::core::LogRegistry& registry, Stages& stages, "
+      << "LogPoints& points) {\n";
+  for (std::size_t i = 0; i < result.stages.size(); ++i) {
+    const auto& stage = result.stages[i];
+    out << "  stages." << sanitize_identifier(stage.name, i)
+        << " = registry.register_stage(\"" << escape_literal(stage.name)
+        << "\");\n";
+  }
+  for (std::size_t i = 0; i < result.log_points.size(); ++i) {
+    const auto& point = result.log_points[i];
+    // Attribute the point to its enclosing stage when scanned, else stage 0.
+    std::string stage_expr = "0";
+    for (std::size_t s = 0; s < result.stages.size(); ++s) {
+      if (result.stages[s].name == point.stage) {
+        stage_expr =
+            "stages." + sanitize_identifier(result.stages[s].name, s);
+        break;
+      }
+    }
+    std::string level = "kDebug";
+    if (point.level == "info") level = "kInfo";
+    if (point.level == "warn") level = "kWarn";
+    if (point.level == "error") level = "kError";
+    out << "  points." << sanitize_identifier(point.template_text, i)
+        << " = registry.register_log_point(" << stage_expr
+        << ", saad::core::Level::" << level << ", \""
+        << escape_literal(point.template_text) << "\", \""
+        << escape_literal(point.file) << "\", " << point.line << ");\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace saad::core

@@ -1,0 +1,64 @@
+// Source-instrumentation scanner: the reproduction of the paper's §4.1.1
+// pre-processing pass (two ~50-line Ruby scripts in the original).
+//
+// Given server source text, the scanner finds
+//   * logging statements (log.debug/info/warn/error with a string literal):
+//     these become log points; their static text becomes the template
+//     dictionary entry;
+//   * stage beginnings: `void run()` methods of Runnable-style classes
+//     (covers dispatcher-worker and Executor-based producer-consumer
+//     stages) and explicit SAAD_STAGE("Name") markers;
+//   * queue-dequeue call sites (`take(`, `poll(`, `dequeue(`, `pop(`):
+//     candidate non-Executor consumer-stage beginnings, "identified and
+//     presented for manual inspection" exactly as in the paper.
+//
+// From a scan the tool generates the registration code that builds the
+// LogRegistry at startup — the dense log-point ids the tracker needs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace saad::core {
+
+struct ScannedLogPoint {
+  std::string file;
+  int line = 0;
+  std::string level;          // "debug" | "info" | "warn" | "error"
+  std::string template_text;  // static portion of the statement
+  std::string stage;          // enclosing class, if known
+};
+
+struct ScannedStage {
+  std::string file;
+  int line = 0;
+  std::string name;
+  bool explicit_marker = false;  // SAAD_STAGE vs inferred from run()
+};
+
+struct ScannedDequeueSite {
+  std::string file;
+  int line = 0;
+  std::string text;  // the trimmed source line, for manual inspection
+};
+
+struct ScanResult {
+  std::vector<ScannedStage> stages;
+  std::vector<ScannedLogPoint> log_points;
+  std::vector<ScannedDequeueSite> dequeue_sites;
+};
+
+/// Scans one source file's text. Append results across files by scanning
+/// each and merging the vectors.
+ScanResult scan_source(std::string_view source, const std::string& file_name);
+
+void merge(ScanResult& into, ScanResult&& from);
+
+/// Emits C++ registration code: a function
+///   void register_instrumented(saad::core::LogRegistry& registry,
+///                              Stages& stages, LogPoints& points);
+/// plus the Stages/LogPoints structs with one member per discovery.
+std::string generate_registration(const ScanResult& result);
+
+}  // namespace saad::core

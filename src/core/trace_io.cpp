@@ -1,0 +1,54 @@
+#include "core/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace saad::core {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'A', 'A', 'D', 'T', 'R', 'C', '1'};
+}
+
+std::vector<std::uint8_t> encode_trace(std::span<const Synopsis> trace) {
+  std::vector<std::uint8_t> out;
+  out.reserve(trace.size() * 32 + sizeof(kMagic));
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  for (const auto& s : trace) encode_synopsis(s, out);
+  return out;
+}
+
+std::optional<std::vector<Synopsis>> decode_trace(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  bytes = bytes.subspan(sizeof(kMagic));
+  std::vector<Synopsis> trace;
+  while (!bytes.empty()) {
+    Synopsis s;
+    if (!decode_synopsis(bytes, s)) return std::nullopt;
+    trace.push_back(std::move(s));
+  }
+  return trace;
+}
+
+bool write_trace_file(const std::string& path,
+                      std::span<const Synopsis> trace) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return false;
+  const auto bytes = encode_trace(trace);
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(file);
+}
+
+std::optional<std::vector<Synopsis>> read_trace_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                                  std::istreambuf_iterator<char>());
+  return decode_trace(bytes);
+}
+
+}  // namespace saad::core

@@ -1,0 +1,31 @@
+// Synopsis trace files.
+//
+// SAAD keeps synopses in memory in production, "however, they could be
+// stored for later inspection" (paper §5.3.2) — and storing them is how the
+// train-offline/deploy-online workflow works. A trace file is the magic
+// header followed by back-to-back varint-encoded synopses (the same wire
+// encoding the channel uses); a one-hour production trace is a few MB.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/synopsis.h"
+
+namespace saad::core {
+
+/// Serializes `trace` into a byte buffer (header + concatenated synopses).
+std::vector<std::uint8_t> encode_trace(std::span<const Synopsis> trace);
+
+/// Parses a buffer produced by encode_trace. nullopt on bad magic or a
+/// malformed record.
+std::optional<std::vector<Synopsis>> decode_trace(
+    std::span<const std::uint8_t> bytes);
+
+/// File convenience wrappers; false/nullopt on I/O errors.
+bool write_trace_file(const std::string& path, std::span<const Synopsis> trace);
+std::optional<std::vector<Synopsis>> read_trace_file(const std::string& path);
+
+}  // namespace saad::core

@@ -1,0 +1,124 @@
+#include "core/tracker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace saad::core {
+
+TaskContext::TaskContext(HostId host, StageId stage, TaskUid uid, UsTime start)
+    : host_(host), stage_(stage), uid_(uid), start_(start), last_log_(start) {
+  counts_.reserve(8);
+}
+
+void TaskContext::on_log(LogPointId point, UsTime now) {
+  last_log_ = now;
+  // Sorted small-vector upsert; tasks touch few distinct log points, so a
+  // linear scan beats a hash map here.
+  auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), point,
+      [](const LogPointCount& c, LogPointId p) { return c.point < p; });
+  if (it != counts_.end() && it->point == point) {
+    it->count++;
+  } else {
+    counts_.insert(it, LogPointCount{point, 1});
+  }
+}
+
+Synopsis TaskContext::finish() const {
+  Synopsis s;
+  s.host = host_;
+  s.stage = stage_;
+  s.uid = uid_;
+  s.start = start_;
+  s.duration = last_log_ - start_;
+  s.log_points = counts_;
+  return s;
+}
+
+namespace {
+
+/// Thread-local slot holding the calling thread's open task. The destructor
+/// flushes a pending context at thread exit: dispatcher-worker termination
+/// inference (the paper uses Java finalizers; we use RAII).
+struct TlSlot {
+  TaskExecutionTracker* owner = nullptr;
+  std::unique_ptr<TaskContext> ctx;
+
+  ~TlSlot() { flush(); }
+
+  void flush() {
+    if (owner != nullptr && ctx != nullptr) {
+      owner->end_task(std::move(ctx));
+    }
+    ctx.reset();
+    owner = nullptr;
+  }
+};
+
+thread_local TlSlot tl_slot;
+
+}  // namespace
+
+TaskExecutionTracker::TaskExecutionTracker(HostId host, const Clock* clock,
+                                           SynopsisFn emit)
+    : host_(host), clock_(clock), emit_fn_(std::move(emit)) {
+  assert(clock_ != nullptr);
+}
+
+TaskExecutionTracker::~TaskExecutionTracker() {
+  // If this thread still holds a context owned by this tracker, drop it so
+  // the thread_local destructor does not touch a dead tracker. Worker threads
+  // must not outlive the tracker (documented contract).
+  if (tl_slot.owner == this) {
+    tl_slot.ctx.reset();
+    tl_slot.owner = nullptr;
+  }
+}
+
+void TaskExecutionTracker::set_context(StageId stage) {
+  if (tl_slot.owner == this && tl_slot.ctx != nullptr) {
+    // Producer-consumer inference: starting a new task ends the previous one.
+    end_task(std::move(tl_slot.ctx));
+  }
+  tl_slot.owner = this;
+  tl_slot.ctx = begin_task(stage);
+}
+
+void TaskExecutionTracker::end_context() {
+  if (tl_slot.owner == this && tl_slot.ctx != nullptr) {
+    end_task(std::move(tl_slot.ctx));
+  }
+  if (tl_slot.owner == this) tl_slot.owner = nullptr;
+}
+
+std::unique_ptr<TaskContext> TaskExecutionTracker::begin_task(StageId stage) {
+  const TaskUid uid = next_uid_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<TaskContext>(host_, stage, uid, clock_->now());
+}
+
+void TaskExecutionTracker::end_task(std::unique_ptr<TaskContext> task) {
+  if (task == nullptr) return;
+  if (current_ == task.get()) current_ = nullptr;
+  emit(*task);
+}
+
+void TaskExecutionTracker::on_log(LogPointId point) {
+  TaskContext* ctx = current_;
+  if (ctx == nullptr && tl_slot.owner == this) ctx = tl_slot.ctx.get();
+  if (ctx == nullptr) {
+    unattributed_logs_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ctx->on_log(point, clock_->now());
+}
+
+void TaskExecutionTracker::emit(const TaskContext& ctx) {
+  const Synopsis s = ctx.finish();
+  {
+    std::lock_guard lock(emit_mu_);
+    if (emit_fn_) emit_fn_(s);
+  }
+  tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace saad::core

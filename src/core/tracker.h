@@ -1,0 +1,139 @@
+// Task execution tracker (paper §3.2, §4.1): tracks the execution flow of
+// each task from the calls the task makes to the logging library, and emits a
+// Synopsis at task termination.
+//
+// Two usage modes, matching the paper's two staging models:
+//
+//  * Thread-local mode (real threads). Server threads call
+//    `set_context(stage)` at the beginning of a stage; an open context on the
+//    same thread is closed first — that is the producer-consumer termination
+//    inference ("the thread is about to start a new task"). For
+//    dispatcher-worker stages, the pending context is flushed automatically
+//    when the thread exits (RAII on the thread_local slot — the C++ analog of
+//    the paper's finalize() trick), or explicitly via `end_context()`.
+//
+//  * Explicit mode (deterministic simulator). Logical tasks are not bound to
+//    OS threads, so the simulator creates contexts with `begin_task`, binds
+//    one around each code region that logs (TaskBinding RAII), and closes it
+//    with `end_task`.
+//
+// The hot path (`on_log`) is a couple of branches and a small-vector upsert;
+// this is what keeps SAAD's overhead at "practically zero" (paper Fig. 7).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/clock.h"
+#include "core/synopsis.h"
+
+namespace saad::core {
+
+/// Per-task in-memory record: stage, uid, start time, last-log time, and the
+/// log-point frequency vector (paper's per-task map, kept as a small sorted
+/// vector because tasks touch few distinct points).
+class TaskContext {
+ public:
+  TaskContext(HostId host, StageId stage, TaskUid uid, UsTime start);
+
+  void on_log(LogPointId point, UsTime now);
+
+  /// Builds the terminal synopsis. Duration is start -> last log point
+  /// (paper §3.3.1); a task that logged nothing has duration 0.
+  Synopsis finish() const;
+
+  StageId stage() const { return stage_; }
+  TaskUid uid() const { return uid_; }
+  UsTime start() const { return start_; }
+
+ private:
+  HostId host_;
+  StageId stage_;
+  TaskUid uid_;
+  UsTime start_;
+  UsTime last_log_;
+  std::vector<LogPointCount> counts_;  // sorted by point id
+};
+
+class TaskExecutionTracker {
+ public:
+  using SynopsisFn = std::function<void(const Synopsis&)>;
+
+  /// `emit` is invoked (under the tracker's mutex in thread-local mode) for
+  /// every completed task. `clock` must outlive the tracker.
+  TaskExecutionTracker(HostId host, const Clock* clock, SynopsisFn emit);
+  ~TaskExecutionTracker();
+
+  TaskExecutionTracker(const TaskExecutionTracker&) = delete;
+  TaskExecutionTracker& operator=(const TaskExecutionTracker&) = delete;
+
+  // ---- Thread-local mode ----------------------------------------------
+
+  /// Begin a new task for the calling thread (the paper's
+  /// setContext(stageId) stage delimiter). Closes any open context first.
+  void set_context(StageId stage);
+
+  /// Explicitly end the calling thread's open task, if any.
+  void end_context();
+
+  // ---- Explicit mode (simulator) ---------------------------------------
+
+  std::unique_ptr<TaskContext> begin_task(StageId stage);
+  void end_task(std::unique_ptr<TaskContext> task);
+
+  /// Bind/unbind the context that receives on_log in explicit mode.
+  void bind(TaskContext* task) { current_ = task; }
+  void unbind() { current_ = nullptr; }
+  TaskContext* bound() const { return current_; }
+
+  // ---- Called by Logger -------------------------------------------------
+
+  /// Attributes the log call to the current task (explicit binding first,
+  /// then the thread-local slot). Unattributed calls are counted and dropped.
+  void on_log(LogPointId point);
+
+  // ---- Introspection ------------------------------------------------------
+
+  HostId host() const { return host_; }
+  std::uint64_t tasks_completed() const {
+    return tasks_completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t unattributed_logs() const {
+    return unattributed_logs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend struct TlSlot;
+
+  void emit(const TaskContext& ctx);
+
+  HostId host_;
+  const Clock* clock_;
+  SynopsisFn emit_fn_;
+  std::mutex emit_mu_;
+  TaskContext* current_ = nullptr;  // explicit-mode binding
+  std::atomic<TaskUid> next_uid_{1};
+  std::atomic<std::uint64_t> tasks_completed_{0};
+  std::atomic<std::uint64_t> unattributed_logs_{0};
+};
+
+/// RAII binding for explicit mode: binds `task` to `tracker` for the scope.
+class TaskBinding {
+ public:
+  TaskBinding(TaskExecutionTracker& tracker, TaskContext* task)
+      : tracker_(tracker) {
+    tracker_.bind(task);
+  }
+  ~TaskBinding() { tracker_.unbind(); }
+
+  TaskBinding(const TaskBinding&) = delete;
+  TaskBinding& operator=(const TaskBinding&) = delete;
+
+ private:
+  TaskExecutionTracker& tracker_;
+};
+
+}  // namespace saad::core

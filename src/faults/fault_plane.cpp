@@ -1,0 +1,81 @@
+#include "faults/fault_plane.h"
+
+#include <algorithm>
+
+namespace saad::faults {
+
+const char* activity_name(Activity a) {
+  switch (a) {
+    case Activity::kWalAppend:
+      return "wal-append";
+    case Activity::kMemtableFlush:
+      return "memtable-flush";
+    case Activity::kDiskRead:
+      return "disk-read";
+    case Activity::kDiskWrite:
+      return "disk-write";
+    case Activity::kNetwork:
+      return "network";
+  }
+  return "?";
+}
+
+void FaultPlane::add(const FaultSpec& spec) { specs_.push_back(spec); }
+
+void FaultPlane::add_hog(const HogSpec& spec) { hogs_.push_back(spec); }
+
+void FaultPlane::clear() {
+  specs_.clear();
+  hogs_.clear();
+}
+
+Outcome FaultPlane::apply(std::uint16_t host, Activity activity, UsTime now,
+                          Rng& rng) const {
+  Outcome out;
+  for (const auto& spec : specs_) {
+    if (spec.activity != activity) continue;
+    if (spec.host != kAnyHost && spec.host != host) continue;
+    if (now < spec.from || now >= spec.until) continue;
+    if (!rng.chance(spec.intensity)) continue;
+    if (spec.mode == FaultMode::kError) {
+      out.error = true;
+    } else {
+      out.extra_delay += spec.delay;
+    }
+  }
+  return out;
+}
+
+int FaultPlane::hog_processes(std::uint16_t host, UsTime now) const {
+  int procs = 0;
+  for (const auto& hog : hogs_) {
+    if (hog.host != kAnyHost && hog.host != host) continue;
+    if (now < hog.from || now >= hog.until) continue;
+    procs += hog.processes;
+  }
+  return procs;
+}
+
+double FaultPlane::disk_slowdown(std::uint16_t host, UsTime now) const {
+  const int procs = hog_processes(host, now);
+  // The scheduler keeps small synchronous requests ahead of one or two
+  // streaming writers; beyond that the device saturates.
+  return 1.0 + 0.3 * static_cast<double>(std::max(procs - 2, 0));
+}
+
+double FaultPlane::cpu_slowdown(std::uint16_t host, UsTime now) const {
+  const int procs = hog_processes(host, now);
+  // A single dd is absorbed by spare cores; additional ones steal cycles
+  // and interrupt time from the server.
+  return 1.0 + 0.15 * static_cast<double>(std::max(procs - 1, 0));
+}
+
+bool FaultPlane::any_active(UsTime now) const {
+  for (const auto& spec : specs_)
+    if (now >= spec.from && now < spec.until) return true;
+  for (const auto& hog : hogs_)
+    if (now >= hog.from && now < hog.until) return true;
+  return false;
+}
+
+}  // namespace saad::faults

@@ -1,0 +1,92 @@
+// Fault injection plane: the reproduction's stand-in for the paper's
+// Systemtap I/O fault injection (§5.4) and `dd` disk hogs (§5.5, Table 2).
+//
+// Simulated resources consult the plane on every operation. A fault spec
+// names a host, an I/O activity, a mode (fail the request or stall it), an
+// intensity (fraction of requests affected: the paper uses 1% and 100%), and
+// an active window in virtual time.
+//
+// A disk hog is a separate mechanism: while active it multiplies disk service
+// times on the host and adds jitter to CPU-bound work, emulating the
+// bandwidth theft and interrupt pressure of `dd if=/dev/urandom`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace saad::faults {
+
+/// Host wildcard: the fault applies on every host.
+inline constexpr std::uint16_t kAnyHost = 0xFFFF;
+
+/// I/O activities that can be faulted (paper §5.4 "Failure Model").
+enum class Activity : std::uint8_t {
+  kWalAppend,      // appending an entry to the write-ahead log
+  kMemtableFlush,  // writing a MemTable to disk as an SSTable
+  kDiskRead,
+  kDiskWrite,      // other disk writes (block files, compaction output)
+  kNetwork,
+};
+
+const char* activity_name(Activity a);
+
+enum class FaultMode : std::uint8_t { kError, kDelay };
+
+struct FaultSpec {
+  std::uint16_t host = kAnyHost;
+  Activity activity = Activity::kWalAppend;
+  FaultMode mode = FaultMode::kError;
+  double intensity = 1.0;  // fraction of requests affected (0..1]
+  UsTime delay = ms(100);  // added latency for kDelay (paper pauses 100 ms)
+  UsTime from = 0;         // active window [from, until)
+  UsTime until = 0;
+};
+
+struct HogSpec {
+  std::uint16_t host = kAnyHost;
+  UsTime from = 0;
+  UsTime until = 0;
+  /// Number of concurrent dd processes; service-time inflation grows with it.
+  int processes = 1;
+};
+
+/// What the faulted operation should experience.
+struct Outcome {
+  bool error = false;
+  UsTime extra_delay = 0;
+};
+
+class FaultPlane {
+ public:
+  void add(const FaultSpec& spec);
+  void add_hog(const HogSpec& spec);
+  void clear();
+
+  /// Consulted by resources before completing an operation.
+  Outcome apply(std::uint16_t host, Activity activity, UsTime now,
+                Rng& rng) const;
+
+  /// Number of dd processes active on `host` at `now` (the paper escalates
+  /// 1 -> 2 -> 4). Simulated hosts use this to drive hog writeback bursts.
+  int hog_processes(std::uint16_t host, UsTime now) const;
+
+  /// Service-time multiplier for the server's (small, synchronous) disk
+  /// requests. The I/O scheduler shields them from one or two streaming
+  /// writers; past that the device saturates and everything slows.
+  double disk_slowdown(std::uint16_t host, UsTime now) const;
+
+  /// CPU service-time multiplier from active hogs (interrupt/cycle theft;
+  /// dd against /dev/urandom burns kernel CPU).
+  double cpu_slowdown(std::uint16_t host, UsTime now) const;
+
+  bool any_active(UsTime now) const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+  std::vector<HogSpec> hogs_;
+};
+
+}  // namespace saad::faults

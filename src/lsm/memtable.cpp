@@ -1,0 +1,24 @@
+#include "lsm/memtable.h"
+
+namespace saad::lsm {
+
+bool MemTable::put(const std::string& key, std::string value) {
+  if (frozen_) return false;
+  auto [it, inserted] = data_.try_emplace(key, std::move(value));
+  if (inserted) {
+    bytes_ += key.size() + it->second.size();
+  } else {
+    bytes_ -= it->second.size();
+    it->second = std::move(value);
+    bytes_ += it->second.size();
+  }
+  return true;
+}
+
+std::optional<std::string> MemTable::get(const std::string& key) const {
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace saad::lsm

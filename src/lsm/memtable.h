@@ -1,0 +1,37 @@
+// In-memory sorted write buffer (paper §5.1 "Storage Layout of HBase and
+// Cassandra"): writes land in a MemTable; when it grows past a threshold it
+// is frozen and flushed to disk as an SSTable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace saad::lsm {
+
+class MemTable {
+ public:
+  /// Inserts/overwrites; returns false when the table is frozen (a frozen
+  /// MemTable is immutable — "another thread must be flushing it").
+  bool put(const std::string& key, std::string value);
+
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// Freezes the table for flushing; idempotent.
+  void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  std::size_t entries() const { return data_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  bool empty() const { return data_.empty(); }
+
+  const std::map<std::string, std::string>& contents() const { return data_; }
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::size_t bytes_ = 0;
+  bool frozen_ = false;
+};
+
+}  // namespace saad::lsm

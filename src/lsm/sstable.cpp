@@ -1,0 +1,34 @@
+#include "lsm/sstable.h"
+
+#include <algorithm>
+
+namespace saad::lsm {
+
+SSTable::SSTable(std::uint64_t id, std::map<std::string, std::string> entries)
+    : id_(id) {
+  data_.reserve(entries.size());
+  for (auto& [k, v] : entries) {
+    bytes_ += k.size() + v.size();
+    data_.emplace_back(k, std::move(v));
+  }
+}
+
+std::optional<std::string> SSTable::get(const std::string& key) const {
+  const auto it = std::lower_bound(
+      data_.begin(), data_.end(), key,
+      [](const auto& entry, const std::string& k) { return entry.first < k; });
+  if (it == data_.end() || it->first != key) return std::nullopt;
+  return it->second;
+}
+
+SSTable SSTable::merge(std::uint64_t new_id,
+                       const std::vector<const SSTable*>& newest_first) {
+  std::map<std::string, std::string> merged;
+  // Insert newest first; try_emplace keeps the first (newest) value.
+  for (const SSTable* table : newest_first) {
+    for (const auto& [k, v] : table->data()) merged.try_emplace(k, v);
+  }
+  return SSTable(new_id, std::move(merged));
+}
+
+}  // namespace saad::lsm

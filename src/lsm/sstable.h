@@ -1,0 +1,39 @@
+// Immutable sorted on-disk table. The simulated filesystem holds SSTables as
+// in-memory objects; their *I/O cost* is charged through sim::Disk by the
+// LsmStore operations that create and read them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace saad::lsm {
+
+class SSTable {
+ public:
+  SSTable(std::uint64_t id, std::map<std::string, std::string> entries);
+
+  std::uint64_t id() const { return id_; }
+  std::size_t entries() const { return data_.size(); }
+  std::size_t bytes() const { return bytes_; }
+
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// Merge-sort several tables into one (newest value wins). `newest_first`
+  /// must be ordered newest to oldest — major compaction's merge step.
+  static SSTable merge(std::uint64_t new_id,
+                       const std::vector<const SSTable*>& newest_first);
+
+  const std::vector<std::pair<std::string, std::string>>& data() const {
+    return data_;
+  }
+
+ private:
+  std::uint64_t id_;
+  std::vector<std::pair<std::string, std::string>> data_;  // sorted by key
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace saad::lsm

@@ -1,0 +1,158 @@
+#include "lsm/store.h"
+
+#include <algorithm>
+
+namespace saad::lsm {
+
+LsmStore::LsmStore(sim::Engine* engine, sim::Disk* disk,
+                   const LsmOptions& options)
+    : engine_(engine), disk_(disk), options_(options),
+      wal_(disk, options.wal_append_service),
+      active_(std::make_unique<MemTable>()) {}
+
+sim::Task<sim::IoResult> LsmStore::wal_append(std::size_t bytes) {
+  return wal_.append(bytes);
+}
+
+sim::Task<bool> LsmStore::bulk_io(faults::Activity activity,
+                                  std::size_t bytes) {
+  const std::size_t chunk = std::max<std::size_t>(options_.io_chunk_bytes, 1);
+  const UsTime chunk_service = static_cast<UsTime>(
+      options_.flush_service_per_kb *
+      static_cast<UsTime>(std::max<std::size_t>(chunk / 1024, 1)));
+  std::size_t remaining = std::max<std::size_t>(bytes, 1);
+  while (remaining > 0) {
+    const auto io = co_await disk_->io(activity, chunk_service);
+    if (!io.ok) co_return false;
+    remaining -= std::min(remaining, chunk);
+  }
+  co_return true;
+}
+
+bool LsmStore::apply(const std::string& key, std::string value) {
+  return active_->put(key, std::move(value));
+}
+
+void LsmStore::preload(std::map<std::string, std::string> entries) {
+  if (entries.empty()) return;
+  sstables_.push_back(
+      std::make_shared<SSTable>(next_sstable_id_++, std::move(entries)));
+}
+
+bool LsmStore::needs_flush() const {
+  return active_->bytes() >= options_.memtable_flush_bytes &&
+         !flush_in_progress_ && engine_->now() >= flush_backoff_until_;
+}
+
+sim::Task<bool> LsmStore::flush() {
+  if (flush_in_progress_) co_return false;
+  flush_in_progress_ = true;
+
+  // Retry a previously failed flush first; otherwise rotate the active table.
+  if (frozen_.empty()) {
+    if (active_->empty()) {
+      flush_in_progress_ = false;
+      co_return true;  // nothing to do
+    }
+    active_->freeze();
+    frozen_.push_back(std::move(active_));
+    active_ = std::make_unique<MemTable>();
+  }
+
+  MemTable& victim = *frozen_.front();
+  const std::size_t bytes = victim.bytes();
+  if (!co_await bulk_io(faults::Activity::kMemtableFlush, bytes)) {
+    // Frozen table stays buffered: memory pressure until a retry succeeds.
+    flushes_failed_++;
+    flush_backoff_until_ = engine_->now() + options_.flush_retry_backoff;
+    flush_in_progress_ = false;
+    co_return false;
+  }
+
+  sstables_.push_back(std::make_shared<SSTable>(
+      next_sstable_id_++,
+      std::map<std::string, std::string>(victim.contents().begin(),
+                                         victim.contents().end())));
+  frozen_.erase(frozen_.begin());
+  wal_.trim(bytes);
+  flushes_completed_++;
+  flush_in_progress_ = false;
+  co_return true;
+}
+
+bool LsmStore::needs_major_compaction() const {
+  return sstables_.size() >= options_.major_compaction_tables &&
+         !compaction_in_progress_;
+}
+
+sim::Task<bool> LsmStore::major_compact() {
+  if (compaction_in_progress_ || sstables_.size() < 2) co_return false;
+  compaction_in_progress_ = true;
+
+  // Snapshot the current set; flushes may append new tables concurrently and
+  // the snapshot keeps the inputs alive across awaits.
+  const std::vector<std::shared_ptr<SSTable>> inputs = sstables_;
+  for (const auto& table : inputs) {
+    if (!co_await bulk_io(faults::Activity::kDiskRead, table->bytes())) {
+      compaction_in_progress_ = false;
+      co_return false;
+    }
+  }
+
+  std::vector<const SSTable*> newest_first;
+  for (std::size_t i = inputs.size(); i-- > 0;)
+    newest_first.push_back(inputs[i].get());
+  SSTable merged = SSTable::merge(next_sstable_id_++, newest_first);
+
+  // Compaction output is a "write to SSTable": the same activity class the
+  // paper's MemTable-flush faults target (Table 3), which is why those
+  // faults also surface in the CompactionManager stage (Fig. 9b).
+  if (!co_await bulk_io(faults::Activity::kMemtableFlush, merged.bytes())) {
+    compaction_in_progress_ = false;
+    co_return false;
+  }
+
+  sstables_.erase(sstables_.begin(),
+                  sstables_.begin() + static_cast<std::ptrdiff_t>(inputs.size()));
+  sstables_.insert(sstables_.begin(),
+                   std::make_shared<SSTable>(std::move(merged)));
+  compactions_completed_++;
+  compaction_in_progress_ = false;
+  co_return true;
+}
+
+sim::Task<LsmStore::GetResult> LsmStore::get(std::string key) {
+  GetResult result;
+  if (auto v = active_->get(key)) {
+    result.value = std::move(v);
+    co_return result;
+  }
+  for (auto it = frozen_.rbegin(); it != frozen_.rend(); ++it) {
+    if (auto v = (*it)->get(key)) {
+      result.value = std::move(v);
+      co_return result;
+    }
+  }
+  // Snapshot: compaction may replace the set while this reader awaits disk
+  // probes; the snapshot pins the tables it is reading (open file handles).
+  const std::vector<std::shared_ptr<SSTable>> snapshot = sstables_;
+  for (std::size_t i = snapshot.size(); i-- > 0;) {
+    const auto io = co_await disk_->io(faults::Activity::kDiskRead,
+                                       options_.sstable_probe_service);
+    result.sstables_probed++;
+    if (!io.ok) co_return result;
+    if (auto v = snapshot[i]->get(key)) {
+      result.value = std::move(v);
+      co_return result;
+    }
+  }
+  co_return result;
+}
+
+std::size_t LsmStore::unflushed_bytes() const {
+  std::size_t total = active_->bytes();
+  for (const auto& m : frozen_) total += m->bytes();
+  return total;
+}
+
+}  // namespace saad::lsm

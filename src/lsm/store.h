@@ -1,0 +1,134 @@
+// Log-structured merge store: the shared storage engine of the simulated
+// Cassandra and HBase nodes (paper §5.1). Pure mechanism — the *staged*
+// behaviour (who flushes, what gets logged, how failures propagate to other
+// tasks) lives in the system simulators, which is exactly where SAAD's
+// signals come from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lsm/memtable.h"
+#include "lsm/sstable.h"
+#include "lsm/wal.h"
+#include "sim/resource.h"
+
+namespace saad::lsm {
+
+struct LsmOptions {
+  std::size_t memtable_flush_bytes = 64 * 1024;  // flush trigger
+  std::size_t major_compaction_tables = 4;       // SSTable count trigger
+  UsTime wal_append_service = 250;               // us, base append+sync
+  UsTime flush_service_per_kb = 150;             // us per KiB written
+  UsTime sstable_probe_service = 350;            // us per SSTable probed
+  UsTime flush_retry_backoff = sec(5);           // after a failed flush
+  /// Bulk I/O (flush, compaction) is issued in requests of this size so the
+  /// I/O scheduler can interleave foreground reads/appends — without this a
+  /// multi-MB compaction would head-of-line-block the disk for hundreds of
+  /// milliseconds, which real kernels do not allow.
+  std::size_t io_chunk_bytes = 16 * 1024;
+};
+
+class LsmStore {
+ public:
+  LsmStore(sim::Engine* engine, sim::Disk* disk, const LsmOptions& options);
+
+  // ---- Mutation path (callers own logging & locking) --------------------
+
+  /// Append the mutation to the WAL. ok=false on an error-faulted write.
+  sim::Task<sim::IoResult> wal_append(std::size_t bytes);
+
+  /// Apply to the active MemTable; false when it is frozen.
+  bool apply(const std::string& key, std::string value);
+
+  bool memtable_frozen() const { return active_->frozen(); }
+
+  /// True when the active MemTable is over the flush threshold, no flush is
+  /// running, and the store is not backing off after a failed flush (failed
+  /// attempts would otherwise retrigger at the write rate).
+  bool needs_flush() const;
+
+  // ---- Flush (minor compaction) -----------------------------------------
+
+  /// Freeze the active MemTable (installing a fresh one) and write the
+  /// frozen table to disk as an SSTable; on success the WAL is trimmed.
+  /// On an error-faulted write the frozen table stays buffered in memory
+  /// (memory pressure!) and the next flush() call retries it.
+  /// Only one flush runs at a time; concurrent calls return false fast.
+  sim::Task<bool> flush();
+
+  bool flush_in_progress() const { return flush_in_progress_; }
+
+  // ---- Major compaction ---------------------------------------------------
+
+  bool needs_major_compaction() const;
+
+  /// Read every SSTable, merge, write the result as one new SSTable.
+  sim::Task<bool> major_compact();
+
+  // ---- Read path ----------------------------------------------------------
+
+  struct GetResult {
+    std::optional<std::string> value;
+    std::size_t sstables_probed = 0;  // disk probes charged
+  };
+
+  /// MemTables first (free), then SSTables newest-first, charging one disk
+  /// probe per SSTable consulted.
+  sim::Task<GetResult> get(std::string key);
+
+  // ---- Bootstrap -------------------------------------------------------------
+
+  /// Install a baseline dataset as one SSTable, bypassing simulated I/O —
+  /// the equivalent of starting the node from a restored snapshot (the
+  /// paper initializes Cassandra with a baseline data set before measuring).
+  void preload(std::map<std::string, std::string> entries);
+
+  // ---- Fault semantics ------------------------------------------------------
+
+  /// Permanently freeze the active MemTable *without* installing a fresh one:
+  /// the frozen-MemTable wedge of the paper's WAL-error experiment (§5.4.1).
+  /// Every subsequent apply() fails and memtable_frozen() stays true.
+  void wedge_active() { active_->freeze(); }
+
+  // ---- Introspection ------------------------------------------------------
+
+  Wal& wal() { return wal_; }
+  std::size_t active_bytes() const { return active_->bytes(); }
+  /// Active + frozen-but-unflushed bytes: the memory-pressure signal the
+  /// GCInspector stage watches.
+  std::size_t unflushed_bytes() const;
+  std::size_t num_sstables() const { return sstables_.size(); }
+  std::size_t frozen_backlog() const { return frozen_.size(); }
+  std::uint64_t flushes_completed() const { return flushes_completed_; }
+  std::uint64_t flushes_failed() const { return flushes_failed_; }
+  std::uint64_t compactions_completed() const { return compactions_completed_; }
+
+ private:
+  /// Issue `bytes` of bulk I/O as a sequence of io_chunk_bytes requests;
+  /// false as soon as a chunk is error-faulted.
+  sim::Task<bool> bulk_io(faults::Activity activity, std::size_t bytes);
+
+  sim::Engine* engine_;
+  sim::Disk* disk_;
+  LsmOptions options_;
+  Wal wal_;
+  std::unique_ptr<MemTable> active_;
+  std::vector<std::unique_ptr<MemTable>> frozen_;  // oldest first
+  // shared_ptr: in-flight readers and the compactor hold snapshots across
+  // awaits, like real readers holding open file handles while files are
+  // unlinked. Oldest first.
+  std::vector<std::shared_ptr<SSTable>> sstables_;
+  std::uint64_t next_sstable_id_ = 1;
+  UsTime flush_backoff_until_ = 0;
+  bool flush_in_progress_ = false;
+  bool compaction_in_progress_ = false;
+  std::uint64_t flushes_completed_ = 0;
+  std::uint64_t flushes_failed_ = 0;
+  std::uint64_t compactions_completed_ = 0;
+};
+
+}  // namespace saad::lsm

@@ -1,0 +1,27 @@
+#include "lsm/wal.h"
+
+#include <algorithm>
+
+namespace saad::lsm {
+
+sim::Task<sim::IoResult> Wal::append(std::size_t bytes) {
+  // Service time scales mildly with payload: a sync dominates, so use the
+  // base cost plus a small per-byte term.
+  const UsTime service =
+      append_service_ + static_cast<UsTime>(bytes / 64);
+  sim::IoResult result =
+      co_await disk_->io(faults::Activity::kWalAppend, service);
+  if (result.ok) {
+    pending_bytes_ += bytes;
+    appended_entries_++;
+  } else {
+    failed_appends_++;
+  }
+  co_return result;
+}
+
+void Wal::trim(std::uint64_t bytes) {
+  pending_bytes_ -= std::min(pending_bytes_, bytes);
+}
+
+}  // namespace saad::lsm

@@ -1,0 +1,36 @@
+// Write-ahead log (Cassandra calls it CommitLog): every update is appended
+// and synced before it is acknowledged; entries are trimmed once the
+// corresponding MemTable is flushed (paper §5.1).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/resource.h"
+
+namespace saad::lsm {
+
+class Wal {
+ public:
+  Wal(sim::Disk* disk, UsTime append_service)
+      : disk_(disk), append_service_(append_service) {}
+
+  /// Append + sync one entry of `bytes` payload. ok=false when the write
+  /// I/O was error-faulted (Activity::kWalAppend).
+  sim::Task<sim::IoResult> append(std::size_t bytes);
+
+  /// Trim entries persisted by a completed MemTable flush.
+  void trim(std::uint64_t bytes);
+
+  std::uint64_t pending_bytes() const { return pending_bytes_; }
+  std::uint64_t appended_entries() const { return appended_entries_; }
+  std::uint64_t failed_appends() const { return failed_appends_; }
+
+ private:
+  sim::Disk* disk_;
+  UsTime append_service_;
+  std::uint64_t pending_bytes_ = 0;
+  std::uint64_t appended_entries_ = 0;
+  std::uint64_t failed_appends_ = 0;
+};
+
+}  // namespace saad::lsm

@@ -1,0 +1,46 @@
+#include "sim/engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace saad::sim {
+
+void Engine::schedule_at(UsTime t, std::function<void()> fn) {
+  assert(t >= now());
+  events_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_in(UsTime dt, std::function<void()> fn) {
+  schedule_at(now() + std::max<UsTime>(dt, 0), std::move(fn));
+}
+
+void Engine::resume_at(UsTime t, std::coroutine_handle<> h) {
+  schedule_at(t, [h] { h.resume(); });
+}
+
+void Engine::resume_in(UsTime dt, std::coroutine_handle<> h) {
+  schedule_in(dt, [h] { h.resume(); });
+}
+
+void Engine::run_until(UsTime until) {
+  while (!events_.empty() && events_.top().time <= until) {
+    Event ev = events_.top();
+    events_.pop();
+    clock_.set(ev.time);
+    processed_++;
+    ev.fn();
+  }
+  clock_.set(until);
+}
+
+void Engine::run_all() {
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    events_.pop();
+    clock_.set(ev.time);
+    processed_++;
+    ev.fn();
+  }
+}
+
+}  // namespace saad::sim

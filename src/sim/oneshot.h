@@ -1,0 +1,73 @@
+// One-shot completion with timeout: the request/response primitive used by
+// simulated RPCs (a coordinator awaits a replica's ack, or gives up and
+// writes a hint). Single waiter, fulfilled at most once.
+#pragma once
+
+#include <coroutine>
+#include <memory>
+
+#include "sim/engine.h"
+
+namespace saad::sim {
+
+class OneShot : public std::enable_shared_from_this<OneShot> {
+ public:
+  static std::shared_ptr<OneShot> create(Engine* engine) {
+    return std::shared_ptr<OneShot>(new OneShot(engine));
+  }
+
+  /// Mark complete; wakes the waiter (with result true) if one is suspended
+  /// and its timeout has not fired yet. Idempotent.
+  void fulfill() {
+    if (fulfilled_) return;
+    fulfilled_ = true;
+    if (waiter_ && !decided_) {
+      decided_ = true;
+      result_ = true;
+      auto h = waiter_;
+      waiter_ = nullptr;
+      engine_->resume_in(0, h);
+    }
+  }
+
+  bool fulfilled() const { return fulfilled_; }
+
+  /// co_await one_shot->wait(timeout) -> true if fulfilled in time, false on
+  /// timeout. May be awaited at most once.
+  auto wait(UsTime timeout) {
+    struct Awaiter {
+      std::shared_ptr<OneShot> self;
+      UsTime timeout;
+
+      bool await_ready() const { return self->fulfilled_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        self->waiter_ = h;
+        // The timeout event holds a shared_ptr so the state outlives callers.
+        auto keep = self;
+        self->engine_->schedule_in(timeout, [keep] {
+          if (keep->decided_ || keep->waiter_ == nullptr) return;
+          keep->decided_ = true;
+          keep->result_ = false;
+          auto wh = keep->waiter_;
+          keep->waiter_ = nullptr;
+          wh.resume();
+        });
+      }
+      bool await_resume() const {
+        return self->fulfilled_ && (self->decided_ ? self->result_ : true);
+      }
+    };
+    return Awaiter{shared_from_this(), timeout};
+  }
+
+ private:
+  explicit OneShot(Engine* engine) : engine_(engine) {}
+
+  Engine* engine_;
+  bool fulfilled_ = false;
+  bool decided_ = false;  // waiter outcome fixed (fulfilled or timed out)
+  bool result_ = false;
+  std::coroutine_handle<> waiter_ = nullptr;
+};
+
+}  // namespace saad::sim

@@ -1,0 +1,80 @@
+// Awaitable FIFO queue: the task queue of the producer-consumer staging model
+// (paper §3.2.1). Consumer stages loop `for (;;) { T req = co_await q.pop(); ... }`.
+//
+// Hand-off is by value into the waiter's slot, so a woken consumer can never
+// lose its item to a competing pop between wake-up scheduling and resumption.
+//
+// Teardown note: consumers suspended in pop() when the queue is destroyed are
+// abandoned (their frames are not resumed or destroyed). Simulations should
+// run to their stop time and then drop the whole world at once; this matches
+// the fire-and-forget Process model.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.h"
+
+namespace saad::sim {
+
+template <typename T>
+class SimQueue {
+ public:
+  explicit SimQueue(Engine* engine) : engine_(engine) {}
+
+  SimQueue(const SimQueue&) = delete;
+  SimQueue& operator=(const SimQueue&) = delete;
+
+  void push(T item) {
+    if (!waiters_.empty()) {
+      Waiter w = waiters_.front();
+      waiters_.pop_front();
+      *w.slot = std::move(item);
+      engine_->resume_in(0, w.handle);
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  /// Awaitable pop; FIFO among waiters.
+  auto pop() {
+    struct Awaiter {
+      SimQueue& queue;
+      std::optional<T> slot;
+
+      bool await_ready() {
+        // Only take the fast path when no one is already waiting, to keep
+        // FIFO fairness between consumers.
+        if (queue.waiters_.empty() && !queue.items_.empty()) {
+          slot = std::move(queue.items_.front());
+          queue.items_.pop_front();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        queue.waiters_.push_back(Waiter{h, &slot});
+      }
+      T await_resume() { return std::move(*slot); }
+    };
+    return Awaiter{*this, std::nullopt};
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t waiting_consumers() const { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+  };
+
+  Engine* engine_;
+  std::deque<T> items_;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace saad::sim

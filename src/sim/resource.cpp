@@ -1,0 +1,61 @@
+#include "sim/resource.h"
+
+namespace saad::sim {
+
+void Resource::release() {
+  if (!waiters_.empty()) {
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    // Slot passes directly to the waiter; available_ stays unchanged.
+    engine_->resume_in(0, h);
+    return;
+  }
+  available_++;
+}
+
+Task<void> Resource::use(UsTime service) {
+  co_await acquire();
+  co_await engine_->delay(service);
+  release();
+}
+
+Task<IoResult> Disk::io(faults::Activity activity, UsTime service) {
+  IoResult result;
+  const UsTime enqueue_time = engine_->now();
+  co_await res_.acquire();
+  result.queued = engine_->now() - enqueue_time;
+
+  const double slowdown = plane_->disk_slowdown(host_, engine_->now());
+  const double jitter =
+      service_sigma_ > 0.0 ? rng_.lognormal_median(1.0, service_sigma_) : 1.0;
+  const auto outcome = plane_->apply(host_, activity, engine_->now(), rng_);
+  const UsTime device_time =
+      static_cast<UsTime>(static_cast<double>(service) * slowdown * jitter);
+  co_await engine_->delay(device_time);
+  res_.release();
+  // An injected *delay* stalls this request's completion (Systemtap pauses
+  // the probe) but does not head-block the device for other requests.
+  if (outcome.extra_delay > 0) co_await engine_->delay(outcome.extra_delay);
+  result.service = device_time + outcome.extra_delay;
+  result.ok = !outcome.error;
+  co_return result;
+}
+
+Task<IoResult> Network::transfer(std::uint16_t from_host, UsTime extra_service) {
+  IoResult result;
+  const auto outcome =
+      plane_->apply(from_host, faults::Activity::kNetwork, engine_->now(), rng_);
+  result.service = base_latency_ + extra_service + outcome.extra_delay;
+  co_await engine_->delay(result.service);
+  result.ok = !outcome.error;
+  co_return result;
+}
+
+void Gate::open() {
+  open_ = true;
+  std::vector<std::coroutine_handle<>> woken;
+  woken.swap(waiters_);
+  for (auto h : woken) engine_->resume_in(0, h);
+}
+
+}  // namespace saad::sim

@@ -1,0 +1,149 @@
+// Simulated contended resources.
+//
+//  * Resource — a k-server FIFO semaphore (disk heads, handler slots, locks).
+//  * Disk     — capacity-1 resource whose operations take a service time,
+//               inflated by active disk hogs and subject to injected error /
+//               delay faults (faults::FaultPlane).
+//  * Network  — latency channel with fault hooks, no queueing (bandwidth is
+//               not the bottleneck in any of the reproduced experiments).
+//  * Gate     — broadcast condition ("MemTable unfrozen", "recovery done").
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "faults/fault_plane.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace saad::sim {
+
+class Resource {
+ public:
+  Resource(Engine* engine, int capacity)
+      : engine_(engine), available_(capacity) {}
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  /// Awaitable FIFO acquire of one slot.
+  auto acquire() {
+    struct Awaiter {
+      Resource& res;
+      bool await_ready() {
+        if (res.waiters_.empty() && res.available_ > 0) {
+          res.available_--;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        res.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  /// Releases one slot; wakes the first waiter (it inherits the slot).
+  void release();
+
+  /// acquire -> delay(service) -> release.
+  Task<void> use(UsTime service);
+
+  int available() const { return available_; }
+  std::size_t queue_length() const { return waiters_.size(); }
+
+ private:
+  Engine* engine_;
+  int available_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+struct IoResult {
+  bool ok = true;
+  UsTime queued = 0;   // time spent waiting for the device
+  UsTime service = 0;  // actual service time incl. hog slowdown and delays
+};
+
+/// One disk per host. Service times given by callers are the no-contention
+/// baseline; hogs multiply them, injected delay faults add on top, and
+/// injected error faults fail the operation after it completes its service
+/// (an errored write still occupied the device).
+class Disk {
+ public:
+  /// `service_sigma` > 0 adds lognormal service-time jitter (median 1.0):
+  /// real devices have heavy-ish right tails, and the SAAD duration
+  /// thresholds are only meaningful against that natural variability.
+  Disk(Engine* engine, const faults::FaultPlane* plane, std::uint16_t host,
+       Rng rng, double service_sigma = 0.0)
+      : engine_(engine), plane_(plane), host_(host), rng_(rng),
+        service_sigma_(service_sigma), res_(engine, 1) {}
+
+  Task<IoResult> io(faults::Activity activity, UsTime service);
+
+  std::size_t queue_length() const { return res_.queue_length(); }
+
+ private:
+  Engine* engine_;
+  const faults::FaultPlane* plane_;
+  std::uint16_t host_;
+  Rng rng_;
+  double service_sigma_;
+  Resource res_;
+};
+
+/// Point-to-point message latency with fault hooks.
+class Network {
+ public:
+  Network(Engine* engine, const faults::FaultPlane* plane, Rng rng,
+          UsTime base_latency)
+      : engine_(engine), plane_(plane), rng_(rng), base_latency_(base_latency) {}
+
+  /// One-way transfer from `from_host`; ok=false when an error fault hit.
+  Task<IoResult> transfer(std::uint16_t from_host, UsTime extra_service = 0);
+
+ private:
+  Engine* engine_;
+  const faults::FaultPlane* plane_;
+  Rng rng_;
+  UsTime base_latency_;
+};
+
+/// Broadcast condition variable. wait() suspends while closed; open() wakes
+/// every waiter and leaves the gate open.
+class Gate {
+ public:
+  explicit Gate(Engine* engine, bool open = true)
+      : engine_(engine), open_(open) {}
+
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  auto wait() {
+    struct Awaiter {
+      Gate& gate;
+      bool await_ready() const { return gate.open_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        gate.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  void open();
+  void close() { open_ = false; }
+  bool is_open() const { return open_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Engine* engine_;
+  bool open_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace saad::sim

@@ -1,0 +1,2 @@
+// staged.h is header-only; this TU anchors the library target.
+#include "sim/staged.h"

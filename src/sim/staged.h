@@ -1,0 +1,90 @@
+// Glue between simulated staged servers and the SAAD core.
+//
+// In the simulator, logical tasks are not OS threads, so attribution of log
+// calls cannot ride on thread-local state. StageTask owns the task's
+// TaskContext and binds it around every log call (explicit-mode tracker API).
+// Simulated stage code reads exactly like the instrumented Java of the paper:
+//
+//   Process DataXceiver::run(...) {
+//     StageTask task(host.begin(kDataXceiver));
+//     task.log(L1);                       // tracepoint only (text off)
+//     task.log(L2, [&]{ return "Receiving one packet for blk_" + id; });
+//     ...
+//   }  // synopsis emitted when `task` goes out of scope
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "core/logger.h"
+#include "core/tracker.h"
+
+namespace saad::sim {
+
+class StageTask {
+ public:
+  /// A null tracker produces an untracked task: log calls still reach the
+  /// logger (text/volume accounting) but no synopsis is emitted — the
+  /// "original system without SAAD" configuration of the overhead study.
+  StageTask(core::TaskExecutionTracker* tracker, core::Logger* logger,
+            core::StageId stage)
+      : tracker_(tracker), logger_(logger),
+        ctx_(tracker ? tracker->begin_task(stage) : nullptr) {}
+
+  StageTask(StageTask&& other) noexcept
+      : tracker_(other.tracker_), logger_(other.logger_),
+        ctx_(std::move(other.ctx_)) {}
+
+  StageTask(const StageTask&) = delete;
+  StageTask& operator=(const StageTask&) = delete;
+  StageTask& operator=(StageTask&&) = delete;
+
+  ~StageTask() { finish(); }
+
+  /// Hit a log point with pre-rendered (or no) text.
+  void log(core::LogPointId point, std::string_view message = {}) {
+    if (ctx_ == nullptr) {
+      logger_->log(point, message);
+      return;
+    }
+    core::TaskBinding bind(*tracker_, ctx_.get());
+    logger_->log(point, message);
+  }
+
+  /// Hit a log point, rendering text only if the logger will write it — the
+  /// isDebugEnabled() idiom; rendering cost is zero at INFO threshold for
+  /// DEBUG statements.
+  template <typename RenderFn>
+    requires std::is_invocable_r_v<std::string, RenderFn>
+  void log(core::LogPointId point, RenderFn&& render) {
+    const auto level = logger_->registry().log_point(point).level;
+    const bool writes = logger_->writes(level);
+    const std::string text = writes ? render() : std::string();
+    if (ctx_ == nullptr) {
+      logger_->log(point, text);
+      return;
+    }
+    core::TaskBinding bind(*tracker_, ctx_.get());
+    logger_->log(point, text);
+  }
+
+  /// Terminate the task and emit its synopsis. Idempotent; also called by
+  /// the destructor (premature scope exit == premature task termination,
+  /// which is precisely the signal SAAD catches as a rare signature).
+  void finish() {
+    if (ctx_ != nullptr) tracker_->end_task(std::move(ctx_));
+  }
+
+  bool finished() const { return ctx_ == nullptr; }
+  core::TaskUid uid() const { return ctx_ ? ctx_->uid() : 0; }
+
+ private:
+  core::TaskExecutionTracker* tracker_;
+  core::Logger* logger_;
+  std::unique_ptr<core::TaskContext> ctx_;
+};
+
+}  // namespace saad::sim

@@ -1,0 +1,37 @@
+// Descriptive statistics: streaming mean/variance (Welford) and exact
+// percentiles over sample vectors. The SAAD training pass is deliberately
+// limited to "counting and computing percentiles" (paper §4.2); this is that
+// machinery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace saad::stats {
+
+/// Numerically stable streaming mean / variance.
+class Welford {
+ public:
+  void add(double x);
+  void merge(const Welford& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Exact percentile of a sample (nearest-rank with linear interpolation).
+/// `q` in [0,1]. Sorts a copy; use percentile_sorted when already sorted.
+double percentile(std::vector<double> samples, double q);
+
+/// Same, but requires `sorted` to be ascending. Returns 0 when empty.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace saad::stats

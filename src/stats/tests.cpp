@@ -1,0 +1,54 @@
+#include "stats/tests.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace saad::stats {
+
+namespace {
+
+ProportionTestResult exact_binomial(std::uint64_t successes, std::uint64_t n,
+                                    double p0, double alpha) {
+  ProportionTestResult r;
+  r.p_value = binomial_upper_tail(successes, n, std::clamp(p0, 0.0, 1.0));
+  r.statistic = static_cast<double>(successes);
+  r.reject = r.p_value < alpha;
+  return r;
+}
+
+}  // namespace
+
+ProportionTestResult proportion_above(std::uint64_t successes, std::uint64_t n,
+                                      double p0, double alpha,
+                                      ProportionTestKind kind,
+                                      std::uint64_t min_n) {
+  ProportionTestResult r;
+  if (n == 0) return r;
+  const double phat = static_cast<double>(successes) / static_cast<double>(n);
+  if (phat <= p0) return r;  // cannot reject "p <= p0" from below
+
+  // p0 == 0 is categorical (any outlier contradicts H0); the t statistic's
+  // standard error does not capture that, so use the exact tail.
+  if (kind == ProportionTestKind::kExactBinomial || p0 <= 0.0 || n < min_n ||
+      successes == 0 || successes == n) {
+    return exact_binomial(successes, n, p0, alpha);
+  }
+
+  const double se =
+      std::sqrt(phat * (1.0 - phat) / static_cast<double>(n));
+  if (se <= 0.0) return exact_binomial(successes, n, p0, alpha);
+
+  const double stat = (phat - p0) / se;
+  r.statistic = stat;
+  if (kind == ProportionTestKind::kTTest) {
+    r.p_value = 1.0 - student_t_cdf(stat, static_cast<double>(n - 1));
+  } else {
+    r.p_value = 0.5 * std::erfc(stat / std::sqrt(2.0));
+  }
+  r.reject = r.p_value < alpha;
+  return r;
+}
+
+}  // namespace saad::stats

@@ -1,0 +1,36 @@
+// Hypothesis tests used by the SAAD analyzer (paper §3.3.3): one-sided,
+// one-sample tests of H0 "observed outlier proportion <= training proportion"
+// at significance level alpha = 0.001.
+#pragma once
+
+#include <cstdint>
+
+namespace saad::stats {
+
+/// Paper default significance level.
+inline constexpr double kDefaultAlpha = 0.001;
+
+enum class ProportionTestKind {
+  kTTest,          // paper's choice: t statistic with df = n-1
+  kZTest,          // normal approximation
+  kExactBinomial,  // exact binomial upper tail under H0 p = p0
+};
+
+struct ProportionTestResult {
+  bool reject = false;   // H0 rejected -> proportion significantly ABOVE p0
+  double p_value = 1.0;  // one-sided
+  double statistic = 0.0;
+};
+
+/// One-sided test of H0: p <= p0 against H1: p > p0, given `successes` out of
+/// `n` trials. For kTTest / kZTest the statistic uses the sample proportion's
+/// standard error sqrt(phat (1-phat) / n); degenerate cases (phat in {0,1},
+/// n < min_n) fall back to the exact binomial tail so tiny windows cannot
+/// produce spurious rejections.
+ProportionTestResult proportion_above(
+    std::uint64_t successes, std::uint64_t n, double p0,
+    double alpha = kDefaultAlpha,
+    ProportionTestKind kind = ProportionTestKind::kTTest,
+    std::uint64_t min_n = 20);
+
+}  // namespace saad::stats

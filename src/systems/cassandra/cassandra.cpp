@@ -1,0 +1,672 @@
+#include "systems/cassandra/cassandra.h"
+
+#include <cassert>
+
+namespace saad::systems {
+
+namespace {
+
+/// FNV-1a — deterministic across platforms (std::hash is not guaranteed).
+std::uint64_t key_hash(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+MiniCassandra::MiniCassandra(sim::Engine* engine, core::LogRegistry* registry,
+                             core::Monitor* monitor, core::LogSink* sink,
+                             core::Level threshold,
+                             const faults::FaultPlane* plane,
+                             const CassandraOptions& options,
+                             std::uint64_t seed)
+    : engine_(engine), registry_(registry), plane_(plane), options_(options),
+      rng_(seed) {
+  network_ = std::make_unique<sim::Network>(engine, plane, rng_.split(),
+                                            options.network_latency);
+  stuck_gate_ = std::make_unique<sim::Gate>(engine, /*open=*/false);
+
+  auto& reg = *registry_;
+  stages_.storage_proxy = reg.register_stage("StorageProxy");
+  stages_.cassandra_daemon = reg.register_stage("CassandraDaemon");
+  stages_.local_read = reg.register_stage("LocalReadRunnable");
+  stages_.memtable = reg.register_stage("Memtable");
+  stages_.outbound_tcp = reg.register_stage("OutboundTcpConnection");
+  stages_.commit_log = reg.register_stage("CommitLog");
+  stages_.gc_inspector = reg.register_stage("GCInspector");
+  stages_.worker_process = reg.register_stage("WorkerProcess");
+  stages_.table = reg.register_stage("Table");
+  stages_.log_record_adder = reg.register_stage("LogRecordAdder");
+  stages_.incoming_tcp = reg.register_stage("IncomingTcpConnection");
+  stages_.hinted_handoff = reg.register_stage("HintedHandOffManager");
+  stages_.compaction_manager = reg.register_stage("CompactionManager");
+
+  using L = core::Level;
+  auto lp = [&](core::StageId s, L level, const char* text) {
+    return reg.register_log_point(s, level, text, "cassandra.cc");
+  };
+  lp_.sp_mutate = lp(stages_.storage_proxy, L::kDebug,
+                     "insert writing key % to replicas");
+  lp_.sp_done = lp(stages_.storage_proxy, L::kDebug,
+                   "Write completed, responding to client");
+  lp_.sp_hint = lp(stages_.storage_proxy, L::kDebug,
+                   "Adding hint for unresponsive endpoint /%");
+  lp_.sp_read = lp(stages_.storage_proxy, L::kDebug,
+                   "Reading data for key % from replica");
+  lp_.sp_read_timeout = lp(stages_.storage_proxy, L::kWarn,
+                           "Read timed out for key %");
+  lp_.wp_start = lp(stages_.worker_process, L::kDebug,
+                    "Executing row mutation for key %");
+  lp_.wp_done = lp(stages_.worker_process, L::kDebug,
+                   "Row mutation applied. Sending response");
+  lp_.wp_hint = lp(stages_.worker_process, L::kDebug,
+                   "Storing hint destined for endpoint /%");
+  lp_.tbl_frozen =
+      lp(stages_.table, L::kDebug,
+         "MemTable is already frozen; another thread must be flushing it");
+  lp_.tbl_start =
+      lp(stages_.table, L::kDebug, "Start applying update to MemTable");
+  lp_.tbl_apply = lp(stages_.table, L::kDebug, "Applying mutation of row %");
+  lp_.tbl_done =
+      lp(stages_.table, L::kDebug, "Applied mutation. Sending response");
+  lp_.tbl_flush = lp(stages_.table, L::kInfo,
+                     "Memtable over threshold; switching in a fresh Memtable");
+  lp_.lra_add = lp(stages_.log_record_adder, L::kDebug,
+                   "Adding row mutation to commit log");
+  lp_.lra_done = lp(stages_.log_record_adder, L::kDebug,
+                    "Commit log append completed at position %");
+  lp_.mem_enqueue =
+      lp(stages_.memtable, L::kInfo, "Enqueuing flush of Memtable-%");
+  lp_.mem_write = lp(stages_.memtable, L::kInfo, "Writing Memtable-%");
+  lp_.mem_done = lp(stages_.memtable, L::kInfo,
+                    "Completed flushing; new sstable written");
+  lp_.mem_error = lp(stages_.memtable, L::kError,
+                     "Error writing Memtable to disk; will retry");
+  lp_.cl_check =
+      lp(stages_.commit_log, L::kDebug, "Checking commit log segments");
+  lp_.cl_discard = lp(stages_.commit_log, L::kDebug,
+                      "Discarding obsolete commit log segment");
+  lp_.cm_check = lp(stages_.compaction_manager, L::kDebug,
+                    "Checking to see if compaction of % would be useful");
+  lp_.cm_start =
+      lp(stages_.compaction_manager, L::kInfo, "Compacting % sstables");
+  lp_.cm_done = lp(stages_.compaction_manager, L::kInfo,
+                   "Compacted to single sstable; % bytes");
+  lp_.cm_error = lp(stages_.compaction_manager, L::kError,
+                    "Compaction failed with IO error");
+  lp_.gc_minor = lp(stages_.gc_inspector, L::kDebug, "GC for ParNew: % ms");
+  lp_.gc_warn = lp(stages_.gc_inspector, L::kWarn,
+                   "Heap is % full. GC pauses are getting long");
+  lp_.gc_done = lp(stages_.gc_inspector, L::kDebug, "GC inspection complete");
+  lp_.cd_gossip =
+      lp(stages_.cassandra_daemon, L::kDebug, "Gossiping my state to /%");
+  lp_.cd_ok = lp(stages_.cassandra_daemon, L::kDebug, "Gossip round complete");
+  lp_.cd_down =
+      lp(stages_.cassandra_daemon, L::kInfo, "InetAddress /% is now DOWN");
+  lp_.cd_oom = lp(stages_.cassandra_daemon, L::kError,
+                  "OutOfMemory pressure: mutation stage backed up");
+  lp_.lr_start = lp(stages_.local_read, L::kDebug,
+                    "Executing single-partition query on %");
+  lp_.lr_disk =
+      lp(stages_.local_read, L::kDebug, "Merging data from sstable %");
+  lp_.lr_done = lp(stages_.local_read, L::kDebug, "Read % live cells");
+  lp_.out_send = lp(stages_.outbound_tcp, L::kDebug,
+                    "Sending message to /% over socket");
+  lp_.out_reconnect = lp(stages_.outbound_tcp, L::kDebug,
+                         "Socket closed by peer; reconnecting to /%");
+  lp_.in_recv = lp(stages_.incoming_tcp, L::kDebug,
+                   "Received message from /% ; dispatching");
+  lp_.hh_start = lp(stages_.hinted_handoff, L::kInfo,
+                    "Started hinted handoff for endpoint /%");
+  lp_.hh_done = lp(stages_.hinted_handoff, L::kInfo,
+                   "Finished hinted handoff of % rows to endpoint /%");
+  lp_.hh_timeout = lp(stages_.hinted_handoff, L::kWarn,
+                      "Timed out replaying hints to endpoint /%");
+
+  nodes_.reserve(options_.nodes);
+  for (int i = 0; i < options_.nodes; ++i) {
+    auto node = std::make_unique<Node>(i);
+    core::TaskExecutionTracker* tracker =
+        monitor ? &monitor->tracker(static_cast<core::HostId>(i)) : nullptr;
+    node->host = std::make_unique<Host>(
+        engine_, plane_, registry_, sink, threshold, tracker,
+        static_cast<core::HostId>(i), rng_.split());
+    node->store =
+        std::make_unique<lsm::LsmStore>(engine_, &node->host->disk(),
+                                        options_.lsm);
+    node->worker_queue = std::make_unique<sim::SimQueue<Message>>(engine_);
+    node->flush_queue =
+        std::make_unique<sim::SimQueue<std::shared_ptr<sim::OneShot>>>(
+            engine_);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+MiniCassandra::~MiniCassandra() = default;
+
+void MiniCassandra::start() {
+  assert(!started_);
+  started_ = true;
+  for (auto& node : nodes_) {
+    node->host->run_disk_hog_service();
+    for (int w = 0; w < options_.workers_per_node; ++w) worker_loop(*node);
+    memtable_loop(*node);
+    commitlog_daemon(*node);
+    compaction_daemon(*node);
+    gc_daemon(*node);
+    gossip_daemon(*node);
+    hint_daemon(*node);
+  }
+}
+
+void MiniCassandra::preload(std::uint64_t keys, std::size_t value_bytes) {
+  std::vector<std::map<std::string, std::string>> per_node(nodes_.size());
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    const std::string key = "user" + std::to_string(k);
+    const std::string value(value_bytes, 'v');
+    for (int r = 0; r < options_.replication_factor; ++r) {
+      per_node[static_cast<std::size_t>(replica_for(key, r))][key] = value;
+    }
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->store->preload(std::move(per_node[i]));
+  }
+}
+
+int MiniCassandra::replica_for(const std::string& key, int r) const {
+  return static_cast<int>((key_hash(key) + static_cast<std::uint64_t>(r)) %
+                          nodes_.size());
+}
+
+int MiniCassandra::pick_coordinator() {
+  // Clients rotate over nodes that are up (a crashed node refuses
+  // connections; a wedged node still accepts them — fault masking).
+  for (std::size_t attempt = 0; attempt < nodes_.size(); ++attempt) {
+    next_coordinator_ = (next_coordinator_ + 1) % static_cast<int>(nodes_.size());
+    if (!nodes_[next_coordinator_]->crashed) return next_coordinator_;
+  }
+  return 0;  // everything down: degenerate, callers will time out
+}
+
+int MiniCassandra::pick_healthy(int avoid) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int candidate =
+        static_cast<int>(rng_.next_below(nodes_.size()));
+    if (candidate != avoid && !nodes_[candidate]->crashed &&
+        !nodes_[candidate]->known_down) {
+      return candidate;
+    }
+  }
+  return avoid;  // no healthy peer found
+}
+
+void MiniCassandra::enqueue_local(Node& node, Message msg) {
+  if (node.crashed) return;
+  node.worker_queue->push(std::move(msg));
+}
+
+void MiniCassandra::store_hint(int target_node, const std::string& key,
+                               const std::string& value) {
+  const int holder = pick_healthy(target_node);
+  if (holder == target_node) return;
+  Message hint;
+  hint.kind = Message::Kind::kHintStore;
+  hint.key = key;
+  hint.value = value;
+  hint.hint_target = target_node;
+  enqueue_local(*nodes_[holder], std::move(hint));
+}
+
+void MiniCassandra::maybe_crash(Node& node) {
+  if (node.crashing || node.crashed ||
+      node.buffered_bytes < options_.crash_buffered_bytes) {
+    return;
+  }
+  node.crashing = true;
+  crash_sequence(node);
+}
+
+sim::Process MiniCassandra::crash_sequence(Node& node) {
+  // "The effect of memory pressure becomes visible as a dozen of error
+  // messages ... and shortly after that, the Cassandra process crashes."
+  for (int i = 0; i < 12; ++i) {
+    {
+      auto task = node.host->begin(stages_.cassandra_daemon);
+      task.log(lp_.cd_oom,
+               [&] { return std::string("OutOfMemory pressure: mutation "
+                                        "stage backed up"); });
+    }
+    co_await engine_->delay(sec(2));
+  }
+  node.crashed = true;
+}
+
+sim::Process MiniCassandra::send_remote(Node& from, Node& to, Message msg) {
+  {
+    auto task = from.host->begin(stages_.outbound_tcp);
+    task.log(lp_.out_send, [&] {
+      return "Sending message to /10.0.0." + std::to_string(to.index) +
+             " over socket";
+    });
+    if (from.host->rng().chance(options_.outbound_reconnect_chance)) {
+      co_await engine_->delay(ms(2));
+      task.log(lp_.out_reconnect, [&] {
+        return "Socket closed by peer; reconnecting to /10.0.0." +
+               std::to_string(to.index);
+      });
+    }
+  }
+  const auto io = co_await network_->transfer(
+      static_cast<std::uint16_t>(from.index), options_.rpc_cpu);
+  if (!io.ok || to.crashed) co_return;  // dropped on the floor
+  {
+    auto task = to.host->begin(stages_.incoming_tcp);
+    task.log(lp_.in_recv, [&] {
+      return "Received message from /10.0.0." + std::to_string(from.index) +
+             " ; dispatching";
+    });
+    co_await to.host->compute(options_.rpc_cpu);
+  }
+  if (msg.kind == Message::Kind::kRead) {
+    read_task(to, std::move(msg));
+  } else {
+    enqueue_local(to, std::move(msg));
+  }
+}
+
+sim::Task<bool> MiniCassandra::put(std::string key, std::string value) {
+  Node& coord = *nodes_[pick_coordinator()];
+  auto task = coord.host->begin(stages_.storage_proxy);
+  task.log(lp_.sp_mutate,
+           [&] { return "insert writing key " + key + " to replicas"; });
+
+  struct Pending {
+    int replica;
+    std::shared_ptr<sim::OneShot> ack;
+  };
+  std::vector<Pending> pending;
+  for (int r = 0; r < options_.replication_factor; ++r) {
+    const int replica = replica_for(key, r);
+    Node& target = *nodes_[replica];
+    if (target.crashed || target.known_down) {
+      // Gossip already told us: don't wait, hint straight away.
+      task.log(lp_.sp_hint, [&] {
+        return "Adding hint for unresponsive endpoint /10.0.0." +
+               std::to_string(replica);
+      });
+      store_hint(replica, key, value);
+      continue;
+    }
+    Message m;
+    m.kind = Message::Kind::kMutation;
+    m.key = key;
+    m.value = value;
+    m.ack = sim::OneShot::create(engine_);
+    pending.push_back(Pending{replica, m.ack});
+    if (replica == coord.index) {
+      enqueue_local(coord, std::move(m));
+    } else {
+      send_remote(coord, target, std::move(m));
+    }
+  }
+
+  const UsTime deadline = engine_->now() + options_.write_timeout;
+  int acked = 0;
+  for (auto& p : pending) {
+    const UsTime budget = std::max<UsTime>(deadline - engine_->now(), 1);
+    const bool ok = co_await p.ack->wait(budget);
+    if (ok) {
+      acked++;
+    } else {
+      write_timeouts_++;
+      task.log(lp_.sp_hint, [&] {
+        return "Adding hint for unresponsive endpoint /10.0.0." +
+               std::to_string(p.replica);
+      });
+      store_hint(p.replica, key, value);
+    }
+  }
+  if (acked > 0) {
+    task.log(lp_.sp_done, "Write completed, responding to client");
+    co_return true;
+  }
+  co_return false;  // premature: no sp_done
+}
+
+sim::Process MiniCassandra::worker_loop(Node& node) {
+  for (;;) {
+    Message msg = co_await node.worker_queue->pop();
+    if (node.crashed) continue;
+    auto task = node.host->begin(stages_.worker_process);
+    task.log(lp_.wp_start,
+             [&] { return "Executing row mutation for key " + msg.key; });
+    if (msg.kind == Message::Kind::kHintStore) {
+      task.log(lp_.wp_hint, [&] {
+        return "Storing hint destined for endpoint /10.0.0." +
+               std::to_string(msg.hint_target);
+      });
+      node.hints.push_back(Hint{msg.hint_target, msg.key, msg.value});
+      hints_stored_++;
+      co_await node.host->compute(options_.mutate_cpu);
+      if (msg.ack) msg.ack->fulfill();
+      continue;
+    }
+    co_await node.host->compute(options_.rpc_cpu);
+    const bool ok = co_await apply_mutation(node, msg);
+    if (ok) {
+      task.log(lp_.wp_done, "Row mutation applied. Sending response");
+      if (msg.ack) msg.ack->fulfill();
+    }
+    // !ok: premature termination — the wp task ends without wp_done.
+  }
+}
+
+sim::Task<bool> MiniCassandra::apply_mutation(Node& node, const Message& msg) {
+  auto task = node.host->begin(stages_.table);
+  if (node.store->memtable_frozen()) {
+    task.log(lp_.tbl_frozen,
+             "MemTable is already frozen; another thread must be flushing it");
+    co_await engine_->delay(ms(2));  // brief wait for the lock holder
+    if (node.store->memtable_frozen()) {
+      if (node.wedged) {
+        // Writes buffer in memory behind the stuck task: the slow march
+        // toward the OOM crash of Fig. 9a.
+        node.buffered_bytes += msg.key.size() + msg.value.size();
+        maybe_crash(node);
+      }
+      co_return false;  // premature: signature is {tbl_frozen} (Table 1)
+    }
+  }
+  task.log(lp_.tbl_start, "Start applying update to MemTable");
+
+  bool wal_ok = false;
+  {
+    auto lra = node.host->begin(stages_.log_record_adder);
+    lra.log(lp_.lra_add, "Adding row mutation to commit log");
+    const auto io =
+        co_await node.store->wal_append(msg.key.size() + msg.value.size());
+    wal_ok = io.ok;
+    if (wal_ok) {
+      lra.log(lp_.lra_done, [&] {
+        return "Commit log append completed at position " +
+               std::to_string(node.store->wal().pending_bytes());
+      });
+    }
+    // !ok: lra ends prematurely with {lra_add}.
+  }
+  if (!wal_ok) {
+    node.consecutive_wal_failures++;
+    if (node.consecutive_wal_failures >=
+            options_.wedge_consecutive_wal_failures &&
+        !node.wedged) {
+      // The paper's wedge: retries exhausted while holding the MemTable
+      // switch lock; the task blocks forever without releasing it, freezing
+      // the MemTable for everyone else (Table 1's anomalous flow).
+      node.wedged = true;
+      node.store->wedge_active();
+      co_await stuck_gate_->wait();  // never returns
+    }
+    co_return false;  // premature: {tbl_start} without tbl_apply/tbl_done
+  }
+  node.consecutive_wal_failures = 0;
+
+  task.log(lp_.tbl_apply,
+           [&] { return "Applying mutation of row " + msg.key; });
+  co_await node.host->compute(options_.mutate_cpu);
+  node.store->apply(msg.key, msg.value);
+  task.log(lp_.tbl_done, "Applied mutation. Sending response");
+  // The write is durable (WAL) and applied: acknowledge *before* any flush
+  // hand-off so coordinators are not timed out by background I/O. fulfill()
+  // is idempotent, so the worker's post-hoc fulfill is harmless.
+  if (msg.ack) msg.ack->fulfill();
+
+  if (node.store->needs_flush()) {
+    // The task that fills the MemTable is on the hook for the flush
+    // hand-off and waits for it (paper §5.4.2, delay-on-flush discussion).
+    task.log(lp_.tbl_flush,
+             "Memtable over threshold; switching in a fresh Memtable");
+    auto done = sim::OneShot::create(engine_);
+    node.flush_queue->push(done);
+    co_await done->wait(sec(30));
+  }
+  co_return true;
+}
+
+sim::Task<std::optional<std::string>> MiniCassandra::get(std::string key) {
+  Node& coord = *nodes_[pick_coordinator()];
+  auto task = coord.host->begin(stages_.storage_proxy);
+  task.log(lp_.sp_read,
+           [&] { return "Reading data for key " + key + " from replica"; });
+
+  // Read from the first live replica.
+  int replica = replica_for(key, 0);
+  for (int r = 0; r < options_.replication_factor; ++r) {
+    const int candidate = replica_for(key, r);
+    if (!nodes_[candidate]->crashed && !nodes_[candidate]->known_down) {
+      replica = candidate;
+      break;
+    }
+  }
+  Message m;
+  m.kind = Message::Kind::kRead;
+  m.key = key;
+  m.ack = sim::OneShot::create(engine_);
+  m.result = std::make_shared<std::optional<std::string>>();
+  auto ack = m.ack;
+  auto result = m.result;
+  if (replica == coord.index) {
+    read_task(coord, std::move(m));
+  } else {
+    send_remote(coord, *nodes_[replica], std::move(m));
+  }
+  const bool ok = co_await ack->wait(options_.read_timeout);
+  if (!ok) {
+    task.log(lp_.sp_read_timeout,
+             [&] { return "Read timed out for key " + key; });
+    co_return std::nullopt;
+  }
+  co_return *result;
+}
+
+sim::Process MiniCassandra::read_task(Node& node, Message msg) {
+  // Dispatcher-worker stage: one LocalReadRunnable task per query.
+  if (node.crashed) co_return;
+  auto task = node.host->begin(stages_.local_read);
+  task.log(lp_.lr_start,
+           [&] { return "Executing single-partition query on " + msg.key; });
+  co_await node.host->compute(options_.rpc_cpu);
+  const auto r = co_await node.store->get(msg.key);
+  if (r.sstables_probed > 0) {
+    task.log(lp_.lr_disk, [&] {
+      return "Merging data from sstable " + std::to_string(r.sstables_probed);
+    });
+  }
+  task.log(lp_.lr_done, [&] {
+    return "Read " + std::to_string(r.value ? 1 : 0) + " live cells";
+  });
+  *msg.result = r.value;
+  msg.ack->fulfill();
+}
+
+sim::Process MiniCassandra::memtable_loop(Node& node) {
+  for (;;) {
+    auto done = co_await node.flush_queue->pop();
+    if (node.crashed) {
+      done->fulfill();
+      continue;
+    }
+    if (node.wedged) {
+      // The stuck mutation holds the MemTable switch lock: the flush
+      // executor cannot rotate the frozen table either. Flush requests
+      // pile up unserved while memory pressure grows (Fig. 9a).
+      done->fulfill();
+      continue;
+    }
+    auto task = node.host->begin(stages_.memtable);
+    task.log(lp_.mem_enqueue, [&] {
+      return "Enqueuing flush of Memtable-" +
+             std::to_string(node.store->active_bytes());
+    });
+    task.log(lp_.mem_write, [&] {
+      return "Writing Memtable-" + std::to_string(node.store->active_bytes());
+    });
+    const bool ok = co_await node.store->flush();
+    if (ok) {
+      task.log(lp_.mem_done, "Completed flushing; new sstable written");
+    } else {
+      task.log(lp_.mem_error, "Error writing Memtable to disk; will retry");
+      // Retry later; nobody waits on the retry's completion.
+      engine_->schedule_in(options_.flush_retry_delay, [this, &node] {
+        if (!node.crashed)
+          node.flush_queue->push(sim::OneShot::create(engine_));
+      });
+    }
+    done->fulfill();
+  }
+}
+
+sim::Process MiniCassandra::commitlog_daemon(Node& node) {
+  for (;;) {
+    co_await engine_->delay(options_.commitlog_period);
+    if (node.crashed) continue;
+    auto task = node.host->begin(stages_.commit_log);
+    task.log(lp_.cl_check, "Checking commit log segments");
+    if (node.store->wal().pending_bytes() >= options_.commitlog_segment_bytes) {
+      // A segment can only be recycled after the MemTables holding its
+      // entries are flushed, so recycling forces a flush of the dirty
+      // tables and waits for it. This coupling is why delay-on-flush
+      // faults surface as CommitLog performance anomalies (Fig. 9d).
+      auto flushed = sim::OneShot::create(engine_);
+      node.flush_queue->push(flushed);
+      co_await flushed->wait(sec(10));
+      co_await node.host->disk().io(faults::Activity::kDiskWrite, 400);
+      task.log(lp_.cl_discard, "Discarding obsolete commit log segment");
+    }
+  }
+}
+
+sim::Process MiniCassandra::compaction_daemon(Node& node) {
+  for (;;) {
+    co_await engine_->delay(options_.compaction_check_period);
+    if (node.crashed) continue;
+    auto task = node.host->begin(stages_.compaction_manager);
+    task.log(lp_.cm_check, [&] {
+      return "Checking to see if compaction of " +
+             std::to_string(node.store->num_sstables()) +
+             " sstables would be useful";
+    });
+    if (node.store->needs_major_compaction()) {
+      task.log(lp_.cm_start, [&] {
+        return "Compacting " + std::to_string(node.store->num_sstables()) +
+               " sstables";
+      });
+      const bool ok = co_await node.store->major_compact();
+      if (ok) {
+        task.log(lp_.cm_done, "Compacted to single sstable");
+      } else {
+        task.log(lp_.cm_error, "Compaction failed with IO error");
+      }
+    }
+  }
+}
+
+sim::Process MiniCassandra::gc_daemon(Node& node) {
+  for (;;) {
+    co_await engine_->delay(options_.gc_period);
+    if (node.crashed) continue;
+    auto task = node.host->begin(stages_.gc_inspector);
+    const std::size_t pressure =
+        node.store->unflushed_bytes() + node.buffered_bytes;
+    const UsTime pause = std::min<UsTime>(
+        ms(2) + static_cast<UsTime>(pressure / 1024) * 40, ms(500));
+    task.log(lp_.gc_minor, [&] {
+      return "GC for ParNew: " + std::to_string(to_ms(pause)) + " ms";
+    });
+    co_await node.host->compute(pause);
+    if (pressure > options_.gc_pressure_bytes) {
+      task.log(lp_.gc_warn, [&] {
+        return "Heap is " + std::to_string(pressure) +
+               " full. GC pauses are getting long";
+      });
+    }
+    task.log(lp_.gc_done, "GC inspection complete");
+  }
+}
+
+sim::Process MiniCassandra::gossip_daemon(Node& node) {
+  for (;;) {
+    co_await engine_->delay(options_.gossip_period);
+    if (node.crashed) continue;
+    auto task = node.host->begin(stages_.cassandra_daemon);
+    const int peer = static_cast<int>(
+        node.host->rng().next_below(nodes_.size()));
+    if (peer == node.index) {
+      task.log(lp_.cd_ok, "Gossip round complete");
+      continue;
+    }
+    task.log(lp_.cd_gossip, [&] {
+      return "Gossiping my state to /10.0.0." + std::to_string(peer);
+    });
+    co_await network_->transfer(static_cast<std::uint16_t>(node.index));
+    if (nodes_[peer]->crashed && !nodes_[peer]->known_down) {
+      nodes_[peer]->known_down = true;
+      task.log(lp_.cd_down, [&] {
+        return "InetAddress /10.0.0." + std::to_string(peer) + " is now DOWN";
+      });
+    } else {
+      task.log(lp_.cd_ok, "Gossip round complete");
+    }
+  }
+}
+
+sim::Process MiniCassandra::hint_daemon(Node& node) {
+  for (;;) {
+    co_await engine_->delay(options_.hint_replay_period);
+    if (node.crashed || node.hints.empty()) continue;
+    auto task = node.host->begin(stages_.hinted_handoff);
+    const Hint hint = node.hints.front();
+    task.log(lp_.hh_start, [&] {
+      return "Started hinted handoff for endpoint /10.0.0." +
+             std::to_string(hint.target_node);
+    });
+    Node& target = *nodes_[hint.target_node];
+    if (target.crashed || target.known_down) {
+      co_await engine_->delay(options_.write_timeout);
+      task.log(lp_.hh_timeout, [&] {
+        return "Timed out replaying hints to endpoint /10.0.0." +
+               std::to_string(hint.target_node);
+      });
+      continue;  // keep the hint, try again next round
+    }
+    Message m;
+    m.kind = Message::Kind::kHintedMutation;
+    m.key = hint.key;
+    m.value = hint.value;
+    m.ack = sim::OneShot::create(engine_);
+    auto ack = m.ack;
+    if (hint.target_node == node.index) {
+      enqueue_local(node, std::move(m));
+    } else {
+      send_remote(node, target, std::move(m));
+    }
+    const bool ok = co_await ack->wait(options_.write_timeout);
+    if (ok) {
+      node.hints.erase(node.hints.begin());
+      task.log(lp_.hh_done, [&] {
+        return "Finished hinted handoff of 1 rows to endpoint /10.0.0." +
+               std::to_string(hint.target_node);
+      });
+    } else {
+      task.log(lp_.hh_timeout, [&] {
+        return "Timed out replaying hints to endpoint /10.0.0." +
+               std::to_string(hint.target_node);
+      });
+    }
+  }
+}
+
+}  // namespace saad::systems

@@ -1,0 +1,216 @@
+// MiniCassandra: a deterministic simulated Cassandra 0.8-style cluster with
+// the staged architecture SAAD instruments (paper §5.4, Fig. 9).
+//
+// Peer-to-peer nodes; each node runs the write path
+//   StorageProxy (coordinator) -> {OutboundTcp -> IncomingTcp ->}
+//   WorkerProcess -> Table (+ LogRecordAdder for the WAL append)
+// over a shared-nothing LSM store (lsm::LsmStore), plus the daemons
+//   Memtable (flusher), CommitLog (segment maintenance), CompactionManager,
+//   GCInspector, CassandraDaemon (gossip), HintedHandOffManager,
+// and the dispatcher-worker read stage LocalReadRunnable.
+//
+// Fault semantics reproduced from the paper:
+//  * WAL-append error during a flush switch wedges the node: the stuck task
+//    never releases the MemTable lock, subsequent mutations log only the
+//    "MemTable is already frozen" point and terminate prematurely (Table 1),
+//    writes buffer in memory until the node OOM-crashes (~a dozen ERROR
+//    lines, then silence) — Fig. 9a.
+//  * MemTable-flush errors leave frozen tables buffered (GC pressure,
+//    lingering after the fault lifts) and also break compaction — Fig. 9b.
+//  * Delay faults stretch WorkerProcess/StorageProxy (WAL) or
+//    CommitLog/WorkerProcess (flush) durations — Fig. 9c/9d.
+//  * Coordinators that time out on a replica write a hint to a random
+//    healthy peer ("hinted hand-off"), whose WorkerProcess logs the
+//    hint-store flow — the cross-node anomaly signature of Fig. 9a.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/monitor.h"
+#include "lsm/store.h"
+#include "sim/oneshot.h"
+#include "sim/queue.h"
+#include "systems/host.h"
+#include "workload/ycsb.h"
+
+namespace saad::systems {
+
+struct CassandraOptions {
+  int nodes = 4;
+  int replication_factor = 2;
+  int workers_per_node = 32;  // WorkerProcess pool size
+  lsm::LsmOptions lsm;
+
+  UsTime network_latency = 300;     // one-way, us
+  UsTime rpc_cpu = 40;              // us, per-message CPU
+  UsTime mutate_cpu = 80;           // us, applying one mutation
+  UsTime write_timeout = ms(500);   // coordinator ack timeout -> hint
+  UsTime read_timeout = ms(500);
+
+  UsTime gossip_period = sec(1);
+  UsTime gc_period = sec(10);
+  UsTime commitlog_period = sec(2);
+  UsTime compaction_check_period = sec(5);
+  UsTime hint_replay_period = sec(10);
+  UsTime flush_retry_delay = sec(5);
+
+  std::size_t commitlog_segment_bytes = 8 * 1024;   // discard trigger
+  std::size_t gc_pressure_bytes = 192 * 1024;       // heap-warning threshold
+  std::size_t crash_buffered_bytes = 512 * 1024;     // wedged-node OOM point
+  double outbound_reconnect_chance = 0.0005;        // rare-but-normal flow
+
+  /// The frozen-MemTable wedge fires after this many *consecutive* WAL-append
+  /// failures on a node: the commit-log executor exhausts its retries while
+  /// holding the MemTable switch lock and blocks forever. At the paper's 1%
+  /// fault intensity a run of this length is essentially impossible; at 100%
+  /// it happens within tens of writes — reproducing why the low-intensity
+  /// fault only causes rare flows while the high-intensity one wedges the
+  /// node (Fig. 9a).
+  int wedge_consecutive_wal_failures = 10;
+};
+
+/// Dense stage ids, registered once in the shared LogRegistry.
+struct CassandraStages {
+  core::StageId storage_proxy, cassandra_daemon, local_read, memtable,
+      outbound_tcp, commit_log, gc_inspector, worker_process, table,
+      log_record_adder, incoming_tcp, hinted_handoff, compaction_manager;
+};
+
+/// Log point ids (templates registered alongside).
+struct CassandraLogPoints {
+  // StorageProxy
+  core::LogPointId sp_mutate, sp_done, sp_hint, sp_read, sp_read_timeout;
+  // WorkerProcess
+  core::LogPointId wp_start, wp_done, wp_hint;
+  // Table (the Table-1 flow)
+  core::LogPointId tbl_frozen, tbl_start, tbl_apply, tbl_done, tbl_flush;
+  // LogRecordAdder
+  core::LogPointId lra_add, lra_done;
+  // Memtable (flusher)
+  core::LogPointId mem_enqueue, mem_write, mem_done, mem_error;
+  // CommitLog
+  core::LogPointId cl_check, cl_discard;
+  // CompactionManager
+  core::LogPointId cm_check, cm_start, cm_done, cm_error;
+  // GCInspector
+  core::LogPointId gc_minor, gc_warn, gc_done;
+  // CassandraDaemon
+  core::LogPointId cd_gossip, cd_ok, cd_down, cd_oom;
+  // LocalReadRunnable
+  core::LogPointId lr_start, lr_disk, lr_done;
+  // Tcp stages
+  core::LogPointId out_send, out_reconnect, in_recv;
+  // HintedHandOffManager
+  core::LogPointId hh_start, hh_done, hh_timeout;
+};
+
+class MiniCassandra : public workload::KvService {
+ public:
+  /// `monitor` may be null (untracked run). Registers stages/log points into
+  /// `registry` (shared across instances is fine: ids are instance-local).
+  MiniCassandra(sim::Engine* engine, core::LogRegistry* registry,
+                core::Monitor* monitor, core::LogSink* sink,
+                core::Level threshold, const faults::FaultPlane* plane,
+                const CassandraOptions& options, std::uint64_t seed);
+  ~MiniCassandra() override;
+
+  /// Launch per-node daemons. Call once before driving workload.
+  void start();
+
+  /// Install a baseline dataset (keys "user0".."user<n-1>") on the proper
+  /// replicas, bypassing simulated I/O — the paper's "initialized with a
+  /// baseline data set" step. Call before start().
+  void preload(std::uint64_t keys, std::size_t value_bytes);
+
+  // KvService — the YCSB driver's entry points.
+  sim::Task<bool> put(std::string key, std::string value) override;
+  sim::Task<std::optional<std::string>> get(std::string key) override;
+
+  const CassandraStages& stages() const { return stages_; }
+  const CassandraLogPoints& points() const { return lp_; }
+  const CassandraOptions& options() const { return options_; }
+
+  // Introspection for tests and benches.
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  bool node_wedged(int node) const { return nodes_[node]->wedged; }
+  bool node_crashed(int node) const { return nodes_[node]->crashed; }
+  lsm::LsmStore& store(int node) { return *nodes_[node]->store; }
+  std::uint64_t hints_stored() const { return hints_stored_; }
+  /// Bytes of writes buffered in memory on a wedged node (drives the OOM).
+  std::size_t buffered_bytes(int node) const {
+    return nodes_[node]->buffered_bytes;
+  }
+  std::uint64_t write_timeouts() const { return write_timeouts_; }
+
+ private:
+  struct Hint {
+    int target_node;
+    std::string key, value;
+  };
+
+  struct Message {
+    enum class Kind { kMutation, kHintStore, kHintedMutation, kRead };
+    Kind kind = Kind::kMutation;
+    std::string key, value;
+    std::shared_ptr<sim::OneShot> ack;                    // writes
+    std::shared_ptr<std::optional<std::string>> result;   // reads
+    int hint_target = -1;                                 // kHintStore
+  };
+
+  struct Node {
+    explicit Node(int index) : index(index) {}
+    int index;
+    std::unique_ptr<Host> host;
+    std::unique_ptr<lsm::LsmStore> store;
+    std::unique_ptr<sim::SimQueue<Message>> worker_queue;
+    std::unique_ptr<sim::SimQueue<std::shared_ptr<sim::OneShot>>> flush_queue;
+    std::vector<Hint> hints;
+    std::size_t buffered_bytes = 0;  // writes held in memory while wedged
+    int consecutive_wal_failures = 0;
+    bool wedged = false;
+    bool crashing = false;  // OOM error sequence underway
+    bool crashed = false;
+    bool known_down = false;  // gossip-detected (only after a crash)
+  };
+
+  int replica_for(const std::string& key, int r) const;
+  int pick_coordinator();
+  int pick_healthy(int avoid) ;
+  void enqueue_local(Node& node, Message msg);
+  void store_hint(int target_node, const std::string& key,
+                  const std::string& value);
+  void maybe_crash(Node& node);
+
+  // Stage coroutines.
+  sim::Process send_remote(Node& from, Node& to, Message msg);
+  sim::Process worker_loop(Node& node);
+  sim::Task<bool> apply_mutation(Node& node, const Message& msg);
+  sim::Process read_task(Node& node, Message msg);
+  sim::Process memtable_loop(Node& node);
+  sim::Process commitlog_daemon(Node& node);
+  sim::Process compaction_daemon(Node& node);
+  sim::Process gc_daemon(Node& node);
+  sim::Process gossip_daemon(Node& node);
+  sim::Process hint_daemon(Node& node);
+  sim::Process crash_sequence(Node& node);
+
+  sim::Engine* engine_;
+  core::LogRegistry* registry_;
+  const faults::FaultPlane* plane_;
+  CassandraOptions options_;
+  CassandraStages stages_{};
+  CassandraLogPoints lp_{};
+  Rng rng_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<sim::Gate> stuck_gate_;  // never opens: the wedge
+  std::vector<std::unique_ptr<Node>> nodes_;
+  int next_coordinator_ = 0;
+  std::uint64_t hints_stored_ = 0;
+  std::uint64_t write_timeouts_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace saad::systems

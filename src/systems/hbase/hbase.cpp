@@ -1,0 +1,513 @@
+#include "systems/hbase/hbase.h"
+
+#include <cassert>
+
+namespace saad::systems {
+
+namespace {
+std::uint64_t key_hash(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+MiniHBase::MiniHBase(sim::Engine* engine, core::LogRegistry* registry,
+                     core::Monitor* monitor, core::LogSink* sink,
+                     core::Level threshold, const faults::FaultPlane* plane,
+                     MiniHdfs* hdfs, const HBaseOptions& options,
+                     std::uint64_t seed)
+    : engine_(engine), registry_(registry), plane_(plane), hdfs_(hdfs),
+      options_(options), rng_(seed) {
+  auto& reg = *registry_;
+  stages_.call = reg.register_stage("Call");
+  stages_.handler = reg.register_stage("HBaseHandler");
+  stages_.open_region = reg.register_stage("OpenRegionHandler");
+  stages_.post_open = reg.register_stage("PostOpenDeployTasksThread");
+  stages_.log_roller = reg.register_stage("LogRoller");
+  stages_.split_log_worker = reg.register_stage("SplitLogWorker");
+  stages_.compaction_checker = reg.register_stage("CompactionChecker");
+  stages_.compaction_request = reg.register_stage("CompactionRequest");
+  stages_.data_streamer = reg.register_stage("DataStreamer");
+  stages_.response_processor = reg.register_stage("ResponseProcessor");
+  stages_.listener = reg.register_stage("HBaseListener");
+  stages_.connection = reg.register_stage("Connection");
+
+  using L = core::Level;
+  auto lp = [&](core::StageId s, L level, const char* text) {
+    return reg.register_log_point(s, level, text, "hbase.cc");
+  };
+  lp_.li_accept = lp(stages_.listener, L::kDebug,
+                     "Listener: accepted connection from %");
+  lp_.conn_read = lp(stages_.connection, L::kDebug,
+                     "Connection: read RPC bytes from %");
+  lp_.call_put = lp(stages_.call, L::kDebug, "Call: multi put for region %");
+  lp_.call_get = lp(stages_.call, L::kDebug, "Call: get for region %");
+  lp_.call_done = lp(stages_.call, L::kDebug, "Call: queued for handler");
+  lp_.h_put_start =
+      lp(stages_.handler, L::kDebug, "Handler: applying put to region %");
+  lp_.h_edit = lp(stages_.handler, L::kDebug,
+                  "Handler: appended edit to memstore, % bytes");
+  lp_.h_put_done = lp(stages_.handler, L::kDebug, "Handler: put durable");
+  lp_.h_sync_start =
+      lp(stages_.handler, L::kDebug, "Handler: log sync of % edits");
+  lp_.h_sync_done = lp(stages_.handler, L::kDebug, "Handler: log sync done");
+  lp_.h_get_start =
+      lp(stages_.handler, L::kDebug, "Handler: get on region %");
+  lp_.h_get_mem =
+      lp(stages_.handler, L::kDebug, "Handler: memstore hit for %");
+  lp_.h_get_hfile =
+      lp(stages_.handler, L::kDebug, "Handler: reading HFile block for %");
+  lp_.h_get_done = lp(stages_.handler, L::kDebug, "Handler: get complete");
+  lp_.ds_stream = lp(stages_.data_streamer, L::kDebug,
+                     "DataStreamer: streaming packet for block blk_%");
+  lp_.ds_flush_block = lp(stages_.data_streamer, L::kInfo,
+                          "DataStreamer: writing flushed HFile block blk_%");
+  lp_.ds_done =
+      lp(stages_.data_streamer, L::kDebug, "DataStreamer: stream closed");
+  lp_.rp_ack = lp(stages_.response_processor, L::kDebug,
+                  "ResponseProcessor: ack for block blk_%");
+  lp_.rp_timeout = lp(stages_.response_processor, L::kWarn,
+                      "ResponseProcessor: ack timeout for block blk_%");
+  lp_.rp_retry = lp(stages_.response_processor, L::kWarn,
+                    "Retrying recovery for block blk_% after exception");
+  lp_.lr_roll_start =
+      lp(stages_.log_roller, L::kInfo, "LogRoller: rolling hlog, % entries");
+  lp_.lr_roll_done = lp(stages_.log_roller, L::kInfo, "LogRoller: roll done");
+  lp_.slw_check = lp(stages_.split_log_worker, L::kDebug,
+                     "SplitLogWorker: checking for log-split work");
+  lp_.slw_acquire = lp(stages_.split_log_worker, L::kInfo,
+                       "SplitLogWorker: acquired split task for %");
+  lp_.slw_split = lp(stages_.split_log_worker, L::kInfo,
+                     "SplitLogWorker: splitting hlog of dead server %");
+  lp_.slw_done =
+      lp(stages_.split_log_worker, L::kInfo, "SplitLogWorker: split done");
+  lp_.cc_check = lp(stages_.compaction_checker, L::kDebug,
+                    "CompactionChecker: region % store files checked");
+  lp_.cc_due = lp(stages_.compaction_checker, L::kInfo,
+                  "CompactionChecker: compaction requested for %");
+  lp_.cc_major = lp(stages_.compaction_checker, L::kInfo,
+                    "CompactionChecker: MAJOR compaction due for %");
+  lp_.cr_start = lp(stages_.compaction_request, L::kInfo,
+                    "CompactionRequest: starting compaction of % files");
+  lp_.cr_major = lp(stages_.compaction_request, L::kInfo,
+                    "CompactionRequest: major compaction of all store files");
+  lp_.cr_done = lp(stages_.compaction_request, L::kInfo,
+                   "CompactionRequest: completed, new file size %");
+  lp_.orh_open = lp(stages_.open_region, L::kInfo,
+                    "OpenRegionHandler: opening region %");
+  lp_.orh_done = lp(stages_.open_region, L::kInfo,
+                    "OpenRegionHandler: region % online");
+  lp_.pod_start = lp(stages_.post_open, L::kDebug,
+                     "PostOpenDeployTasks: updating meta for region %");
+  lp_.pod_done = lp(stages_.post_open, L::kDebug,
+                    "PostOpenDeployTasks: done for region %");
+  lp_.rs_abort = lp(stages_.handler, L::kError,
+                    "ABORTING region server %: WAL recovery retries exceeded");
+
+  servers_.reserve(options_.regionservers);
+  for (int i = 0; i < options_.regionservers; ++i) {
+    auto rs = std::make_unique<RegionServer>(i);
+    core::TaskExecutionTracker* tracker =
+        monitor ? &monitor->tracker(static_cast<core::HostId>(i)) : nullptr;
+    rs->host = std::make_unique<Host>(engine_, plane_, registry_, sink,
+                                      threshold, tracker,
+                                      static_cast<core::HostId>(i),
+                                      rng_.split());
+    rs->wal_block = new_block_id(*rs);
+    servers_.push_back(std::move(rs));
+  }
+  region_owner_.resize(options_.regions);
+  for (int r = 0; r < options_.regions; ++r)
+    region_owner_[r] = r % options_.regionservers;
+}
+
+MiniHBase::~MiniHBase() = default;
+
+void MiniHBase::start() {
+  assert(!started_);
+  started_ = true;
+  for (auto& rs : servers_) {
+    connection_daemon(*rs);
+    sync_daemon(*rs);
+    flusher_daemon(*rs);
+    compaction_daemon(*rs);
+    log_roller_daemon(*rs);
+    split_log_daemon(*rs);
+  }
+}
+
+void MiniHBase::preload(std::uint64_t keys, std::size_t value_bytes) {
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    const std::string key = "user" + std::to_string(k);
+    RegionServer& rs = *servers_[region_owner_[region_of(key)]];
+    rs.flushed[key] = std::string(value_bytes, 'v');
+  }
+  for (auto& rs : servers_) {
+    if (!rs->flushed.empty()) rs->hfile_blocks.push_back(new_block_id(*rs));
+  }
+}
+
+int MiniHBase::region_of(const std::string& key) const {
+  return static_cast<int>(key_hash(key) %
+                          static_cast<std::uint64_t>(options_.regions));
+}
+
+MiniHBase::RegionServer& MiniHBase::owner_of(const std::string& key) {
+  return *servers_[region_owner_[region_of(key)]];
+}
+
+std::uint64_t MiniHBase::new_block_id(RegionServer& rs) {
+  // Block ids are congruent to the RS index mod the DN count, so a
+  // Regionserver's blocks land on its co-located DataNode first — HBase's
+  // write locality, and the reason RS i's WAL recovery shows up in
+  // RecoverBlocks on DataNode i (Fig. 10b).
+  const std::uint64_t seq = rs.next_block_seq++;
+  return seq * static_cast<std::uint64_t>(options_.regionservers) +
+         static_cast<std::uint64_t>(rs.index);
+}
+
+sim::Task<bool> MiniHBase::put(std::string key, std::string value) {
+  RegionServer& rs = owner_of(key);
+  if (rs.crashed) co_return false;
+  {
+    auto call = rs.host->begin(stages_.call);
+    call.log(lp_.call_put, [&] {
+      return "Call: multi put for region " + std::to_string(region_of(key));
+    });
+    co_await rs.host->compute(options_.call_cpu);
+    call.log(lp_.call_done, "Call: queued for handler");
+  }
+  auto task = rs.host->begin(stages_.handler);
+  task.log(lp_.h_put_start, [&] {
+    return "Handler: applying put to region " + std::to_string(region_of(key));
+  });
+  if (rs.recovering) {
+    // Persistence rule: no writes until the WAL block recovery is confirmed.
+    co_return false;  // premature: {h_put_start} only
+  }
+  co_await rs.host->compute(options_.handler_cpu);
+  rs.memstore.put(key, std::move(value));
+  task.log(lp_.h_edit, [&] {
+    return "Handler: appended edit to memstore, " +
+           std::to_string(rs.memstore.bytes()) + " bytes";
+  });
+  auto synced = sim::OneShot::create(engine_);
+  rs.sync_waiters.push_back(synced);
+  // Group commit: wait for the WAL sync that covers this edit.
+  co_await synced->wait(sec(5));
+  task.log(lp_.h_put_done, "Handler: put durable");
+  co_return true;
+}
+
+sim::Task<std::optional<std::string>> MiniHBase::get(std::string key) {
+  RegionServer& rs = owner_of(key);
+  if (rs.crashed) co_return std::nullopt;
+  {
+    auto call = rs.host->begin(stages_.call);
+    call.log(lp_.call_get, [&] {
+      return "Call: get for region " + std::to_string(region_of(key));
+    });
+    co_await rs.host->compute(options_.call_cpu);
+    call.log(lp_.call_done, "Call: queued for handler");
+  }
+  auto task = rs.host->begin(stages_.handler);
+  task.log(lp_.h_get_start, [&] {
+    return "Handler: get on region " + std::to_string(region_of(key));
+  });
+  co_await rs.host->compute(options_.handler_cpu);
+  if (auto v = rs.memstore.get(key)) {
+    task.log(lp_.h_get_mem, [&] { return "Handler: memstore hit for " + key; });
+    task.log(lp_.h_get_done, "Handler: get complete");
+    co_return v;
+  }
+  const auto it = rs.flushed.find(key);
+  if (it == rs.flushed.end()) {
+    task.log(lp_.h_get_done, "Handler: get complete");
+    co_return std::nullopt;  // bloom filters skip the disk for misses
+  }
+  task.log(lp_.h_get_hfile,
+           [&] { return "Handler: reading HFile block for " + key; });
+  const std::uint64_t block =
+      rs.hfile_blocks.empty() ? new_block_id(rs) : rs.hfile_blocks.back();
+  (void)co_await hdfs_->read_block(block, options_.wal_sync_bytes);
+  task.log(lp_.h_get_done, "Handler: get complete");
+  co_return it->second;
+}
+
+sim::Process MiniHBase::connection_daemon(RegionServer& rs) {
+  for (;;) {
+    co_await engine_->delay(options_.connection_period);
+    if (rs.crashed) continue;
+    {
+      auto task = rs.host->begin(stages_.listener);
+      task.log(lp_.li_accept, "Listener: accepted connection");
+      co_await rs.host->compute(options_.call_cpu / 2);
+    }
+    {
+      auto task = rs.host->begin(stages_.connection);
+      task.log(lp_.conn_read, "Connection: read RPC bytes");
+      co_await rs.host->compute(options_.call_cpu / 2);
+    }
+  }
+}
+
+sim::Process MiniHBase::sync_daemon(RegionServer& rs) {
+  for (;;) {
+    co_await engine_->delay(options_.sync_interval);
+    if (rs.crashed || rs.recovering || rs.sync_waiters.empty()) continue;
+
+    std::vector<std::shared_ptr<sim::OneShot>> batch;
+    batch.swap(rs.sync_waiters);
+
+    auto task = rs.host->begin(stages_.handler);  // the 'log sync' task
+    task.log(lp_.h_sync_start, [&] {
+      return "Handler: log sync of " + std::to_string(batch.size()) + " edits";
+    });
+    bool ok = false;
+    const UsTime sync_begin = engine_->now();
+    {
+      auto ds = rs.host->begin(stages_.data_streamer);
+      ds.log(lp_.ds_stream, [&] {
+        return "DataStreamer: streaming packet for block blk_" +
+               std::to_string(rs.wal_block);
+      });
+      ok = co_await hdfs_->write_block(rs.wal_block, options_.wal_sync_bytes);
+      if (ok) ds.log(lp_.ds_done, "DataStreamer: stream closed");
+    }
+    // A sync slower than the client's ack patience is a timeout even if the
+    // pipeline eventually persisted it — the HDFS client has already assumed
+    // the pipeline is broken and will recover the block.
+    if (ok && engine_->now() - sync_begin > options_.ack_timeout) ok = false;
+    {
+      auto rp = rs.host->begin(stages_.response_processor);
+      if (ok) {
+        rp.log(lp_.rp_ack, [&] {
+          return "ResponseProcessor: ack for block blk_" +
+                 std::to_string(rs.wal_block);
+        });
+      } else {
+        rp.log(lp_.rp_timeout, [&] {
+          return "ResponseProcessor: ack timeout for block blk_" +
+                 std::to_string(rs.wal_block);
+        });
+        if (!rs.recovering) {
+          rs.recovering = true;
+          recovery_loop(rs);
+        }
+      }
+    }
+    task.log(lp_.h_sync_done, "Handler: log sync done");
+    for (auto& waiter : batch) waiter->fulfill();
+  }
+}
+
+sim::Process MiniHBase::recovery_loop(RegionServer& rs) {
+  // The paper's bug: the DN's answer "already in recovery" is misread as an
+  // exception, so the RS keeps re-requesting until it aborts.
+  recoveries_attempted_++;
+  int retries = 0;
+  const std::uint64_t block = rs.wal_block;
+  for (;;) {
+    const auto result =
+        co_await hdfs_->recover_block(block, options_.recover_rpc_timeout);
+    if (rs.crashed) co_return;
+    if (result == MiniHdfs::RecoverResult::kOk) {
+      rs.recovering = false;
+      rs.wal_block = new_block_id(rs);
+      co_return;
+    }
+    retries++;
+    {
+      auto rp = rs.host->begin(stages_.response_processor);
+      rp.log(lp_.rp_retry, [&] {
+        return "Retrying recovery for block blk_" + std::to_string(block) +
+               " after exception";
+      });
+    }
+    if (retries >= options_.crash_recovery_retries) {
+      crash_rs(rs);
+      co_return;
+    }
+    co_await engine_->delay(options_.recovery_retry_delay);
+  }
+}
+
+void MiniHBase::crash_rs(RegionServer& rs) {
+  if (rs.crashed) return;
+  {
+    auto task = rs.host->begin(stages_.handler);
+    task.log(lp_.rs_abort, [&] {
+      return "ABORTING region server " + std::to_string(rs.index) +
+             ": WAL recovery retries exceeded";
+    });
+  }
+  rs.crashed = true;
+  // Survivors split the dead server's logs and reopen its regions.
+  for (auto& other : servers_) {
+    if (!other->crashed) other->pending_split_work++;
+  }
+  for (int region = 0; region < options_.regions; ++region) {
+    if (region_owner_[region] != rs.index) continue;
+    for (int offset = 1; offset < options_.regionservers; ++offset) {
+      const int candidate = (rs.index + offset) % options_.regionservers;
+      if (!servers_[candidate]->crashed) {
+        region_owner_[region] = candidate;
+        regions_reassigned_++;
+        open_region_task(*servers_[candidate], region);
+        break;
+      }
+    }
+  }
+}
+
+sim::Process MiniHBase::open_region_task(RegionServer& rs, int region) {
+  {
+    auto task = rs.host->begin(stages_.open_region);
+    task.log(lp_.orh_open, [&] {
+      return "OpenRegionHandler: opening region " + std::to_string(region);
+    });
+    co_await rs.host->compute(options_.handler_cpu * 4);
+    (void)co_await hdfs_->read_block(new_block_id(rs), options_.wal_sync_bytes);
+    task.log(lp_.orh_done, [&] {
+      return "OpenRegionHandler: region " + std::to_string(region) + " online";
+    });
+  }
+  {
+    auto task = rs.host->begin(stages_.post_open);
+    task.log(lp_.pod_start, [&] {
+      return "PostOpenDeployTasks: updating meta for region " +
+             std::to_string(region);
+    });
+    co_await rs.host->compute(options_.handler_cpu);
+    task.log(lp_.pod_done, [&] {
+      return "PostOpenDeployTasks: done for region " + std::to_string(region);
+    });
+  }
+}
+
+sim::Process MiniHBase::flusher_daemon(RegionServer& rs) {
+  for (;;) {
+    co_await engine_->delay(options_.flusher_period);
+    if (rs.crashed || rs.flush_in_progress ||
+        rs.memstore.bytes() < options_.memstore_flush_bytes) {
+      continue;
+    }
+    rs.flush_in_progress = true;
+    const std::uint64_t block = new_block_id(rs);
+    const std::size_t bytes = rs.memstore.bytes();
+    bool ok = false;
+    {
+      auto ds = rs.host->begin(stages_.data_streamer);
+      ds.log(lp_.ds_flush_block, [&] {
+        return "DataStreamer: writing flushed HFile block blk_" +
+               std::to_string(block);
+      });
+      ok = co_await hdfs_->write_block(block, bytes);
+      if (ok) ds.log(lp_.ds_done, "DataStreamer: stream closed");
+    }
+    {
+      auto rp = rs.host->begin(stages_.response_processor);
+      if (ok) {
+        rp.log(lp_.rp_ack, [&] {
+          return "ResponseProcessor: ack for block blk_" +
+                 std::to_string(block);
+        });
+      } else {
+        rp.log(lp_.rp_timeout, [&] {
+          return "ResponseProcessor: ack timeout for block blk_" +
+                 std::to_string(block);
+        });
+      }
+    }
+    if (ok) {
+      for (auto& [k, v] : rs.memstore.contents()) rs.flushed[k] = v;
+      rs.memstore = lsm::MemTable();
+      rs.hfile_blocks.push_back(block);
+    }
+    rs.flush_in_progress = false;
+  }
+}
+
+sim::Task<void> MiniHBase::run_compaction(RegionServer& rs, bool major) {
+  auto task = rs.host->begin(stages_.compaction_request);
+  task.log(lp_.cr_start, [&] {
+    return "CompactionRequest: starting compaction of " +
+           std::to_string(rs.hfile_blocks.size()) + " files";
+  });
+  if (major) {
+    task.log(lp_.cr_major,
+             "CompactionRequest: major compaction of all store files");
+  }
+  const std::vector<std::uint64_t> inputs = rs.hfile_blocks;
+  for (const auto block : inputs) {
+    (void)co_await hdfs_->read_block(block, options_.memstore_flush_bytes);
+  }
+  const std::uint64_t merged = new_block_id(rs);
+  (void)co_await hdfs_->write_block(
+      merged, options_.memstore_flush_bytes * inputs.size());
+  rs.hfile_blocks.erase(
+      rs.hfile_blocks.begin(),
+      rs.hfile_blocks.begin() + static_cast<std::ptrdiff_t>(inputs.size()));
+  rs.hfile_blocks.insert(rs.hfile_blocks.begin(), merged);
+  task.log(lp_.cr_done, "CompactionRequest: completed");
+}
+
+sim::Process MiniHBase::compaction_daemon(RegionServer& rs) {
+  for (;;) {
+    co_await engine_->delay(options_.compaction_check_period);
+    if (rs.crashed) continue;
+    auto task = rs.host->begin(stages_.compaction_checker);
+    task.log(lp_.cc_check, "CompactionChecker: store files checked");
+    const bool minor_due =
+        rs.hfile_blocks.size() >=
+        static_cast<std::size_t>(options_.hfile_compact_threshold);
+    const bool major_due = rs.major_compaction_due && rs.hfile_blocks.size() > 1;
+    if (!minor_due && !major_due) continue;
+    task.log(lp_.cc_due, "CompactionChecker: compaction requested");
+    if (major_due) {
+      task.log(lp_.cc_major, "CompactionChecker: MAJOR compaction due");
+      rs.major_compaction_due = false;
+    }
+    co_await run_compaction(rs, major_due);
+  }
+}
+
+sim::Process MiniHBase::log_roller_daemon(RegionServer& rs) {
+  for (;;) {
+    co_await engine_->delay(options_.log_roll_period);
+    if (rs.crashed || rs.recovering) continue;
+    auto task = rs.host->begin(stages_.log_roller);
+    task.log(lp_.lr_roll_start, "LogRoller: rolling hlog");
+    rs.wal_block = new_block_id(rs);
+    (void)co_await hdfs_->write_block(rs.wal_block, options_.wal_sync_bytes);
+    task.log(lp_.lr_roll_done, "LogRoller: roll done");
+  }
+}
+
+sim::Process MiniHBase::split_log_daemon(RegionServer& rs) {
+  for (;;) {
+    co_await engine_->delay(options_.split_check_period);
+    if (rs.crashed) continue;
+    auto task = rs.host->begin(stages_.split_log_worker);
+    task.log(lp_.slw_check, "SplitLogWorker: checking for log-split work");
+    if (rs.pending_split_work == 0) continue;
+    rs.pending_split_work--;
+    task.log(lp_.slw_acquire, "SplitLogWorker: acquired split task");
+    task.log(lp_.slw_split, "SplitLogWorker: splitting hlog of dead server");
+    (void)co_await hdfs_->read_block(new_block_id(rs),
+                                     options_.memstore_flush_bytes);
+    (void)co_await hdfs_->write_block(new_block_id(rs),
+                                      options_.wal_sync_bytes);
+    task.log(lp_.slw_done, "SplitLogWorker: split done");
+  }
+}
+
+void MiniHBase::trigger_major_compaction() {
+  for (auto& rs : servers_) rs->major_compaction_due = true;
+}
+
+}  // namespace saad::systems

@@ -1,0 +1,162 @@
+// MiniHBase: simulated HBase 0.92-style Regionservers running on MiniHdfs
+// (paper §5.5, Fig. 10a). Each Regionserver is co-located with the DataNode
+// of the same host id, exactly like the paper's testbed — so one SAAD
+// tracker per host observes both.
+//
+// Stages per Regionserver:
+//  * Listener / Connection     — RPC plumbing (periodic accept/read tasks).
+//  * Call                      — RPC decode; distinct put/get flows (the
+//    medium-intensity fault isolates slowed 'get' calls in this stage).
+//  * Handler                   — executes puts/gets; also the 'log sync'
+//    group-commit tasks that flush WAL edits to HDFS.
+//  * DataStreamer / ResponseProcessor — the embedded HDFS client: stream
+//    WAL-sync and MemStore-flush blocks into the DataNode pipeline, process
+//    acks, and on ack timeout start WAL block recovery.
+//  * LogRoller, SplitLogWorker, CompactionChecker, CompactionRequest,
+//    OpenRegionHandler, PostOpenDeployTasksThread.
+//
+// The premature-recovery-termination bug (§5.5, high-intensity fault-1):
+// when a DataNode is slow, a WAL sync ack times out and the Regionserver
+// asks the DN to recover the WAL block. The DN's recovery is slow; the
+// Regionserver's next request is answered "already in recovery", which it
+// misreads as an exception and retries until its retry budget is exhausted —
+// then it aborts. Surviving Regionservers split its logs and reopen its
+// regions (the cluster-wide flow-outlier surge of Fig. 10).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lsm/memtable.h"
+#include "systems/hdfs/hdfs.h"
+#include "workload/ycsb.h"
+
+namespace saad::systems {
+
+struct HBaseOptions {
+  int regionservers = 4;
+  int regions = 16;
+  std::size_t memstore_flush_bytes = 64 * 1024;
+  int hfile_compact_threshold = 4;
+
+  UsTime call_cpu = 50;
+  UsTime handler_cpu = 70;
+  UsTime sync_interval = ms(5);            // WAL group commit
+  std::size_t wal_sync_bytes = 16 * 1024;  // one pipeline packet
+  UsTime flusher_period = sec(1);
+  UsTime compaction_check_period = sec(10);
+  UsTime log_roll_period = sec(30);
+  UsTime split_check_period = sec(5);
+  UsTime connection_period = ms(500);
+
+  /// ResponseProcessor ack patience before starting WAL recovery.
+  UsTime ack_timeout = ms(900);
+  /// Client-side patience per recoverBlock RPC (shorter than a slow DN's
+  /// recovery — the bug's precondition).
+  UsTime recover_rpc_timeout = ms(150);
+  UsTime recovery_retry_delay = ms(650);
+  int crash_recovery_retries = 4;
+};
+
+struct HBaseStages {
+  core::StageId call, handler, open_region, post_open, log_roller,
+      split_log_worker, compaction_checker, compaction_request, data_streamer,
+      response_processor, listener, connection;
+};
+
+struct HBaseLogPoints {
+  core::LogPointId li_accept, conn_read;
+  core::LogPointId call_put, call_get, call_done;
+  core::LogPointId h_put_start, h_edit, h_put_done;
+  core::LogPointId h_sync_start, h_sync_done;  // the 'log sync' tasks
+  core::LogPointId h_get_start, h_get_mem, h_get_hfile, h_get_done;
+  core::LogPointId ds_stream, ds_flush_block, ds_done;
+  core::LogPointId rp_ack, rp_timeout, rp_retry;
+  core::LogPointId lr_roll_start, lr_roll_done;
+  core::LogPointId slw_check, slw_acquire, slw_split, slw_done;
+  core::LogPointId cc_check, cc_due, cc_major;
+  core::LogPointId cr_start, cr_major, cr_done;
+  core::LogPointId orh_open, orh_done, pod_start, pod_done;
+  core::LogPointId rs_abort;
+};
+
+class MiniHBase : public workload::KvService {
+ public:
+  MiniHBase(sim::Engine* engine, core::LogRegistry* registry,
+            core::Monitor* monitor, core::LogSink* sink, core::Level threshold,
+            const faults::FaultPlane* plane, MiniHdfs* hdfs,
+            const HBaseOptions& options, std::uint64_t seed);
+  ~MiniHBase() override;
+
+  void start();
+
+  /// Baseline dataset (keys "user0".."user<n-1>"), bypassing simulated I/O.
+  void preload(std::uint64_t keys, std::size_t value_bytes);
+
+  sim::Task<bool> put(std::string key, std::string value) override;
+  sim::Task<std::optional<std::string>> get(std::string key) override;
+
+  /// Force a major compaction on every Regionserver at the next check — the
+  /// legitimate-but-rare activity behind the paper's ~min-150 false positive.
+  void trigger_major_compaction();
+
+  const HBaseStages& stages() const { return stages_; }
+  const HBaseLogPoints& points() const { return lp_; }
+
+  int num_regionservers() const { return static_cast<int>(servers_.size()); }
+  bool rs_crashed(int rs) const { return servers_[rs]->crashed; }
+  std::uint64_t recoveries_attempted() const { return recoveries_attempted_; }
+  std::uint64_t regions_reassigned() const { return regions_reassigned_; }
+
+ private:
+  struct RegionServer {
+    explicit RegionServer(int index) : index(index) {}
+    int index;
+    std::unique_ptr<Host> host;
+    lsm::MemTable memstore;
+    std::map<std::string, std::string> flushed;  // data persisted in HFiles
+    std::vector<std::uint64_t> hfile_blocks;     // oldest first
+    std::vector<std::shared_ptr<sim::OneShot>> sync_waiters;
+    std::uint64_t wal_block = 0;
+    std::uint64_t next_block_seq = 1;
+    int pending_split_work = 0;
+    bool major_compaction_due = false;
+    bool recovering = false;
+    bool crashed = false;
+    bool flush_in_progress = false;
+  };
+
+  int region_of(const std::string& key) const;
+  RegionServer& owner_of(const std::string& key);
+  std::uint64_t new_block_id(RegionServer& rs);
+  void crash_rs(RegionServer& rs);
+
+  sim::Process connection_daemon(RegionServer& rs);
+  sim::Process sync_daemon(RegionServer& rs);
+  sim::Process flusher_daemon(RegionServer& rs);
+  sim::Process compaction_daemon(RegionServer& rs);
+  sim::Process log_roller_daemon(RegionServer& rs);
+  sim::Process split_log_daemon(RegionServer& rs);
+  sim::Process recovery_loop(RegionServer& rs);
+  sim::Process open_region_task(RegionServer& rs, int region);
+  sim::Task<void> run_compaction(RegionServer& rs, bool major);
+
+  sim::Engine* engine_;
+  core::LogRegistry* registry_;
+  const faults::FaultPlane* plane_;
+  MiniHdfs* hdfs_;
+  HBaseOptions options_;
+  HBaseStages stages_{};
+  HBaseLogPoints lp_{};
+  Rng rng_;
+  std::vector<std::unique_ptr<RegionServer>> servers_;
+  std::vector<int> region_owner_;
+  std::uint64_t recoveries_attempted_ = 0;
+  std::uint64_t regions_reassigned_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace saad::systems

@@ -1,0 +1,339 @@
+#include "systems/hdfs/hdfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace saad::systems {
+
+MiniHdfs::MiniHdfs(sim::Engine* engine, core::LogRegistry* registry,
+                   core::Monitor* monitor, core::LogSink* sink,
+                   core::Level threshold, const faults::FaultPlane* plane,
+                   const HdfsOptions& options, std::uint64_t seed)
+    : engine_(engine), registry_(registry), plane_(plane), options_(options),
+      rng_(seed) {
+  network_ = std::make_unique<sim::Network>(engine, plane, rng_.split(),
+                                            options.network_latency);
+  auto& reg = *registry_;
+  stages_.data_xceiver = reg.register_stage("DataXceiver");
+  stages_.packet_responder = reg.register_stage("PacketResponder");
+  stages_.handler = reg.register_stage("Handler");
+  stages_.listener = reg.register_stage("Listener");
+  stages_.reader = reg.register_stage("Reader");
+  stages_.recover_blocks = reg.register_stage("RecoverBlocks");
+  stages_.data_transfer = reg.register_stage("DataTransfer");
+
+  using L = core::Level;
+  auto lp = [&](core::StageId s, L level, const char* text) {
+    return reg.register_log_point(s, level, text, "hdfs.cc");
+  };
+  lp_.dx_recv_block =
+      lp(stages_.data_xceiver, L::kDebug, "Receiving block blk_%");  // L1
+  lp_.dx_recv_packet = lp(stages_.data_xceiver, L::kDebug,
+                          "Receiving one packet for block blk_%");  // L2
+  lp_.dx_empty_packet = lp(stages_.data_xceiver, L::kDebug,
+                           "Receiving empty packet for block blk_%");  // L3
+  lp_.dx_write =
+      lp(stages_.data_xceiver, L::kDebug, "WriteTo blockfile of size %");  // L4
+  lp_.dx_close = lp(stages_.data_xceiver, L::kDebug, "Closing down.");  // L5
+  lp_.dx_read_op =
+      lp(stages_.data_xceiver, L::kDebug, "opReadBlock blk_% received");
+  lp_.dx_sent_block =
+      lp(stages_.data_xceiver, L::kDebug, "Sent block blk_% to client");
+  lp_.pr_start = lp(stages_.packet_responder, L::kDebug,
+                    "PacketResponder blk_% initializing");
+  lp_.pr_ack = lp(stages_.packet_responder, L::kDebug,
+                  "PacketResponder blk_% acking packets");
+  lp_.pr_done = lp(stages_.packet_responder, L::kDebug,
+                   "PacketResponder blk_% terminating");
+  lp_.li_accept =
+      lp(stages_.listener, L::kDebug, "Listener accepted connection from %");
+  lp_.rd_parse =
+      lp(stages_.reader, L::kDebug, "Reader parsed RPC request of size %");
+  lp_.h_call = lp(stages_.handler, L::kDebug, "IPC Handler: invoking call %");
+  lp_.h_done = lp(stages_.handler, L::kDebug, "IPC Handler: responding to %");
+  lp_.rb_start =
+      lp(stages_.recover_blocks, L::kInfo, "Client calls recoverBlock(blk_%)");
+  lp_.rb_already = lp(stages_.recover_blocks, L::kInfo,
+                      "blk_% is already in recovery; rejecting request");
+  lp_.rb_done =
+      lp(stages_.recover_blocks, L::kInfo, "Recovery for blk_% complete");
+  lp_.dt_start = lp(stages_.data_transfer, L::kDebug,
+                    "Starting replica transfer for blk_%");
+  lp_.dt_done = lp(stages_.data_transfer, L::kDebug,
+                   "Replica transfer for blk_% complete");
+
+  nodes_.reserve(options_.data_nodes);
+  for (int i = 0; i < options_.data_nodes; ++i) {
+    auto dn = std::make_unique<DataNode>(i);
+    core::TaskExecutionTracker* tracker =
+        monitor ? &monitor->tracker(static_cast<core::HostId>(i)) : nullptr;
+    dn->host = std::make_unique<Host>(engine_, plane_, registry_, sink,
+                                      threshold, tracker,
+                                      static_cast<core::HostId>(i),
+                                      rng_.split());
+    dn->rpc_queue = std::make_unique<sim::SimQueue<RpcRequest>>(engine_);
+    nodes_.push_back(std::move(dn));
+  }
+}
+
+void MiniHdfs::start() {
+  assert(!started_);
+  started_ = true;
+  for (auto& dn : nodes_) {
+    dn->host->run_disk_hog_service();
+    rpc_server(*dn);
+    heartbeat_daemon(*dn);
+  }
+}
+
+int MiniHdfs::pipeline_node(std::uint64_t block_id, int position) const {
+  return static_cast<int>((block_id + static_cast<std::uint64_t>(position)) %
+                          nodes_.size());
+}
+
+sim::Task<bool> MiniHdfs::write_block(std::uint64_t block_id,
+                                      std::size_t bytes) {
+  const int repl = std::min<int>(options_.replication,
+                                 static_cast<int>(nodes_.size()));
+  const std::size_t packets = std::clamp<std::size_t>(
+      bytes / options_.packet_bytes, 1, options_.max_packets_per_block);
+
+  // Build the pipeline: queues between hops, per-DN persisted/acked signals.
+  std::vector<std::shared_ptr<sim::SimQueue<Packet>>> hops;
+  std::vector<std::shared_ptr<sim::OneShot>> persisted, acked;
+  for (int i = 0; i < repl; ++i) {
+    hops.push_back(std::make_shared<sim::SimQueue<Packet>>(engine_));
+    persisted.push_back(sim::OneShot::create(engine_));
+    acked.push_back(sim::OneShot::create(engine_));
+  }
+  for (int i = 0; i < repl; ++i) {
+    DataNode& dn = *nodes_[pipeline_node(block_id, i)];
+    auto out = (i + 1 < repl) ? hops[i + 1] : nullptr;
+    xceiver_write(dn, block_id, hops[i], out, persisted[i]);
+    auto downstream = (i + 1 < repl) ? acked[i + 1] : nullptr;
+    responder(dn, block_id, persisted[i], downstream, acked[i]);
+  }
+
+  // Stream the packets into the head of the pipeline.
+  Rng rng = rng_.split();
+  for (std::size_t seq = 0; seq < packets; ++seq) {
+    co_await engine_->delay(options_.network_latency);
+    Packet pkt;
+    pkt.seq = static_cast<std::uint32_t>(seq);
+    pkt.last = (seq + 1 == packets);
+    pkt.empty = rng.chance(options_.empty_packet_chance);
+    hops[0]->push(pkt);
+  }
+
+  const bool ok = co_await acked[0]->wait(options_.pipeline_timeout);
+  if (ok) blocks_written_++;
+  co_return ok;
+}
+
+sim::Process MiniHdfs::xceiver_write(
+    DataNode& dn, std::uint64_t block_id,
+    std::shared_ptr<sim::SimQueue<Packet>> in,
+    std::shared_ptr<sim::SimQueue<Packet>> out,
+    std::shared_ptr<sim::OneShot> persisted) {
+  auto task = dn.host->begin(stages_.data_xceiver);
+  task.log(lp_.dx_recv_block,
+           [&] { return "Receiving block blk_" + std::to_string(block_id); });
+  for (;;) {
+    const Packet pkt = co_await in->pop();
+    task.log(lp_.dx_recv_packet, [&] {
+      return "Receiving one packet for block blk_" + std::to_string(block_id);
+    });
+    if (pkt.empty) {
+      task.log(lp_.dx_empty_packet, [&] {
+        return "Receiving empty packet for block blk_" +
+               std::to_string(block_id);
+      });
+      if (out) {
+        co_await network_->transfer(static_cast<std::uint16_t>(dn.index));
+        out->push(pkt);
+      }
+      if (pkt.last) break;
+      continue;
+    }
+    const auto io = co_await dn.host->disk().io(faults::Activity::kDiskWrite,
+                                                options_.packet_service);
+    if (!io.ok) co_return;  // premature termination: no dx_close
+    task.log(lp_.dx_write, [&] {
+      return "WriteTo blockfile of size " +
+             std::to_string(options_.packet_bytes);
+    });
+    if (out) {
+      co_await network_->transfer(static_cast<std::uint16_t>(dn.index));
+      out->push(pkt);
+    }
+    if (pkt.last) break;
+  }
+  persisted->fulfill();
+  task.log(lp_.dx_close, "Closing down.");
+}
+
+sim::Process MiniHdfs::responder(DataNode& dn, std::uint64_t block_id,
+                                 std::shared_ptr<sim::OneShot> my_persisted,
+                                 std::shared_ptr<sim::OneShot> downstream_acked,
+                                 std::shared_ptr<sim::OneShot> ack_upstream) {
+  auto task = dn.host->begin(stages_.packet_responder);
+  task.log(lp_.pr_start, [&] {
+    return "PacketResponder blk_" + std::to_string(block_id) + " initializing";
+  });
+  if (downstream_acked != nullptr) {
+    if (!co_await downstream_acked->wait(options_.pipeline_timeout)) {
+      co_return;  // premature: downstream never acked
+    }
+  }
+  if (!co_await my_persisted->wait(options_.pipeline_timeout)) {
+    co_return;  // premature: local write never finished
+  }
+  task.log(lp_.pr_ack, [&] {
+    return "PacketResponder blk_" + std::to_string(block_id) +
+           " acking packets";
+  });
+  co_await network_->transfer(static_cast<std::uint16_t>(dn.index));
+  ack_upstream->fulfill();
+  task.log(lp_.pr_done, [&] {
+    return "PacketResponder blk_" + std::to_string(block_id) + " terminating";
+  });
+}
+
+sim::Task<bool> MiniHdfs::read_block(std::uint64_t block_id,
+                                     std::size_t bytes) {
+  DataNode& dn = *nodes_[pipeline_node(block_id, 0)];
+  const std::size_t packets = std::clamp<std::size_t>(
+      bytes / options_.packet_bytes, 1, options_.max_packets_per_block);
+  auto task = dn.host->begin(stages_.data_xceiver);
+  task.log(lp_.dx_read_op, [&] {
+    return "opReadBlock blk_" + std::to_string(block_id) + " received";
+  });
+  for (std::size_t i = 0; i < packets; ++i) {
+    const auto io = co_await dn.host->disk().io(faults::Activity::kDiskRead,
+                                                options_.packet_service);
+    if (!io.ok) co_return false;  // premature: no dx_sent_block
+  }
+  co_await network_->transfer(static_cast<std::uint16_t>(dn.index));
+  task.log(lp_.dx_sent_block, [&] {
+    return "Sent block blk_" + std::to_string(block_id) + " to client";
+  });
+  co_return true;
+}
+
+sim::Task<MiniHdfs::RecoverResult> MiniHdfs::recover_block(
+    std::uint64_t block_id, UsTime client_timeout) {
+  DataNode& dn = *nodes_[pipeline_node(block_id, 0)];
+  RpcRequest req;
+  req.kind = RpcRequest::Kind::kRecover;
+  req.block_id = block_id;
+  req.done = sim::OneShot::create(engine_);
+  req.result = std::make_shared<RecoverResult>(RecoverResult::kFailed);
+  auto done = req.done;
+  auto result = req.result;
+  co_await network_->transfer(static_cast<std::uint16_t>(dn.index));
+  dn.rpc_queue->push(std::move(req));
+  const UsTime patience =
+      client_timeout > 0 ? client_timeout : options_.pipeline_timeout;
+  if (!co_await done->wait(patience)) {
+    co_return RecoverResult::kFailed;  // the DN keeps recovering regardless
+  }
+  co_return *result;
+}
+
+sim::Process MiniHdfs::rpc_server(DataNode& dn) {
+  for (;;) {
+    RpcRequest req = co_await dn.rpc_queue->pop();
+    {
+      auto task = dn.host->begin(stages_.listener);
+      task.log(lp_.li_accept, "Listener accepted connection");
+      co_await dn.host->compute(options_.rpc_cpu);
+    }
+    {
+      auto task = dn.host->begin(stages_.reader);
+      task.log(lp_.rd_parse, "Reader parsed RPC request");
+      co_await dn.host->compute(options_.rpc_cpu);
+    }
+    {
+      auto task = dn.host->begin(stages_.handler);
+      task.log(lp_.h_call, "IPC Handler: invoking call");
+      co_await dn.host->compute(options_.rpc_cpu * 2);
+      task.log(lp_.h_done, "IPC Handler: responding");
+    }
+    if (req.kind == RpcRequest::Kind::kRecover) {
+      recovery_task(dn, req.block_id, req.done, req.result);
+    } else if (req.done) {
+      req.done->fulfill();
+    }
+  }
+}
+
+sim::Process MiniHdfs::heartbeat_daemon(DataNode& dn) {
+  for (;;) {
+    co_await engine_->delay(options_.heartbeat_period);
+    RpcRequest req;
+    req.kind = RpcRequest::Kind::kHeartbeat;
+    dn.rpc_queue->push(std::move(req));
+  }
+}
+
+sim::Process MiniHdfs::recovery_task(DataNode& dn, std::uint64_t block_id,
+                                     std::shared_ptr<sim::OneShot> done,
+                                     std::shared_ptr<RecoverResult> result) {
+  auto task = dn.host->begin(stages_.recover_blocks);
+  task.log(lp_.rb_start, [&] {
+    return "Client calls recoverBlock(blk_" + std::to_string(block_id) + ")";
+  });
+  recoveries_started_++;
+  if (dn.recovered.contains(block_id)) {
+    // Already recovered: confirm immediately (finalized replicas).
+    task.log(lp_.rb_done, [&] {
+      return "Recovery for blk_" + std::to_string(block_id) + " complete";
+    });
+    *result = RecoverResult::kOk;
+    done->fulfill();
+    co_return;
+  }
+  if (dn.recovering[block_id]) {
+    // The bug's trigger: answered politely, misread by the HBase client.
+    recovery_rejections_++;
+    task.log(lp_.rb_already, [&] {
+      return "blk_" + std::to_string(block_id) +
+             " is already in recovery; rejecting request";
+    });
+    *result = RecoverResult::kAlreadyInRecovery;
+    done->fulfill();
+    co_return;
+  }
+  dn.recovering[block_id] = true;
+
+  // Re-replicate from the next pipeline node: DataTransfer there, disk reads
+  // here — recovery time inherits any disk hog on either host.
+  DataNode& peer = *nodes_[pipeline_node(block_id, 1)];
+  auto transfer_done = sim::OneShot::create(engine_);
+  transfer_task(peer, transfer_done);
+  const auto io = co_await dn.host->disk().io(faults::Activity::kDiskRead,
+                                              options_.recovery_copy_service);
+  (void)io;
+  co_await transfer_done->wait(options_.pipeline_timeout * 4);
+  task.log(lp_.rb_done, [&] {
+    return "Recovery for blk_" + std::to_string(block_id) + " complete";
+  });
+  dn.recovering[block_id] = false;
+  dn.recovered.insert(block_id);
+  *result = RecoverResult::kOk;
+  done->fulfill();
+}
+
+sim::Process MiniHdfs::transfer_task(DataNode& dn,
+                                     std::shared_ptr<sim::OneShot> done) {
+  auto task = dn.host->begin(stages_.data_transfer);
+  task.log(lp_.dt_start, "Starting replica transfer");
+  const auto io = co_await dn.host->disk().io(faults::Activity::kDiskRead,
+                                              options_.recovery_copy_service);
+  (void)io;
+  co_await network_->transfer(static_cast<std::uint16_t>(dn.index));
+  task.log(lp_.dt_done, "Replica transfer complete");
+  done->fulfill();
+}
+
+}  // namespace saad::systems

@@ -1,0 +1,165 @@
+// MiniHDFS: a simulated HDFS 1.0-style DataNode cluster with the staged
+// architecture of the paper's motivating example (§2, Fig. 2-4) and the
+// HBase/HDFS evaluation (§5.5, Fig. 10b).
+//
+// Stages per DataNode:
+//  * DataXceiver      — dispatcher-worker; one task per block operation.
+//    Write flow logs the paper's L1..L5 points: "Receiving block blk_",
+//    "Receiving one packet" (per packet -> frequency in the synopsis),
+//    rare "Receiving empty packet" branch (L3, ~0.1%), "WriteTo blockfile",
+//    "Closing down".
+//  * PacketResponder  — acks persisted packets back upstream (Fig. 2's P).
+//  * Listener/Reader/Handler — the DN's IPC server plumbing (heartbeats,
+//    block reports, recovery RPCs).
+//  * RecoverBlocks    — block recovery; a second recovery request for a
+//    block already in recovery is answered "already in recovery", which the
+//    HBase client misreads (the premature-recovery-termination bug).
+//  * DataTransfer     — replica copy during recovery.
+//
+// Blocks are written through a replication pipeline of `replication`
+// DataNodes connected by packet queues, exactly Fig. 2's topology.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/monitor.h"
+#include "sim/oneshot.h"
+#include "sim/queue.h"
+#include "systems/host.h"
+#include "workload/ycsb.h"
+
+namespace saad::systems {
+
+struct HdfsOptions {
+  int data_nodes = 4;
+  int replication = 3;
+  UsTime network_latency = 250;        // per packet hop
+  UsTime packet_service = 150;         // us disk write per packet
+  std::size_t packet_bytes = 16 * 1024;
+  std::size_t max_packets_per_block = 32;  // event-count guard
+  double empty_packet_chance = 0.01;  // Fig. 4's 0.1% L3 branch
+  UsTime heartbeat_period = sec(3);    // drives the IPC server stages
+  UsTime rpc_cpu = 50;
+  /// Disk time for each of the two replica-copy reads during block
+  /// recovery. Recovering a WAL block copies real data: baseline recovery is
+  /// ~0.8 s, and disk hogs stretch it past an impatient client's retry
+  /// budget (the §5.5 bug).
+  UsTime recovery_copy_service = ms(500);
+  UsTime pipeline_timeout = sec(2);      // writer gives up on the pipeline
+};
+
+struct HdfsStages {
+  core::StageId data_xceiver, packet_responder, handler, listener, reader,
+      recover_blocks, data_transfer;
+};
+
+struct HdfsLogPoints {
+  // DataXceiver write flow (the paper's L1..L5) and read flow.
+  core::LogPointId dx_recv_block, dx_recv_packet, dx_empty_packet, dx_write,
+      dx_close;
+  core::LogPointId dx_read_op, dx_sent_block;
+  // PacketResponder.
+  core::LogPointId pr_start, pr_ack, pr_done;
+  // IPC plumbing.
+  core::LogPointId li_accept, rd_parse, h_call, h_done;
+  // Recovery.
+  core::LogPointId rb_start, rb_already, rb_done;
+  core::LogPointId dt_start, dt_done;
+};
+
+class MiniHdfs {
+ public:
+  enum class RecoverResult { kOk, kAlreadyInRecovery, kFailed };
+
+  MiniHdfs(sim::Engine* engine, core::LogRegistry* registry,
+           core::Monitor* monitor, core::LogSink* sink, core::Level threshold,
+           const faults::FaultPlane* plane, const HdfsOptions& options,
+           std::uint64_t seed);
+
+  /// Launch per-DataNode IPC daemons. Call once.
+  void start();
+
+  /// Write `bytes` as one block through a `replication`-long DN pipeline.
+  /// ok=false when the pipeline failed or timed out.
+  sim::Task<bool> write_block(std::uint64_t block_id, std::size_t bytes);
+
+  /// Read a block from its primary replica.
+  sim::Task<bool> read_block(std::uint64_t block_id, std::size_t bytes);
+
+  /// Ask the block's primary DN to recover it (the HBase WAL-recovery RPC).
+  /// `client_timeout` is the caller's patience: a recovery still running at
+  /// the deadline returns kFailed to the caller while the DN keeps going —
+  /// the precondition of the premature-recovery-termination bug.
+  sim::Task<RecoverResult> recover_block(std::uint64_t block_id,
+                                         UsTime client_timeout = 0);
+
+  const HdfsStages& stages() const { return stages_; }
+  const HdfsLogPoints& points() const { return lp_; }
+  const HdfsOptions& options() const { return options_; }
+
+  int pipeline_node(std::uint64_t block_id, int position) const;
+  std::uint64_t blocks_written() const { return blocks_written_; }
+  std::uint64_t recoveries_started() const { return recoveries_started_; }
+  std::uint64_t recovery_rejections() const { return recovery_rejections_; }
+
+ private:
+  struct Packet {
+    std::uint32_t seq = 0;
+    bool last = false;
+    bool empty = false;
+  };
+
+  struct RpcRequest {
+    enum class Kind { kHeartbeat, kRecover };
+    Kind kind = Kind::kHeartbeat;
+    std::uint64_t block_id = 0;
+    std::shared_ptr<sim::OneShot> done;
+    // Shared: the caller may time out and die before the recovery finishes.
+    std::shared_ptr<RecoverResult> result;
+  };
+
+  struct DataNode {
+    explicit DataNode(int index) : index(index) {}
+    int index;
+    std::unique_ptr<Host> host;
+    std::unique_ptr<sim::SimQueue<RpcRequest>> rpc_queue;
+    std::map<std::uint64_t, bool> recovering;  // block -> in recovery
+    std::set<std::uint64_t> recovered;         // completed recoveries
+  };
+
+  sim::Process xceiver_write(DataNode& dn, std::uint64_t block_id,
+                             std::shared_ptr<sim::SimQueue<Packet>> in,
+                             std::shared_ptr<sim::SimQueue<Packet>> out,
+                             std::shared_ptr<sim::OneShot> persisted);
+  sim::Process responder(DataNode& dn, std::uint64_t block_id,
+                         std::shared_ptr<sim::OneShot> my_persisted,
+                         std::shared_ptr<sim::OneShot> downstream_acked,
+                         std::shared_ptr<sim::OneShot> ack_upstream);
+  sim::Process rpc_server(DataNode& dn);
+  sim::Process heartbeat_daemon(DataNode& dn);
+  sim::Process recovery_task(DataNode& dn, std::uint64_t block_id,
+                             std::shared_ptr<sim::OneShot> done,
+                             std::shared_ptr<RecoverResult> result);
+  sim::Process transfer_task(DataNode& dn,
+                             std::shared_ptr<sim::OneShot> done);
+
+  sim::Engine* engine_;
+  core::LogRegistry* registry_;
+  const faults::FaultPlane* plane_;
+  HdfsOptions options_;
+  HdfsStages stages_{};
+  HdfsLogPoints lp_{};
+  Rng rng_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<std::unique_ptr<DataNode>> nodes_;
+  std::uint64_t blocks_written_ = 0;
+  std::uint64_t recoveries_started_ = 0;
+  std::uint64_t recovery_rejections_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace saad::systems

@@ -1,0 +1,2 @@
+// host.h is header-only; this TU anchors the library target.
+#include "systems/host.h"

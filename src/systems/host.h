@@ -1,0 +1,96 @@
+// Per-node bundle shared by all three simulated systems: the node's logger
+// (wired to its SAAD task execution tracker), its disk, its RNG stream, and
+// helpers for starting stage tasks and charging CPU time (with hog slowdown).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/logger.h"
+#include "core/monitor.h"
+#include "faults/fault_plane.h"
+#include "sim/engine.h"
+#include "sim/resource.h"
+#include "sim/staged.h"
+
+namespace saad::systems {
+
+class Host {
+ public:
+  /// Hyper-threaded dual-Xeon testbed nodes (paper §5.2): a handful of
+  /// hardware threads, so CPU work queues under contention.
+  static constexpr int kCpuSlots = 4;
+  static constexpr double kDiskJitterSigma = 0.25;
+  static constexpr double kCpuJitterSigma = 0.20;
+
+  Host(sim::Engine* engine, const faults::FaultPlane* plane,
+       const core::LogRegistry* registry, core::LogSink* sink,
+       core::Level threshold, core::TaskExecutionTracker* tracker,
+       core::HostId id, Rng rng)
+      : engine_(engine), plane_(plane), id_(id), rng_(rng),
+        logger_(registry, sink, threshold),
+        disk_(engine, plane, id, rng_.split(), kDiskJitterSigma),
+        cpu_(engine, kCpuSlots) {
+    logger_.set_tracker(tracker);
+    tracker_ = tracker;
+  }
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  /// Begin a task of `stage` on this host (tracks + logs through this host's
+  /// tracker/logger). May be called with a null tracker for "SAAD off" runs.
+  sim::StageTask begin(core::StageId stage) {
+    return sim::StageTask(tracker_, &logger_, stage);
+  }
+
+  /// CPU-bound work: queues on the host's cores; service time inflated by
+  /// active hogs' cycle theft plus natural jitter.
+  sim::Task<void> compute(UsTime base) {
+    const double factor = plane_->cpu_slowdown(id_, engine_->now());
+    const double jitter = rng_.lognormal_median(1.0, kCpuJitterSigma);
+    return cpu_.use(
+        static_cast<UsTime>(static_cast<double>(base) * factor * jitter));
+  }
+
+  /// Background disk-hog service: while dd processes are active on this
+  /// host, kernel writeback periodically dumps their dirty pages in bursts
+  /// that monopolize the disk. One or two writers are absorbed by the
+  /// writeback budget; past that, burst length grows quadratically with the
+  /// excess (writeback falls behind) — this is what separates the paper's
+  /// medium from high intensity. Burst phases are de-correlated across hosts
+  /// so only occasionally do several pipeline hops stall at once. Call once
+  /// per host.
+  sim::Process run_disk_hog_service(UsTime period = sec(2),
+                                    UsTime burst_unit = ms(60)) {
+    Rng rng = rng_.split();
+    for (;;) {
+      co_await engine_->delay(
+          period + static_cast<UsTime>(rng.uniform(0, to_sec(period) * 5e5)));
+      const int procs = plane_->hog_processes(id_, engine_->now());
+      if (procs <= 2) continue;
+      const UsTime burst = burst_unit * (procs - 2) * (procs - 2);
+      (void)co_await disk_.io(faults::Activity::kDiskWrite, burst);
+    }
+  }
+
+  sim::Engine& engine() { return *engine_; }
+  const faults::FaultPlane& plane() const { return *plane_; }
+  core::Logger& logger() { return logger_; }
+  sim::Disk& disk() { return disk_; }
+  Rng& rng() { return rng_; }
+  core::HostId id() const { return id_; }
+  UsTime now() const { return engine_->now(); }
+
+ private:
+  sim::Engine* engine_;
+  const faults::FaultPlane* plane_;
+  core::HostId id_;
+  Rng rng_;
+  core::Logger logger_;
+  sim::Disk disk_;
+  sim::Resource cpu_;
+  core::TaskExecutionTracker* tracker_ = nullptr;
+};
+
+}  // namespace saad::systems

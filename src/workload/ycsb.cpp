@@ -1,0 +1,67 @@
+#include "workload/ycsb.h"
+
+namespace saad::workload {
+
+YcsbDriver::YcsbDriver(sim::Engine* engine, KvService* service,
+                       YcsbOptions options, std::uint64_t seed)
+    : engine_(engine), service_(service), options_(options), rng_(seed),
+      zipf_(options.key_space, options.zipfian_theta) {}
+
+std::string YcsbDriver::key_name(std::uint64_t k) {
+  return "user" + std::to_string(k);
+}
+
+void YcsbDriver::start(UsTime until) {
+  for (int i = 0; i < options_.clients; ++i) client(i, until);
+}
+
+double YcsbDriver::mean_rate(std::size_t from_window,
+                             std::size_t to_window) const {
+  if (from_window >= to_window) return 0.0;
+  double sum = 0.0;
+  for (std::size_t w = from_window; w < to_window; ++w)
+    sum += stats_.ops.rate_in(w);
+  return sum / static_cast<double>(to_window - from_window);
+}
+
+sim::Process YcsbDriver::client(int id, UsTime until) {
+  Rng rng = rng_.split();
+  // Stagger client start so the closed loop does not phase-lock.
+  co_await engine_->delay(static_cast<UsTime>(rng.next_below(
+      static_cast<std::uint64_t>(options_.think_mean) + 1)));
+  int batched = 0;
+  (void)id;
+  while (engine_->now() < until) {
+    const std::string key = key_name(zipf_.next(rng));
+    const UsTime begin = engine_->now();
+    double read_proportion = options_.read_proportion;
+    for (const auto& override_spec : options_.mix_overrides) {
+      if (begin >= override_spec.from && begin < override_spec.until)
+        read_proportion = override_spec.read_proportion;
+    }
+    if (rng.chance(read_proportion)) {
+      const auto value = co_await service_->get(key);
+      (void)value;  // a miss is not a failure: the key may never be written
+      stats_.read_latency.record(engine_->now() - begin);
+      stats_.ops.record(begin);
+    } else {
+      bool ok = true;
+      if (options_.put_batch_size > 1 &&
+          ++batched % options_.put_batch_size != 0) {
+        // Quirk: buffered client-side, acknowledged instantly, never sent.
+      } else {
+        ok = co_await service_->put(key,
+                                    std::string(options_.record_bytes, 'v'));
+        stats_.server_puts.record(begin);
+      }
+      if (!ok) stats_.failures++;
+      stats_.write_latency.record(engine_->now() - begin);
+      stats_.ops.record(begin);
+    }
+    co_await engine_->delay(
+        static_cast<UsTime>(rng.exponential(static_cast<double>(
+            options_.think_mean))));
+  }
+}
+
+}  // namespace saad::workload

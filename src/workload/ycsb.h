@@ -1,0 +1,93 @@
+// YCSB-like closed-loop workload generator (paper §5.2): N emulated clients
+// issue a read/write mix over a zipfian-skewed key space against any storage
+// service, recording throughput per 10-second window and latency.
+//
+// The paper uses YCSB 0.1.4 with 100 clients and a write-intensive mix. That
+// YCSB version's client-side put-batching misconfiguration (§5.5,
+// high-intensity-2) is reproduced behind `put_batch_size`: with a batch size
+// of B, only every B-th put reaches the server — the rest complete in the
+// client's buffer, inflating apparent write throughput and starving the
+// server's log-sync path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace saad::workload {
+
+/// Anything that can serve keyed reads and writes in the simulation.
+class KvService {
+ public:
+  virtual ~KvService() = default;
+  virtual sim::Task<bool> put(std::string key, std::string value) = 0;
+  virtual sim::Task<std::optional<std::string>> get(std::string key) = 0;
+};
+
+struct YcsbOptions {
+  int clients = 100;
+  double read_proportion = 0.2;  // write-intensive, as in the paper
+  std::uint64_t key_space = 100000;
+  double zipfian_theta = 0.99;
+  std::size_t record_bytes = 100;
+  /// Mean client think time between operations (closed loop).
+  UsTime think_mean = ms(2);
+  /// 1 = faithful clients; B > 1 = the YCSB 0.1.4 put-batching quirk.
+  int put_batch_size = 1;
+
+  /// Scheduled read/write-mix changes. Used by the Fig. 10 bench to emulate
+  /// the put-batching backlog of the paper's high-intensity-2 window: client
+  /// writes pile up client-side, so the server sees mostly reads.
+  struct MixOverride {
+    UsTime from = 0;
+    UsTime until = 0;
+    double read_proportion = 0.2;
+  };
+  std::vector<MixOverride> mix_overrides;
+};
+
+struct YcsbStats {
+  WindowedCounter ops{sec(10)};       // completed operations (client view)
+  WindowedCounter server_puts{sec(10)};  // puts actually sent to the server
+  Histogram read_latency;
+  Histogram write_latency;
+  std::uint64_t failures = 0;
+};
+
+class YcsbDriver {
+ public:
+  YcsbDriver(sim::Engine* engine, KvService* service, YcsbOptions options,
+             std::uint64_t seed);
+
+  /// Spawn the client processes; they stop issuing new operations at `until`.
+  void start(UsTime until);
+
+  const YcsbStats& stats() const { return stats_; }
+
+  /// Mutable: benches adjust mix_overrides after construction (clients read
+  /// the options on every operation).
+  YcsbOptions& options() { return options_; }
+
+  /// Mean throughput (ops/s) over windows [from_window, to_window).
+  double mean_rate(std::size_t from_window, std::size_t to_window) const;
+
+  static std::string key_name(std::uint64_t k);
+
+ private:
+  sim::Process client(int id, UsTime until);
+
+  sim::Engine* engine_;
+  KvService* service_;
+  YcsbOptions options_;
+  Rng rng_;
+  Zipfian zipf_;
+  YcsbStats stats_;
+};
+
+}  // namespace saad::workload

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "baseline/error_monitor.h"
+#include "baseline/log_renderer.h"
+#include "baseline/text_miner.h"
+
+namespace saad::baseline {
+namespace {
+
+struct BaselineFixture : ::testing::Test {
+  core::LogRegistry registry;
+  core::StageId stage = core::kInvalidStage;
+  core::LogPointId lp_block = 0, lp_packet = 0, lp_close = 0, lp_err = 0;
+
+  void SetUp() override {
+    stage = registry.register_stage("DataXceiver");
+    lp_block =
+        registry.register_log_point(stage, core::Level::kDebug,
+                                    "Receiving block blk_%");
+    lp_packet = registry.register_log_point(
+        stage, core::Level::kDebug, "Receiving one packet for block blk_%");
+    lp_close =
+        registry.register_log_point(stage, core::Level::kInfo, "Closing down.");
+    lp_err = registry.register_log_point(stage, core::Level::kError,
+                                         "I/O error on blockfile %");
+  }
+};
+
+TEST_F(BaselineFixture, RenderLineHasTimestampLevelStageAndText) {
+  const std::string line =
+      render_line(registry, lp_block, minutes(90) + ms(123),
+                  "Receiving block blk_42");
+  EXPECT_NE(line.find("2014-12-08 01:30:00,123"), std::string::npos);
+  EXPECT_NE(line.find("DEBUG"), std::string::npos);
+  EXPECT_NE(line.find("DataXceiver:"), std::string::npos);
+  EXPECT_NE(line.find("Receiving block blk_42"), std::string::npos);
+}
+
+TEST_F(BaselineFixture, RenderLineFallsBackToTemplate) {
+  const std::string line = render_line(registry, lp_close, 0, {});
+  EXPECT_NE(line.find("Closing down."), std::string::npos);
+}
+
+TEST_F(BaselineFixture, RenderingSinkForwardsFullLines) {
+  ManualClock clock(sec(5));
+  core::MemorySink memory;
+  RenderingSink sink(&registry, &clock, &memory);
+  sink.write(core::Level::kDebug, lp_block, "Receiving block blk_7");
+  ASSERT_EQ(memory.lines().size(), 1u);
+  EXPECT_NE(memory.lines()[0].text.find("blk_7"), std::string::npos);
+  EXPECT_NE(memory.lines()[0].text.find("2014-12-08"), std::string::npos);
+}
+
+TEST_F(BaselineFixture, TextMinerMatchesRenderedLines) {
+  TextMiner miner(registry);
+  EXPECT_EQ(miner.num_templates(), registry.num_log_points());
+
+  const std::string line =
+      render_line(registry, lp_packet, ms(10),
+                  "Receiving one packet for block blk_99");
+  EXPECT_EQ(miner.match(line), lp_packet);
+}
+
+TEST_F(BaselineFixture, TextMinerMatchesTemplateWithoutArguments) {
+  TextMiner miner(registry);
+  const std::string line = render_line(registry, lp_close, ms(10), {});
+  EXPECT_EQ(miner.match(line), lp_close);
+}
+
+TEST_F(BaselineFixture, TextMinerRejectsGarbage) {
+  TextMiner miner(registry);
+  EXPECT_EQ(miner.match("completely unrelated text"), core::kInvalidLogPoint);
+}
+
+TEST_F(BaselineFixture, MineAggregatesPerTemplateCounts) {
+  TextMiner miner(registry);
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 5; ++i)
+    corpus.push_back(render_line(registry, lp_block, ms(i),
+                                 "Receiving block blk_" + std::to_string(i)));
+  for (int i = 0; i < 3; ++i)
+    corpus.push_back(render_line(registry, lp_close, ms(i), {}));
+  corpus.push_back("junk line");
+
+  const auto counts = miner.mine(corpus);
+  EXPECT_EQ(counts[lp_block], 5u);
+  EXPECT_EQ(counts[lp_close], 3u);
+  EXPECT_EQ(counts.back(), 1u);  // unmatched bucket
+}
+
+TEST_F(BaselineFixture, ErrorMonitorAlertsOnErrorsOnly) {
+  ManualClock clock;
+  core::NullSink null;
+  ErrorLogMonitor monitor(&clock, &null);
+
+  clock.set(minutes(2));
+  monitor.write(core::Level::kDebug, lp_block, "fine");
+  monitor.write(core::Level::kInfo, lp_close, "also fine");
+  EXPECT_EQ(monitor.total_alerts(), 0u);
+
+  clock.set(minutes(3) + sec(10));
+  monitor.write(core::Level::kError, lp_err, "I/O error on blockfile 9");
+  ASSERT_EQ(monitor.total_alerts(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].at, minutes(3) + sec(10));
+  EXPECT_EQ(monitor.alerts()[0].point, lp_err);
+  EXPECT_EQ(monitor.alerts_per_window().count_in(3), 1u);
+}
+
+TEST_F(BaselineFixture, ErrorMonitorConfigurableLevel) {
+  ManualClock clock;
+  ErrorLogMonitor monitor(&clock, nullptr, core::Level::kWarn);
+  const auto lp_warn = registry.register_log_point(
+      stage, core::Level::kWarn, "slow operation");
+  monitor.write(core::Level::kWarn, lp_warn, "slow operation");
+  EXPECT_EQ(monitor.total_alerts(), 1u);
+}
+
+TEST_F(BaselineFixture, ErrorMonitorForwardsToInner) {
+  ManualClock clock;
+  core::CountingSink counting;
+  ErrorLogMonitor monitor(&clock, &counting);
+  monitor.write(core::Level::kDebug, lp_block, "x");
+  monitor.write(core::Level::kError, lp_err, "y");
+  EXPECT_EQ(counting.total_messages(), 2u);
+}
+
+}  // namespace
+}  // namespace saad::baseline

@@ -1,0 +1,105 @@
+#include "baseline/pca_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace saad::baseline {
+namespace {
+
+/// Training rows living on a 1-D subspace (plus small noise) inside R^4.
+std::vector<std::vector<double>> correlated_rows(std::size_t n,
+                                                 saad::Rng& rng) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = rng.uniform(50, 150);  // the latent "load" factor
+    rows.push_back({t + rng.normal(0, 1), 2 * t + rng.normal(0, 1),
+                    0.5 * t + rng.normal(0, 1), 3 * t + rng.normal(0, 1)});
+  }
+  return rows;
+}
+
+TEST(PcaDetector, CapturesTheDominantSubspace) {
+  saad::Rng rng(1);
+  const auto rows = correlated_rows(400, rng);
+  const auto detector = PcaDetector::train(rows);
+  // One latent factor: one (or very few) components capture 95% variance.
+  EXPECT_LE(detector.num_components(), 2u);
+  EXPECT_GE(detector.num_components(), 1u);
+}
+
+TEST(PcaDetector, NormalRowsPassAnomalousRowsFlag) {
+  saad::Rng rng(2);
+  const auto rows = correlated_rows(400, rng);
+  const auto detector = PcaDetector::train(rows);
+
+  // Fresh rows from the same structure: almost all pass.
+  saad::Rng rng2(3);
+  int false_alarms = 0;
+  const auto fresh = correlated_rows(200, rng2);
+  for (const auto& row : fresh)
+    if (detector.anomalous(row)) false_alarms++;
+  EXPECT_LE(false_alarms, 6);
+
+  // A row that breaks the correlation structure (same magnitudes!) flags.
+  const std::vector<double> broken = {100, 50, 100, 20};
+  EXPECT_TRUE(detector.anomalous(broken));
+  EXPECT_GT(detector.spe(broken), detector.threshold());
+}
+
+TEST(PcaDetector, ScalingAlongTheSubspaceIsNotAnomalous) {
+  // The key property (and blind spot) of subspace methods: changes *along*
+  // the normal correlation directions — e.g. uniform load growth — do not
+  // raise the residual.
+  saad::Rng rng(4);
+  const auto detector = PcaDetector::train(correlated_rows(400, rng));
+  const std::vector<double> scaled = {300, 600, 150, 900};  // 3x typical load
+  EXPECT_FALSE(detector.anomalous(scaled));
+}
+
+TEST(PcaDetector, ConstantColumnsAreHandled) {
+  std::vector<std::vector<double>> rows(100, std::vector<double>{5, 0, 1});
+  const auto detector = PcaDetector::train(rows);
+  EXPECT_FALSE(detector.anomalous({5, 0, 1}));
+  EXPECT_TRUE(detector.anomalous({5, 10, 1}));
+}
+
+TEST(PcaDetector, DeterministicTraining) {
+  saad::Rng rng_a(7), rng_b(7);
+  const auto a = PcaDetector::train(correlated_rows(200, rng_a));
+  const auto b = PcaDetector::train(correlated_rows(200, rng_b));
+  EXPECT_DOUBLE_EQ(a.threshold(), b.threshold());
+  EXPECT_EQ(a.num_components(), b.num_components());
+}
+
+TEST(CountMatrix, BucketsSynopsesByWindowAndPoint) {
+  std::vector<core::Synopsis> trace(3);
+  trace[0].start = sec(5);
+  trace[0].log_points = {{1, 2}, {3, 1}};
+  trace[1].start = sec(8);
+  trace[1].log_points = {{1, 1}};
+  trace[2].start = sec(65);
+  trace[2].log_points = {{2, 4}};
+
+  const auto matrix = count_matrix(trace, /*num_points=*/4, minutes(1));
+  ASSERT_EQ(matrix.size(), 2u);
+  EXPECT_DOUBLE_EQ(matrix[0][1], 3.0);  // 2 + 1
+  EXPECT_DOUBLE_EQ(matrix[0][3], 1.0);
+  EXPECT_DOUBLE_EQ(matrix[1][2], 4.0);
+  EXPECT_DOUBLE_EQ(matrix[1][0], 0.0);
+}
+
+TEST(CountMatrix, IgnoresOutOfRangePoints) {
+  std::vector<core::Synopsis> trace(1);
+  trace[0].start = 0;
+  trace[0].log_points = {{100, 5}};
+  const auto matrix = count_matrix(trace, /*num_points=*/4, minutes(1));
+  ASSERT_EQ(matrix.size(), 1u);
+  for (double v : matrix[0]) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace saad::baseline

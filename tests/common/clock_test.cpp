@@ -1,0 +1,42 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace saad {
+namespace {
+
+TEST(ManualClock, StartsAtGivenTime) {
+  ManualClock c(123);
+  EXPECT_EQ(c.now(), 123);
+}
+
+TEST(ManualClock, SetAndAdvance) {
+  ManualClock c;
+  c.set(1000);
+  EXPECT_EQ(c.now(), 1000);
+  c.advance(500);
+  EXPECT_EQ(c.now(), 1500);
+}
+
+TEST(RealClock, MonotonicNonNegative) {
+  RealClock c;
+  const UsTime a = c.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const UsTime b = c.now();
+  EXPECT_GE(a, 0);
+  EXPECT_GT(b, a);
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(ms(3), 3000);
+  EXPECT_EQ(sec(2), 2000000);
+  EXPECT_EQ(minutes(1), 60000000);
+  EXPECT_DOUBLE_EQ(to_ms(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_sec(sec(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_min(minutes(7)), 7.0);
+}
+
+}  // namespace
+}  // namespace saad

@@ -1,0 +1,90 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace saad {
+namespace {
+
+TEST(Histogram, EmptyReturnsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_EQ(h.percentile(0.5), 1000);
+  EXPECT_EQ(h.percentile(1.0), 1000);
+}
+
+TEST(Histogram, PercentileWithinResolution) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.record(i);
+  // ~3% bucket resolution.
+  EXPECT_NEAR(h.percentile(0.5), 5000, 5000 * 0.05);
+  EXPECT_NEAR(h.percentile(0.99), 9900, 9900 * 0.05);
+  EXPECT_EQ(h.percentile(1.0), 10000);
+}
+
+TEST(Histogram, MeanIsExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.record(5);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0);
+}
+
+TEST(Histogram, NonPositiveValuesClampToOne) {
+  Histogram h;
+  h.record(0);
+  h.record(-7);
+  EXPECT_EQ(h.count(), 2u);
+  // min/max track raw values even though buckets clamp.
+  EXPECT_EQ(h.min(), -7);
+}
+
+TEST(WindowedCounter, BucketsByWindow) {
+  WindowedCounter w(sec(10));
+  w.record(sec(1));
+  w.record(sec(9));
+  w.record(sec(10));
+  w.record(sec(25), 3);
+  EXPECT_EQ(w.num_windows(), 3u);
+  EXPECT_EQ(w.count_in(0), 2u);
+  EXPECT_EQ(w.count_in(1), 1u);
+  EXPECT_EQ(w.count_in(2), 3u);
+  EXPECT_EQ(w.count_in(99), 0u);
+}
+
+TEST(WindowedCounter, RatePerSecond) {
+  WindowedCounter w(sec(10));
+  w.record(sec(3), 50);
+  EXPECT_DOUBLE_EQ(w.rate_in(0), 5.0);
+  EXPECT_EQ(w.rates().size(), 1u);
+}
+
+}  // namespace
+}  // namespace saad

@@ -1,0 +1,144 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace saad {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(11);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(9);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.chance(0.25)) ++hits;
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianApproximatelyRequested) {
+  Rng rng(19);
+  std::vector<double> xs(100001);
+  for (auto& x : xs) x = rng.lognormal_median(4.0, 0.5);
+  std::nth_element(xs.begin(), xs.begin() + 50000, xs.end());
+  EXPECT_NEAR(xs[50000], 4.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Zipfian, ValuesInRange) {
+  Rng rng(29);
+  Zipfian zipf(1000, 0.99);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(zipf.next(rng), 1000u);
+}
+
+TEST(Zipfian, SkewsTowardLowRanks) {
+  Rng rng(31);
+  Zipfian zipf(10000, 0.99);
+  int low = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (zipf.next(rng) < 100) ++low;
+  // With theta=0.99 the head is heavily weighted: far more than uniform 1%.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(Zipfian, SingleElementAlwaysZero) {
+  Rng rng(37);
+  Zipfian zipf(1, 0.99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.next(rng), 0u);
+}
+
+TEST(PickCumulative, RespectsWeights) {
+  Rng rng(41);
+  const std::vector<double> cum = {0.5, 0.5, 1.0};  // item 1 has zero mass
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 100000; ++i) counts[pick_cumulative(rng, cum)]++;
+  EXPECT_NEAR(counts[0] / 100000.0, 0.5, 0.02);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 100000.0, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace saad

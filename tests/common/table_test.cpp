@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace saad {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.to_string().find("only"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(static_cast<std::int64_t>(42)), "42");
+}
+
+TEST(TimelineChart, MarksAppearAtBucket) {
+  TimelineChart chart(20, "test");
+  chart.mark("StageA(1)", 5, 'F');
+  chart.mark("StageA(1)", 7, 'P');
+  chart.mark("StageB(2)", 0, 'N');
+  const std::string s = chart.to_string(10);
+  EXPECT_NE(s.find("StageA(1)"), std::string::npos);
+  EXPECT_NE(s.find("StageB(2)"), std::string::npos);
+  // Row A: dots with F at index 5 and P at index 7.
+  const auto pos = s.find("StageA(1) |");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string row = s.substr(pos + 11, 20);
+  EXPECT_EQ(row[5], 'F');
+  EXPECT_EQ(row[7], 'P');
+  EXPECT_EQ(row[0], '.');
+}
+
+TEST(TimelineChart, OutOfRangeMarkIgnored) {
+  TimelineChart chart(5, "t");
+  chart.mark("X", 99, 'F');
+  // No row created for an out-of-range mark.
+  EXPECT_EQ(chart.to_string().find("X |"), std::string::npos);
+}
+
+TEST(TimelineChart, LaterMarkOverwrites) {
+  TimelineChart chart(3, "t");
+  chart.mark("X", 1, 'P');
+  chart.mark("X", 1, 'F');
+  const std::string s = chart.to_string();
+  const auto pos = s.find("X |");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(s[pos + 3 + 1], 'F');
+}
+
+}  // namespace
+}  // namespace saad

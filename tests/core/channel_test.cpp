@@ -1,0 +1,72 @@
+#include "core/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace saad::core {
+namespace {
+
+Synopsis sample(TaskUid uid) {
+  Synopsis s;
+  s.stage = 1;
+  s.uid = uid;
+  s.log_points = {{1, 1}, {2, 3}};
+  return s;
+}
+
+TEST(SynopsisChannel, PushDrainPreservesOrder) {
+  SynopsisChannel channel;
+  for (TaskUid uid = 1; uid <= 5; ++uid) channel.push(sample(uid));
+  std::vector<Synopsis> out;
+  channel.drain(out);
+  ASSERT_EQ(out.size(), 5u);
+  for (TaskUid uid = 1; uid <= 5; ++uid) EXPECT_EQ(out[uid - 1].uid, uid);
+}
+
+TEST(SynopsisChannel, DrainAppendsAndEmpties) {
+  SynopsisChannel channel;
+  channel.push(sample(1));
+  std::vector<Synopsis> out;
+  out.push_back(sample(99));
+  channel.drain(out);
+  EXPECT_EQ(out.size(), 2u);
+  channel.drain(out);  // nothing left
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(SynopsisChannel, CountsPushedAndBytes) {
+  SynopsisChannel channel;
+  EXPECT_EQ(channel.pushed(), 0u);
+  EXPECT_EQ(channel.encoded_bytes(), 0u);
+  channel.push(sample(1));
+  channel.push(sample(2));
+  EXPECT_EQ(channel.pushed(), 2u);
+  EXPECT_EQ(channel.encoded_bytes(), 2 * encoded_size(sample(1)));
+  // Counters survive draining (lifetime totals, used by Fig. 8).
+  std::vector<Synopsis> out;
+  channel.drain(out);
+  EXPECT_EQ(channel.pushed(), 2u);
+}
+
+TEST(SynopsisChannel, ConcurrentProducersLoseNothing) {
+  SynopsisChannel channel;
+  constexpr int kThreads = 8, kPerThread = 2000;
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&channel, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        channel.push(sample(static_cast<TaskUid>(t * kPerThread + i)));
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  std::vector<Synopsis> out;
+  channel.drain(out);
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(channel.pushed(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace saad::core

@@ -1,0 +1,175 @@
+// Property-style sweeps over the detector's statistical knobs (TEST_P):
+// invariants that must hold for ANY sane configuration, verified across a
+// grid of window sizes, alphas and fault magnitudes on synthetic streams.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/detector.h"
+
+namespace saad::core {
+namespace {
+
+Synopsis task(StageId stage, std::vector<LogPointId> points, UsTime start,
+              UsTime duration) {
+  Synopsis s;
+  s.stage = stage;
+  s.start = start;
+  s.duration = duration;
+  std::sort(points.begin(), points.end());
+  for (auto p : points) {
+    if (!s.log_points.empty() && s.log_points.back().point == p) {
+      s.log_points.back().count++;
+    } else {
+      s.log_points.push_back({p, 1});
+    }
+  }
+  return s;
+}
+
+/// Fault-free stream: one common flow, lognormal durations, fixed rate.
+std::vector<Synopsis> stream(std::size_t n, UsTime span, std::uint64_t seed,
+                             double slow_fraction = 0.0,
+                             double slow_factor = 1.0) {
+  saad::Rng rng(seed);
+  std::vector<Synopsis> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const UsTime start = static_cast<UsTime>(
+        (static_cast<double>(i) / static_cast<double>(n)) *
+        static_cast<double>(span));
+    double d = rng.lognormal_median(ms(10), 0.2);
+    if (rng.chance(slow_fraction)) d *= slow_factor;
+    out.push_back(task(0, {1, 2, 3}, start, static_cast<UsTime>(d)));
+  }
+  return out;
+}
+
+class WindowSweep : public ::testing::TestWithParam<UsTime> {};
+
+TEST_P(WindowSweep, QuietStreamIsQuietAtEveryWindowSize) {
+  const OutlierModel model =
+      OutlierModel::train(stream(60000, minutes(10), 1));
+  DetectorConfig config;
+  config.window = GetParam();
+  AnomalyDetector detector(&model, config);
+  for (const auto& s : stream(30000, minutes(5), 2)) detector.ingest(s);
+  EXPECT_TRUE(detector.finish().empty())
+      << "window=" << to_sec(GetParam()) << "s";
+}
+
+TEST_P(WindowSweep, StrongSlowdownIsCaughtAtEveryWindowSize) {
+  const OutlierModel model =
+      OutlierModel::train(stream(60000, minutes(10), 3));
+  DetectorConfig config;
+  config.window = GetParam();
+  AnomalyDetector detector(&model, config);
+  // Half the tasks run 5x slower: decisive at any window size.
+  for (const auto& s : stream(30000, minutes(5), 4, 0.5, 5.0))
+    detector.ingest(s);
+  const auto anomalies = detector.finish();
+  ASSERT_FALSE(anomalies.empty());
+  for (const auto& a : anomalies)
+    EXPECT_EQ(a.kind, AnomalyKind::kPerformance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(sec(10), sec(30), kUsPerMin,
+                                           minutes(5)));
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, TighterAlphaNeverFlagsMoreThanLooser) {
+  const OutlierModel model =
+      OutlierModel::train(stream(60000, minutes(10), 5));
+  // A borderline fault: 3% of tasks run 3x slower.
+  const auto faulty = stream(30000, minutes(5), 6, 0.03, 3.0);
+
+  const double alpha = GetParam();
+  DetectorConfig tight;
+  tight.alpha = alpha;
+  DetectorConfig loose;
+  loose.alpha = alpha * 10;
+
+  AnomalyDetector a(&model, tight), b(&model, loose);
+  for (const auto& s : faulty) {
+    a.ingest(s);
+    b.ingest(s);
+  }
+  EXPECT_LE(a.finish().size(), b.finish().size()) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(1e-5, 1e-4, 1e-3, 1e-2));
+
+class MagnitudeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MagnitudeSweep, AnomalyCountGrowsWithFaultMagnitude) {
+  const OutlierModel model =
+      OutlierModel::train(stream(60000, minutes(10), 7));
+  auto count = [&](double slow_fraction) {
+    AnomalyDetector detector(&model);
+    for (const auto& s :
+         stream(30000, minutes(5), 8, slow_fraction, GetParam()))
+      detector.ingest(s);
+    return detector.finish().size();
+  };
+  // More affected tasks -> at least as many flagged windows.
+  EXPECT_LE(count(0.0), count(0.2));
+  EXPECT_LE(count(0.2), count(0.8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, MagnitudeSweep,
+                         ::testing::Values(3.0, 5.0, 10.0));
+
+TEST(DetectorProperty, IngestOrderWithinWindowDoesNotMatter) {
+  const OutlierModel model =
+      OutlierModel::train(stream(60000, minutes(10), 9));
+  auto faulty = stream(5000, kUsPerMin - 1, 10, 0.5, 5.0);
+
+  AnomalyDetector forward(&model), backward(&model);
+  for (const auto& s : faulty) forward.ingest(s);
+  for (auto it = faulty.rbegin(); it != faulty.rend(); ++it)
+    backward.ingest(*it);
+  const auto a = forward.finish();
+  const auto b = backward.finish();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].outliers, b[i].outliers);
+    EXPECT_DOUBLE_EQ(a[i].p_value, b[i].p_value);
+  }
+}
+
+TEST(DetectorProperty, SplitStreamEqualsWholeStream) {
+  // Feeding the same synopses through poll-sized batches must produce the
+  // same anomalies as one big batch (streaming == offline).
+  const OutlierModel model =
+      OutlierModel::train(stream(60000, minutes(10), 11));
+  const auto faulty = stream(20000, minutes(4), 12, 0.5, 5.0);
+
+  AnomalyDetector whole(&model);
+  for (const auto& s : faulty) whole.ingest(s);
+  const auto expected = whole.finish();
+
+  AnomalyDetector chunked(&model);
+  std::vector<Anomaly> got;
+  for (std::size_t i = 0; i < faulty.size(); ++i) {
+    chunked.ingest(faulty[i]);
+    if (i % 1000 == 999) {
+      const auto batch = chunked.advance_to(faulty[i].start);
+      got.insert(got.end(), batch.begin(), batch.end());
+    }
+  }
+  const auto tail = chunked.finish();
+  got.insert(got.end(), tail.begin(), tail.end());
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].window, expected[i].window);
+    EXPECT_EQ(got[i].kind, expected[i].kind);
+    EXPECT_EQ(got[i].outliers, expected[i].outliers);
+  }
+}
+
+}  // namespace
+}  // namespace saad::core

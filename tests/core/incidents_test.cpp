@@ -1,0 +1,135 @@
+#include "core/incidents.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace saad::core {
+namespace {
+
+Anomaly anomaly(std::size_t window, HostId host, StageId stage,
+                AnomalyKind kind, double p = 0.0001, bool fresh = false) {
+  Anomaly a;
+  a.window = window;
+  a.host = host;
+  a.stage = stage;
+  a.kind = kind;
+  a.p_value = p;
+  a.due_to_new_signature = fresh;
+  a.example_signature = Signature({static_cast<LogPointId>(window)});
+  return a;
+}
+
+TEST(Incidents, ContiguousWindowsFormOneIncident) {
+  const auto incidents = group_incidents(
+      {anomaly(10, 4, 1, AnomalyKind::kFlow),
+       anomaly(11, 4, 1, AnomalyKind::kFlow),
+       anomaly(12, 4, 1, AnomalyKind::kFlow)});
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].first_window, 10u);
+  EXPECT_EQ(incidents[0].last_window, 12u);
+  EXPECT_EQ(incidents[0].windows, 3u);
+  EXPECT_EQ(incidents[0].span(), 3u);
+}
+
+TEST(Incidents, GapToleranceBridgesSmallHoles) {
+  // Windows 10, 12 with max_gap 1: one incident; with max_gap 0: two.
+  const std::vector<Anomaly> anomalies = {
+      anomaly(10, 4, 1, AnomalyKind::kFlow),
+      anomaly(12, 4, 1, AnomalyKind::kFlow)};
+  EXPECT_EQ(group_incidents(anomalies, 1).size(), 1u);
+  EXPECT_EQ(group_incidents(anomalies, 0).size(), 2u);
+}
+
+TEST(Incidents, DistinctIdentitiesStaySeparate) {
+  const auto incidents = group_incidents(
+      {anomaly(5, 1, 1, AnomalyKind::kFlow),
+       anomaly(5, 2, 1, AnomalyKind::kFlow),          // other host
+       anomaly(5, 1, 2, AnomalyKind::kFlow),          // other stage
+       anomaly(5, 1, 1, AnomalyKind::kPerformance)});  // other kind
+  EXPECT_EQ(incidents.size(), 4u);
+}
+
+TEST(Incidents, OrderIndependentAndSorted) {
+  const auto incidents = group_incidents(
+      {anomaly(30, 2, 1, AnomalyKind::kFlow),
+       anomaly(10, 1, 1, AnomalyKind::kFlow),
+       anomaly(31, 2, 1, AnomalyKind::kFlow),
+       anomaly(11, 1, 1, AnomalyKind::kFlow)});
+  ASSERT_EQ(incidents.size(), 2u);
+  EXPECT_EQ(incidents[0].first_window, 10u);
+  EXPECT_EQ(incidents[1].first_window, 30u);
+}
+
+TEST(Incidents, TracksMostSignificantAnomaly) {
+  const auto incidents = group_incidents(
+      {anomaly(10, 4, 1, AnomalyKind::kFlow, 1e-3),
+       anomaly(11, 4, 1, AnomalyKind::kFlow, 1e-9),
+       anomaly(12, 4, 1, AnomalyKind::kFlow, 1e-5, /*fresh=*/true)});
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_DOUBLE_EQ(incidents[0].min_p_value, 1e-9);
+  EXPECT_TRUE(incidents[0].any_new_signature);
+  EXPECT_EQ(incidents[0].example_signature, Signature({11}));
+}
+
+TEST(Incidents, EmptyInputEmptyOutput) {
+  EXPECT_TRUE(group_incidents({}).empty());
+}
+
+TEST(Incidents, DescribeIsReadable) {
+  LogRegistry registry;
+  const auto stage = registry.register_stage("Table");
+  auto a = anomaly(30, 4, stage, AnomalyKind::kFlow, 1e-7, true);
+  const auto incidents = group_incidents({a});
+  const auto text = describe(incidents[0], registry);
+  EXPECT_NE(text.find("Table(4)"), std::string::npos);
+  EXPECT_NE(text.find("FLOW"), std::string::npos);
+  EXPECT_NE(text.find("new signature"), std::string::npos);
+  EXPECT_NE(text.find("windows 30-30"), std::string::npos);
+}
+
+TEST(BonferroniExtension, ReducesBorderlineRejections) {
+  // One stage tested alongside many others: the corrected alpha is stricter.
+  // Build a model with 50 stages, then a window where every stage shows a
+  // borderline outlier excess.
+  std::vector<Synopsis> trace;
+  saad::Rng rng(1);
+  for (int stage = 0; stage < 50; ++stage) {
+    for (int i = 0; i < 4000; ++i) {
+      Synopsis s;
+      s.stage = static_cast<StageId>(stage);
+      s.duration = static_cast<UsTime>(rng.lognormal_median(ms(10), 0.2));
+      s.log_points = {{1, 1}, {2, 1}};
+      trace.push_back(std::move(s));
+    }
+  }
+  const OutlierModel model = OutlierModel::train(trace);
+
+  auto run = [&](bool bonferroni) {
+    DetectorConfig config;
+    config.bonferroni = bonferroni;
+    AnomalyDetector detector(&model, config);
+    saad::Rng rng2(2);
+    for (int stage = 0; stage < 50; ++stage) {
+      for (int i = 0; i < 2000; ++i) {
+        Synopsis s;
+        s.stage = static_cast<StageId>(stage);
+        s.start = i;
+        // Slightly elevated tail: ~2% of tasks 2.5x slower (borderline).
+        double d = rng2.lognormal_median(ms(10), 0.2);
+        if (rng2.chance(0.02)) d *= 2.5;
+        s.duration = static_cast<UsTime>(d);
+        s.log_points = {{1, 1}, {2, 1}};
+        detector.ingest(s);
+      }
+    }
+    return detector.finish().size();
+  };
+  const auto flat = run(false);
+  const auto corrected = run(true);
+  EXPECT_GT(flat, 0u);  // borderline excess fires at flat alpha somewhere
+  EXPECT_LT(corrected, flat);
+}
+
+}  // namespace
+}  // namespace saad::core

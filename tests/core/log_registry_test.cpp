@@ -1,0 +1,68 @@
+#include "core/log_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace saad::core {
+namespace {
+
+TEST(LogRegistry, RegistersStagesWithDenseIds) {
+  LogRegistry reg;
+  const StageId a = reg.register_stage("DataXceiver");
+  const StageId b = reg.register_stage("PacketResponder");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(reg.num_stages(), 2u);
+  EXPECT_EQ(reg.stage(a).name, "DataXceiver");
+  EXPECT_EQ(reg.stage(b).name, "PacketResponder");
+}
+
+TEST(LogRegistry, RegistersLogPointsWithMetadata) {
+  LogRegistry reg;
+  const StageId s = reg.register_stage("Foo");
+  const LogPointId p = reg.register_log_point(s, Level::kDebug,
+                                              "Receiving block blk_%",
+                                              "dataxceiver.cc", 42);
+  const auto& info = reg.log_point(p);
+  EXPECT_EQ(info.stage, s);
+  EXPECT_EQ(info.level, Level::kDebug);
+  EXPECT_EQ(info.template_text, "Receiving block blk_%");
+  EXPECT_EQ(info.file, "dataxceiver.cc");
+  EXPECT_EQ(info.line, 42);
+}
+
+TEST(LogRegistry, FindStageByName) {
+  LogRegistry reg;
+  reg.register_stage("A");
+  const StageId b = reg.register_stage("B");
+  EXPECT_EQ(reg.find_stage("B"), b);
+  EXPECT_EQ(reg.find_stage("missing"), kInvalidStage);
+}
+
+TEST(LogRegistry, LogPointsOfStage) {
+  LogRegistry reg;
+  const StageId a = reg.register_stage("A");
+  const StageId b = reg.register_stage("B");
+  const LogPointId p1 = reg.register_log_point(a, Level::kInfo, "x");
+  reg.register_log_point(b, Level::kInfo, "y");
+  const LogPointId p3 = reg.register_log_point(a, Level::kDebug, "z");
+  const auto points = reg.log_points_of(a);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0], p1);
+  EXPECT_EQ(points[1], p3);
+}
+
+TEST(LogRegistry, LevelNames) {
+  EXPECT_EQ(level_name(Level::kDebug), "DEBUG");
+  EXPECT_EQ(level_name(Level::kInfo), "INFO");
+  EXPECT_EQ(level_name(Level::kWarn), "WARN");
+  EXPECT_EQ(level_name(Level::kError), "ERROR");
+}
+
+TEST(LogRegistry, LevelOrdering) {
+  EXPECT_LT(Level::kDebug, Level::kInfo);
+  EXPECT_LT(Level::kInfo, Level::kWarn);
+  EXPECT_LT(Level::kWarn, Level::kError);
+}
+
+}  // namespace
+}  // namespace saad::core

@@ -1,0 +1,100 @@
+#include "core/logger.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tracker.h"
+
+namespace saad::core {
+namespace {
+
+struct LoggerFixture : ::testing::Test {
+  LogRegistry registry;
+  StageId stage = kInvalidStage;
+  LogPointId lp_debug = 0, lp_info = 0, lp_error = 0;
+
+  void SetUp() override {
+    stage = registry.register_stage("S");
+    lp_debug = registry.register_log_point(stage, Level::kDebug, "dbg %");
+    lp_info = registry.register_log_point(stage, Level::kInfo, "inf %");
+    lp_error = registry.register_log_point(stage, Level::kError, "err %");
+  }
+};
+
+TEST_F(LoggerFixture, ThresholdFiltersSinkWrites) {
+  CountingSink sink;
+  Logger logger(&registry, &sink, Level::kInfo);
+  logger.log(lp_debug, "below threshold");
+  logger.log(lp_info, "at threshold");
+  logger.log(lp_error, "above threshold");
+  EXPECT_EQ(sink.messages(Level::kDebug), 0u);
+  EXPECT_EQ(sink.messages(Level::kInfo), 1u);
+  EXPECT_EQ(sink.messages(Level::kError), 1u);
+  EXPECT_EQ(sink.total_messages(), 2u);
+}
+
+TEST_F(LoggerFixture, WritesPredicateMatchesThreshold) {
+  CountingSink sink;
+  Logger logger(&registry, &sink, Level::kInfo);
+  EXPECT_FALSE(logger.writes(Level::kDebug));
+  EXPECT_TRUE(logger.writes(Level::kInfo));
+  EXPECT_TRUE(logger.writes(Level::kError));
+  logger.set_threshold(Level::kDebug);
+  EXPECT_TRUE(logger.writes(Level::kDebug));
+}
+
+TEST_F(LoggerFixture, TracepointFiresEvenWhenTextIsFiltered) {
+  // The paper's core trick: a DEBUG statement that writes nothing still
+  // reaches the tracker.
+  CountingSink sink;
+  Logger logger(&registry, &sink, Level::kError);
+  ManualClock clock;
+  std::vector<Synopsis> emitted;
+  TaskExecutionTracker tracker(
+      0, &clock, [&](const Synopsis& s) { emitted.push_back(s); });
+  logger.set_tracker(&tracker);
+
+  auto task = tracker.begin_task(stage);
+  {
+    TaskBinding bind(tracker, task.get());
+    logger.log(lp_debug);
+    logger.log(lp_info);
+  }
+  tracker.end_task(std::move(task));
+
+  EXPECT_EQ(sink.total_messages(), 0u);  // nothing written
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].log_points.size(), 2u);  // both tracepoints recorded
+}
+
+TEST_F(LoggerFixture, NullTrackerIsPlainLogging) {
+  CountingSink sink;
+  Logger logger(&registry, &sink, Level::kDebug);
+  EXPECT_EQ(logger.tracker(), nullptr);
+  logger.log(lp_debug, "x");
+  EXPECT_EQ(sink.total_messages(), 1u);
+}
+
+TEST_F(LoggerFixture, CountingSinkCountsBytesWithNewline) {
+  CountingSink sink;
+  Logger logger(&registry, &sink, Level::kDebug);
+  logger.log(lp_info, "12345");
+  EXPECT_EQ(sink.bytes(Level::kInfo), 6u);  // payload + newline
+  EXPECT_EQ(sink.total_bytes(), 6u);
+}
+
+TEST_F(LoggerFixture, MemorySinkRetainsLines) {
+  MemorySink sink;
+  Logger logger(&registry, &sink, Level::kDebug);
+  logger.log(lp_info, "hello");
+  logger.log(lp_error, "boom");
+  ASSERT_EQ(sink.lines().size(), 2u);
+  EXPECT_EQ(sink.lines()[0].text, "hello");
+  EXPECT_EQ(sink.lines()[1].level, Level::kError);
+  EXPECT_EQ(sink.lines()[1].point, lp_error);
+  sink.clear();
+  EXPECT_TRUE(sink.lines().empty());
+  EXPECT_EQ(sink.total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace saad::core

@@ -1,0 +1,143 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/log_registry.h"
+#include "core/logger.h"
+
+namespace saad::core {
+namespace {
+
+struct MonitorFixture : ::testing::Test {
+  LogRegistry registry;
+  ManualClock clock;
+  StageId stage = kInvalidStage;
+  LogPointId lp_a = 0, lp_b = 0, lp_rare = 0;
+
+  void SetUp() override {
+    stage = registry.register_stage("Worker");
+    lp_a = registry.register_log_point(stage, Level::kDebug, "begin");
+    lp_b = registry.register_log_point(stage, Level::kDebug, "end");
+    lp_rare = registry.register_log_point(stage, Level::kWarn, "oops");
+  }
+
+  void run_task(Monitor& monitor, bool rare, UsTime duration,
+                HostId host = 0) {
+    auto& tracker = monitor.tracker(host);
+    auto task = tracker.begin_task(stage);
+    task->on_log(lp_a, clock.now());
+    if (rare) task->on_log(lp_rare, clock.now());
+    clock.advance(duration);
+    task->on_log(lp_b, clock.now());
+    clock.advance(ms(1));  // spread start times
+    tracker.end_task(std::move(task));
+  }
+};
+
+TEST_F(MonitorFixture, EndToEndTrainingAndDetection) {
+  Monitor monitor(&registry, &clock);
+  monitor.start_training();
+  for (int i = 0; i < 2000; ++i) run_task(monitor, false, ms(5));
+  monitor.train();
+  ASSERT_EQ(monitor.training_trace().size(), 2000u);
+  ASSERT_NE(monitor.model(), nullptr);
+
+  monitor.arm();
+  for (int i = 0; i < 100; ++i) run_task(monitor, false, ms(5));
+  for (int i = 0; i < 30; ++i) run_task(monitor, true, ms(5));
+  clock.advance(minutes(2));
+  const auto anomalies = monitor.poll(clock.now());
+  ASSERT_FALSE(anomalies.empty());
+  EXPECT_EQ(anomalies[0].kind, AnomalyKind::kFlow);
+  EXPECT_TRUE(anomalies[0].due_to_new_signature);
+}
+
+TEST_F(MonitorFixture, QuietDetectionWindowIsClean) {
+  Monitor monitor(&registry, &clock);
+  monitor.start_training();
+  for (int i = 0; i < 2000; ++i) run_task(monitor, false, ms(5));
+  monitor.train();
+  monitor.arm();
+  for (int i = 0; i < 500; ++i) run_task(monitor, false, ms(5));
+  clock.advance(minutes(2));
+  EXPECT_TRUE(monitor.poll(clock.now()).empty());
+}
+
+TEST_F(MonitorFixture, TrackerIsStablePerHost) {
+  Monitor monitor(&registry, &clock);
+  auto& t0 = monitor.tracker(0);
+  auto& t5 = monitor.tracker(5);
+  EXPECT_EQ(&t0, &monitor.tracker(0));
+  EXPECT_EQ(&t5, &monitor.tracker(5));
+  EXPECT_NE(&t0, &t5);
+  EXPECT_EQ(t0.host(), 0);
+  EXPECT_EQ(t5.host(), 5);
+}
+
+TEST_F(MonitorFixture, TrainWithoutStartTrainingThrows) {
+  Monitor monitor(&registry, &clock);
+  EXPECT_THROW(monitor.train(), std::logic_error);
+}
+
+TEST_F(MonitorFixture, ArmWithoutModelThrows) {
+  Monitor monitor(&registry, &clock);
+  EXPECT_THROW(monitor.arm(), std::logic_error);
+}
+
+TEST_F(MonitorFixture, StartTrainingDiscardsStaleSynopses) {
+  Monitor monitor(&registry, &clock);
+  run_task(monitor, false, ms(5));  // before training formally starts
+  monitor.start_training();
+  run_task(monitor, false, ms(5));
+  monitor.train();
+  EXPECT_EQ(monitor.training_trace().size(), 1u);
+}
+
+TEST_F(MonitorFixture, PollDuringTrainingAccumulatesTrace) {
+  Monitor monitor(&registry, &clock);
+  monitor.start_training();
+  run_task(monitor, false, ms(5));
+  EXPECT_TRUE(monitor.poll(clock.now()).empty());
+  run_task(monitor, false, ms(5));
+  monitor.train();
+  EXPECT_EQ(monitor.training_trace().size(), 2u);
+}
+
+TEST_F(MonitorFixture, FinishClosesOpenWindows) {
+  Monitor monitor(&registry, &clock);
+  monitor.start_training();
+  for (int i = 0; i < 1000; ++i) run_task(monitor, false, ms(5));
+  monitor.train();
+  monitor.arm();
+  run_task(monitor, true, ms(5));  // new signature in a still-open window
+  const auto anomalies = monitor.finish();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_TRUE(anomalies[0].due_to_new_signature);
+}
+
+TEST_F(MonitorFixture, ChannelCountsBytes) {
+  Monitor monitor(&registry, &clock);
+  monitor.start_training();
+  for (int i = 0; i < 10; ++i) run_task(monitor, false, ms(5));
+  EXPECT_EQ(monitor.channel().pushed(), 10u);
+  EXPECT_GT(monitor.channel().encoded_bytes(), 0u);
+}
+
+TEST_F(MonitorFixture, SetModelAllowsExternallyTrainedModel) {
+  Monitor trainer(&registry, &clock);
+  trainer.start_training();
+  for (int i = 0; i < 1000; ++i) run_task(trainer, false, ms(5));
+  trainer.train();
+
+  Monitor fresh(&registry, &clock);
+  fresh.set_model(*trainer.model());
+  fresh.arm();
+  run_task(fresh, true, ms(5));
+  clock.advance(minutes(2));
+  EXPECT_FALSE(fresh.poll(clock.now()).empty());
+}
+
+}  // namespace
+}  // namespace saad::core

@@ -1,0 +1,136 @@
+// Integration: the full offline workflow through the public API —
+// record (monitor capture) -> trace file -> train -> model file -> load ->
+// detect -> incident grouping -> HTML report. What tools/saad_offline does,
+// exercised in-process.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "core/saad.h"
+
+namespace saad::core {
+namespace {
+
+struct OfflineWorkflow : ::testing::Test {
+  LogRegistry registry;
+  ManualClock clock;
+  StageId stage = kInvalidStage;
+  LogPointId lp_a = 0, lp_b = 0, lp_bug = 0;
+
+  void SetUp() override {
+    stage = registry.register_stage("Pipeline");
+    lp_a = registry.register_log_point(stage, Level::kDebug, "step a");
+    lp_b = registry.register_log_point(stage, Level::kDebug, "step b");
+    lp_bug = registry.register_log_point(stage, Level::kWarn, "bug branch");
+  }
+
+  std::vector<Synopsis> record(std::size_t n, double bug_rate,
+                               std::uint64_t seed) {
+    Monitor monitor(&registry, &clock);
+    monitor.start_training();
+    auto& tracker = monitor.tracker(0);
+    saad::Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto task = tracker.begin_task(stage);
+      task->on_log(lp_a, clock.now());
+      if (rng.chance(bug_rate)) task->on_log(lp_bug, clock.now());
+      clock.advance(static_cast<UsTime>(rng.lognormal_median(ms(5), 0.2)));
+      task->on_log(lp_b, clock.now());
+      tracker.end_task(std::move(task));
+      clock.advance(ms(2));
+    }
+    monitor.poll(clock.now());
+    return monitor.training_trace();
+  }
+};
+
+TEST_F(OfflineWorkflow, EndToEndThroughFiles) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path();
+  const auto trace_path = (dir / "saad_wf_clean.trc").string();
+  const auto model_path = (dir / "saad_wf_model.bin").string();
+  const auto registry_path = (dir / "saad_wf_registry.bin").string();
+
+  // 1. Record a clean trace and persist everything.
+  const auto clean = record(20000, 0.0, 1);
+  ASSERT_TRUE(write_trace_file(trace_path, clean));
+  std::vector<std::uint8_t> registry_bytes;
+  registry.save(registry_bytes);
+
+  // 2. Train from the file; persist the model.
+  const auto loaded_trace = read_trace_file(trace_path);
+  ASSERT_TRUE(loaded_trace.has_value());
+  const auto model = OutlierModel::train(*loaded_trace);
+  std::vector<std::uint8_t> model_bytes;
+  model.save(model_bytes);
+  {
+    std::ofstream f(model_path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(model_bytes.data()),
+            static_cast<std::streamsize>(model_bytes.size()));
+  }
+
+  // 3. In a "different process": load registry + model, detect on a buggy
+  // trace.
+  LogRegistry registry2;
+  ASSERT_TRUE(registry2.load(registry_bytes));
+  EXPECT_EQ(registry2.stage(stage).name, "Pipeline");
+  std::ifstream f(model_path, std::ios::binary);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  const auto model2 = OutlierModel::load(bytes);
+  ASSERT_TRUE(model2.has_value());
+
+  const auto buggy = record(20000, 0.05, 2);
+  AnomalyDetector detector(&*model2);
+  for (const auto& s : buggy) detector.ingest(s);
+  const auto anomalies = detector.finish();
+  ASSERT_FALSE(anomalies.empty());
+  EXPECT_TRUE(anomalies[0].due_to_new_signature);
+
+  // 4. Incident grouping + HTML report against the reloaded registry.
+  const auto incidents = group_incidents(anomalies);
+  ASSERT_FALSE(incidents.empty());
+  const auto text = describe(incidents[0], registry2);
+  EXPECT_NE(text.find("Pipeline(0)"), std::string::npos);
+
+  const auto html = render_html_report(anomalies, registry2);
+  EXPECT_NE(html.find("bug branch"), std::string::npos);
+
+  std::error_code ec;
+  fs::remove(trace_path, ec);
+  fs::remove(model_path, ec);
+  fs::remove(registry_path, ec);
+}
+
+TEST_F(OfflineWorkflow, CleanTraceAgainstOwnModelIsQuiet) {
+  const auto clean = record(20000, 0.0, 3);
+  const auto model = OutlierModel::train(clean);
+  const auto fresh = record(20000, 0.0, 4);
+  AnomalyDetector detector(&model);
+  for (const auto& s : fresh) detector.ingest(s);
+  EXPECT_TRUE(detector.finish().empty());
+}
+
+TEST_F(OfflineWorkflow, RegistryRoundTripPreservesDictionary) {
+  std::vector<std::uint8_t> bytes;
+  registry.save(bytes);
+  LogRegistry copy;
+  ASSERT_TRUE(copy.load(bytes));
+  EXPECT_EQ(copy.num_stages(), registry.num_stages());
+  EXPECT_EQ(copy.num_log_points(), registry.num_log_points());
+  EXPECT_EQ(copy.log_point(lp_bug).template_text, "bug branch");
+  EXPECT_EQ(copy.log_point(lp_bug).level, Level::kWarn);
+  EXPECT_EQ(copy.find_stage("Pipeline"), stage);
+}
+
+TEST_F(OfflineWorkflow, RegistryLoadRejectsGarbage) {
+  LogRegistry copy;
+  EXPECT_FALSE(copy.load({}));
+  std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_FALSE(copy.load(junk));
+}
+
+}  // namespace
+}  // namespace saad::core

@@ -1,0 +1,95 @@
+#include "core/report_html.h"
+
+#include <gtest/gtest.h>
+
+namespace saad::core {
+namespace {
+
+struct HtmlFixture : ::testing::Test {
+  LogRegistry registry;
+  StageId stage = kInvalidStage;
+  LogPointId lp = 0;
+
+  void SetUp() override {
+    stage = registry.register_stage("Table");
+    lp = registry.register_log_point(
+        stage, Level::kDebug, "value with <markup> & \"quotes\"");
+  }
+
+  Anomaly anomaly(std::size_t window, AnomalyKind kind,
+                  bool fresh = false) const {
+    Anomaly a;
+    a.window = window;
+    a.window_start = static_cast<UsTime>(window) * kUsPerMin;
+    a.host = 4;
+    a.stage = stage;
+    a.kind = kind;
+    a.due_to_new_signature = fresh;
+    a.example_signature = Signature({lp});
+    a.n = 100;
+    a.outliers = 12;
+    return a;
+  }
+};
+
+TEST_F(HtmlFixture, ProducesSelfContainedDocument) {
+  const auto html = render_html_report(
+      {anomaly(3, AnomalyKind::kFlow), anomaly(5, AnomalyKind::kPerformance)},
+      registry, {.title = "test report", .num_windows = 10});
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("test report"), std::string::npos);
+  EXPECT_NE(html.find("Table(4)"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  // No external references: self-contained page.
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("src="), std::string::npos);
+}
+
+TEST_F(HtmlFixture, EscapesTemplateMarkup) {
+  const auto html =
+      render_html_report({anomaly(0, AnomalyKind::kFlow)}, registry,
+                         {.num_windows = 4});
+  EXPECT_EQ(html.find("<markup>"), std::string::npos);
+  EXPECT_NE(html.find("&lt;markup&gt;"), std::string::npos);
+  EXPECT_NE(html.find("&quot;quotes&quot;"), std::string::npos);
+}
+
+TEST_F(HtmlFixture, MarksCellClassesByKind) {
+  const auto html = render_html_report(
+      {anomaly(1, AnomalyKind::kFlow), anomaly(2, AnomalyKind::kPerformance),
+       anomaly(3, AnomalyKind::kFlow, /*fresh=*/true)},
+      registry, {.num_windows = 6});
+  EXPECT_NE(html.find("class=\"flow\""), std::string::npos);
+  EXPECT_NE(html.find("class=\"perf\""), std::string::npos);
+  EXPECT_NE(html.find("class=\"newsig\""), std::string::npos);
+}
+
+TEST_F(HtmlFixture, FlowWinsSharedCell) {
+  const auto html = render_html_report(
+      {anomaly(2, AnomalyKind::kPerformance), anomaly(2, AnomalyKind::kFlow)},
+      registry, {.num_windows = 4});
+  // The timeline grid cell for window 2 is rendered with the flow class.
+  const auto grid_begin = html.find("<table class=\"grid\">");
+  ASSERT_NE(grid_begin, std::string::npos);
+  const auto grid_end = html.find("</table>", grid_begin);
+  const std::string grid = html.substr(grid_begin, grid_end - grid_begin);
+  EXPECT_NE(grid.find("class=\"flow\""), std::string::npos);
+  EXPECT_EQ(grid.find("class=\"perf\""), std::string::npos);
+}
+
+TEST_F(HtmlFixture, CapsDetailSections) {
+  std::vector<Anomaly> many;
+  for (std::size_t i = 0; i < 30; ++i)
+    many.push_back(anomaly(i % 10, AnomalyKind::kFlow));
+  const auto html = render_html_report(
+      many, registry, {.num_windows = 10, .max_details = 5});
+  EXPECT_NE(html.find("25 more anomalies omitted"), std::string::npos);
+}
+
+TEST_F(HtmlFixture, EmptyReportStillRenders) {
+  const auto html = render_html_report({}, registry, {.num_windows = 5});
+  EXPECT_NE(html.find("0 anomalies"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saad::core

@@ -1,0 +1,99 @@
+#include "core/report_json.h"
+
+#include <gtest/gtest.h>
+
+namespace saad::core {
+namespace {
+
+struct JsonFixture : ::testing::Test {
+  LogRegistry registry;
+  StageId stage = kInvalidStage;
+  LogPointId lp = 0;
+
+  void SetUp() override {
+    stage = registry.register_stage("Table");
+    lp = registry.register_log_point(stage, Level::kDebug,
+                                     "text with \"quotes\" and \\slash");
+  }
+
+  Anomaly anomaly() const {
+    Anomaly a;
+    a.window = 31;
+    a.window_start = minutes(31);
+    a.host = 4;
+    a.stage = stage;
+    a.kind = AnomalyKind::kFlow;
+    a.due_to_new_signature = true;
+    a.p_value = 0.00025;
+    a.proportion = 0.1;
+    a.train_proportion = 0.001;
+    a.n = 120;
+    a.outliers = 12;
+    a.example_signature = Signature({lp});
+    return a;
+  }
+};
+
+TEST_F(JsonFixture, AnomalyFieldsArePresent) {
+  const auto json = to_json(anomaly(), registry);
+  EXPECT_NE(json.find("\"window\":31"), std::string::npos);
+  EXPECT_NE(json.find("\"host\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"Table\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"flow\""), std::string::npos);
+  EXPECT_NE(json.find("\"new_signature\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"outliers\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"signature\":[0]"), std::string::npos);
+}
+
+TEST_F(JsonFixture, EscapingIsConformant) {
+  const auto json = to_json(anomaly(), registry);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\slash"), std::string::npos);
+  EXPECT_EQ(json_escape("line\nbreak\tand\x01" "ctrl"),
+            "line\\nbreak\\tand\\u0001ctrl");
+}
+
+TEST_F(JsonFixture, BatchAndIncidentWrappers) {
+  const std::vector<Anomaly> batch = {anomaly(), anomaly()};
+  const auto json = to_json(batch, registry);
+  EXPECT_EQ(json.rfind("{\"anomalies\":[", 0), 0u);
+  // Two objects: exactly one separating comma between closing/opening braces.
+  EXPECT_NE(json.find("},{"), std::string::npos);
+
+  const auto incidents = group_incidents(batch);
+  const auto ijson = to_json(incidents, registry);
+  EXPECT_EQ(ijson.rfind("{\"incidents\":[", 0), 0u);
+  EXPECT_NE(ijson.find("\"first_window\":31"), std::string::npos);
+  EXPECT_NE(ijson.find("\"windows_flagged\":2"), std::string::npos);
+}
+
+TEST_F(JsonFixture, PerformanceKindAndUnknownStage) {
+  Anomaly a = anomaly();
+  a.kind = AnomalyKind::kPerformance;
+  a.stage = 99;
+  const auto json = to_json(a, registry);
+  EXPECT_NE(json.find("\"kind\":\"performance\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"stage#99\""), std::string::npos);
+}
+
+TEST_F(JsonFixture, StructurallyBalanced) {
+  // Cheap well-formedness check: balanced braces/brackets, even quote count
+  // (escaped quotes excluded).
+  const auto json = to_json(std::vector<Anomaly>{anomaly()}, registry);
+  int braces = 0, brackets = 0, quotes = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    const bool escaped = i > 0 && json[i - 1] == '\\';
+    if (c == '{') braces++;
+    if (c == '}') braces--;
+    if (c == '[') brackets++;
+    if (c == ']') brackets--;
+    if (c == '"' && !escaped) quotes++;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+}  // namespace
+}  // namespace saad::core

@@ -1,0 +1,113 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace saad::core {
+namespace {
+
+struct ReportFixture : ::testing::Test {
+  LogRegistry registry;
+  StageId stage = kInvalidStage;
+  LogPointId l1 = 0, l2 = 0, l3 = 0, l4 = 0;
+
+  void SetUp() override {
+    stage = registry.register_stage("Table");
+    l1 = registry.register_log_point(
+        stage, Level::kDebug,
+        "MemTable is already frozen; another thread must be flushing it");
+    l2 = registry.register_log_point(stage, Level::kDebug,
+                                     "Start applying update to MemTable");
+    l3 = registry.register_log_point(stage, Level::kDebug,
+                                     "Applying mutation of row");
+    l4 = registry.register_log_point(stage, Level::kDebug,
+                                     "Applied mutation. Sending response");
+  }
+};
+
+TEST_F(ReportFixture, StageHostLabel) {
+  EXPECT_EQ(stage_host_label(registry, stage, 4), "Table(4)");
+  EXPECT_EQ(stage_host_label(registry, 77, 1), "stage#77(1)");
+}
+
+TEST_F(ReportFixture, DescribeFlowAnomaly) {
+  Anomaly a;
+  a.window_start = minutes(31);
+  a.host = 4;
+  a.stage = stage;
+  a.kind = AnomalyKind::kFlow;
+  a.due_to_new_signature = true;
+  a.example_signature = Signature({l1});
+  a.n = 120;
+  a.outliers = 14;
+  const std::string text = describe(a, registry);
+  EXPECT_NE(text.find("FLOW"), std::string::npos);
+  EXPECT_NE(text.find("Table(4)"), std::string::npos);
+  EXPECT_NE(text.find("new signature"), std::string::npos);
+  EXPECT_NE(text.find("min 31"), std::string::npos);
+}
+
+TEST_F(ReportFixture, DescribePerfAnomaly) {
+  Anomaly a;
+  a.kind = AnomalyKind::kPerformance;
+  a.stage = stage;
+  const std::string text = describe(a, registry);
+  EXPECT_NE(text.find("PERF"), std::string::npos);
+}
+
+TEST_F(ReportFixture, SignatureTemplates) {
+  const auto templates = signature_templates(Signature({l1, l3}), registry);
+  ASSERT_EQ(templates.size(), 2u);
+  EXPECT_NE(templates[0].find("frozen"), std::string::npos);
+  EXPECT_NE(templates[1].find("mutation of row"), std::string::npos);
+}
+
+TEST_F(ReportFixture, SignatureTemplatesUnknownPoint) {
+  const auto templates = signature_templates(Signature({999}), registry);
+  ASSERT_EQ(templates.size(), 1u);
+  EXPECT_NE(templates[0].find("unknown"), std::string::npos);
+}
+
+TEST_F(ReportFixture, SignatureComparisonReproducesTable1Shape) {
+  // Paper Table 1: normal flow hits all four statements; the anomalous
+  // (frozen MemTable) flow hits only the first.
+  const Signature normal({l1, l2, l3, l4});
+  const Signature anomalous({l1});
+  const std::string table = signature_comparison(normal, anomalous, registry);
+  EXPECT_NE(table.find("frozen"), std::string::npos);
+  EXPECT_NE(table.find("Applied mutation"), std::string::npos);
+  // The frozen row is marked in both columns; the rest only in Normal.
+  const auto frozen_row_pos = table.find("frozen");
+  const auto line_end = table.find('\n', frozen_row_pos);
+  const std::string frozen_row = table.substr(frozen_row_pos, line_end - frozen_row_pos);
+  EXPECT_NE(frozen_row.find('x'), std::string::npos);
+}
+
+TEST_F(ReportFixture, TimelineChartFromAnomalies) {
+  std::vector<Anomaly> anomalies;
+  Anomaly f;
+  f.window = 10;
+  f.host = 4;
+  f.stage = stage;
+  f.kind = AnomalyKind::kFlow;
+  anomalies.push_back(f);
+  Anomaly p = f;
+  p.window = 12;
+  p.kind = AnomalyKind::kPerformance;
+  anomalies.push_back(p);
+  Anomaly n = f;
+  n.window = 14;
+  n.due_to_new_signature = true;
+  anomalies.push_back(n);
+
+  const auto chart = anomaly_timeline(anomalies, registry, 20, "Fig");
+  const std::string s = chart.to_string();
+  const auto row_pos = s.find("Table(4) |");
+  ASSERT_NE(row_pos, std::string::npos);
+  const std::string row = s.substr(row_pos + 10, 20);
+  EXPECT_EQ(row[10], 'F');
+  EXPECT_EQ(row[12], 'P');
+  EXPECT_EQ(row[14], 'N');
+}
+
+}  // namespace
+}  // namespace saad::core

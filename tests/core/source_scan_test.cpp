@@ -1,0 +1,126 @@
+#include "core/source_scan.h"
+
+#include <gtest/gtest.h>
+
+namespace saad::core {
+namespace {
+
+constexpr const char* kJavaSource = R"java(
+package org.apache.hadoop.hdfs;
+
+class DataXceiver implements Runnable {
+  public void run() {
+    LOG.info("Receiving block blk_" + blockId);
+    while ((pkt = getNextPacket()) != null) {
+      log.debug("Receiving one packet for blk_" + blockId);
+      if (pkt.size() == 0) {
+        log.warn("Receiving empty packet for blk_" + blockId);
+        continue;
+      }
+      log.debug("WriteTo blockfile of size " + pkt.size());
+    }
+    LOG.info("Closing down.");
+  }
+}
+
+class Handler {
+  void serve() {
+    Call call = queue.take();   // consumer stage begins here
+    // log.debug("this one is commented out");
+    dispatch(call);
+  }
+}
+)java";
+
+TEST(SourceScan, FindsRunnableStages) {
+  const auto result = scan_source(kJavaSource, "DataXceiver.java");
+  ASSERT_EQ(result.stages.size(), 1u);
+  EXPECT_EQ(result.stages[0].name, "DataXceiver");
+  EXPECT_FALSE(result.stages[0].explicit_marker);
+  EXPECT_EQ(result.stages[0].file, "DataXceiver.java");
+}
+
+TEST(SourceScan, FindsLogPointsWithLevelsAndTemplates) {
+  const auto result = scan_source(kJavaSource, "DataXceiver.java");
+  ASSERT_EQ(result.log_points.size(), 5u);
+  EXPECT_EQ(result.log_points[0].level, "info");
+  EXPECT_EQ(result.log_points[0].template_text, "Receiving block blk_");
+  EXPECT_EQ(result.log_points[1].level, "debug");
+  EXPECT_EQ(result.log_points[2].level, "warn");
+  EXPECT_EQ(result.log_points[4].template_text, "Closing down.");
+  // Attributed to the enclosing class.
+  EXPECT_EQ(result.log_points[0].stage, "DataXceiver");
+}
+
+TEST(SourceScan, SkipsCommentedStatements) {
+  const auto result = scan_source(kJavaSource, "f.java");
+  for (const auto& point : result.log_points)
+    EXPECT_EQ(point.template_text.find("commented"), std::string::npos);
+}
+
+TEST(SourceScan, PresentsDequeueSitesForManualInspection) {
+  const auto result = scan_source(kJavaSource, "f.java");
+  ASSERT_EQ(result.dequeue_sites.size(), 1u);
+  EXPECT_NE(result.dequeue_sites[0].text.find("queue.take()"),
+            std::string::npos);
+}
+
+TEST(SourceScan, ExplicitStageMarker) {
+  const auto result = scan_source(
+      "void setup() { SAAD_STAGE(\"CommitLog\"); }", "x.cc");
+  ASSERT_EQ(result.stages.size(), 1u);
+  EXPECT_EQ(result.stages[0].name, "CommitLog");
+  EXPECT_TRUE(result.stages[0].explicit_marker);
+}
+
+TEST(SourceScan, RequiresLogReceiver) {
+  // `.info(` on a non-logger receiver must not be picked up.
+  const auto result =
+      scan_source("metadata.info(\"not a log statement\");", "x.cc");
+  EXPECT_TRUE(result.log_points.empty());
+}
+
+TEST(SourceScan, HandlesEscapedQuotes) {
+  const auto result =
+      scan_source("log.info(\"quoted \\\"name\\\" here\");", "x.cc");
+  ASSERT_EQ(result.log_points.size(), 1u);
+  EXPECT_EQ(result.log_points[0].template_text, "quoted \"name\" here");
+}
+
+TEST(SourceScan, MergeAccumulates) {
+  ScanResult a = scan_source(kJavaSource, "a.java");
+  ScanResult b = scan_source(kJavaSource, "b.java");
+  const auto stages = a.stages.size();
+  merge(a, std::move(b));
+  EXPECT_EQ(a.stages.size(), 2 * stages);
+}
+
+TEST(SourceScan, GeneratedRegistrationCompilesLogically) {
+  const auto result = scan_source(kJavaSource, "DataXceiver.java");
+  const auto code = generate_registration(result);
+  // Structural checks: struct members + registration calls per discovery.
+  EXPECT_NE(code.find("struct Stages"), std::string::npos);
+  EXPECT_NE(code.find("struct LogPoints"), std::string::npos);
+  EXPECT_NE(code.find("register_stage(\"DataXceiver\")"), std::string::npos);
+  EXPECT_NE(code.find("register_log_point(stages.dataxceiver"),
+            std::string::npos);
+  EXPECT_NE(code.find("Level::kWarn"), std::string::npos);
+  EXPECT_NE(code.find("\"Closing down.\""), std::string::npos);
+  // Every template becomes exactly one registration call.
+  std::size_t count = 0, pos = 0;
+  while ((pos = code.find("register_log_point(", pos)) != std::string::npos) {
+    count++;
+    pos++;
+  }
+  EXPECT_EQ(count, result.log_points.size());
+}
+
+TEST(SourceScan, EmptySourceYieldsNothing) {
+  const auto result = scan_source("", "empty.cc");
+  EXPECT_TRUE(result.stages.empty());
+  EXPECT_TRUE(result.log_points.empty());
+  EXPECT_TRUE(result.dequeue_sites.empty());
+}
+
+}  // namespace
+}  // namespace saad::core

@@ -1,0 +1,89 @@
+#include "core/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+
+namespace saad::core {
+namespace {
+
+std::vector<Synopsis> sample_trace(std::size_t n) {
+  saad::Rng rng(11);
+  std::vector<Synopsis> trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Synopsis s;
+    s.host = static_cast<HostId>(rng.next_below(4));
+    s.stage = static_cast<StageId>(rng.next_below(12));
+    s.uid = i + 1;
+    s.start = static_cast<UsTime>(rng.next_below(minutes(30)));
+    s.duration = static_cast<UsTime>(rng.next_below(sec(1)));
+    LogPointId prev = 0;
+    const std::size_t points = 1 + rng.next_below(6);
+    for (std::size_t p = 0; p < points; ++p) {
+      prev = static_cast<LogPointId>(prev + 1 + rng.next_below(10));
+      s.log_points.push_back(
+          {prev, static_cast<std::uint32_t>(1 + rng.next_below(20))});
+    }
+    trace.push_back(std::move(s));
+  }
+  return trace;
+}
+
+TEST(TraceIo, EncodeDecodeRoundTrip) {
+  const auto trace = sample_trace(500);
+  const auto bytes = encode_trace(trace);
+  const auto decoded = decode_trace(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    ASSERT_EQ((*decoded)[i], trace[i]) << "record " << i;
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  const auto bytes = encode_trace({});
+  const auto decoded = decode_trace(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::vector<std::uint8_t> junk = {'b', 'o', 'g', 'u', 's', '!', '!', '!'};
+  EXPECT_FALSE(decode_trace(junk).has_value());
+  EXPECT_FALSE(decode_trace({}).has_value());
+}
+
+TEST(TraceIo, RejectsTruncatedRecord) {
+  auto bytes = encode_trace(sample_trace(10));
+  bytes.resize(bytes.size() - 3);  // chop mid-record
+  EXPECT_FALSE(decode_trace(bytes).has_value());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "saad_trace_test.trc")
+          .string();
+  const auto trace = sample_trace(200);
+  ASSERT_TRUE(write_trace_file(path, trace));
+  const auto loaded = read_trace_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, trace);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_trace_file("/nonexistent/dir/trace.trc").has_value());
+}
+
+TEST(TraceIo, EncodedSizeIsCompact) {
+  // Paper: ~48 bytes per synopsis. Header + records must stay in that realm.
+  const auto trace = sample_trace(1000);
+  const auto bytes = encode_trace(trace);
+  EXPECT_LT(bytes.size() / trace.size(), 64u);
+}
+
+}  // namespace
+}  // namespace saad::core

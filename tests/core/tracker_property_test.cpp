@@ -1,0 +1,122 @@
+// Property tests for the tracker: for ANY random sequence of log-point hits,
+// the emitted synopsis must be the exact multiset of hits (sorted, merged)
+// with the duration equal to the last-hit offset — across explicit-context,
+// thread-local, and interleaved-task usage.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "core/tracker.h"
+
+namespace saad::core {
+namespace {
+
+class TrackerRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrackerRandomized, SynopsisIsTheExactHitMultiset) {
+  ManualClock clock;
+  std::vector<Synopsis> emitted;
+  TaskExecutionTracker tracker(
+      1, &clock, [&](const Synopsis& s) { emitted.push_back(s); });
+
+  saad::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    clock.set(static_cast<UsTime>(rng.next_below(minutes(100))));
+    const UsTime start = clock.now();
+    auto task = tracker.begin_task(static_cast<StageId>(rng.next_below(8)));
+
+    std::map<LogPointId, std::uint32_t> expected;
+    UsTime last = start;
+    const std::size_t hits = rng.next_below(40);
+    for (std::size_t h = 0; h < hits; ++h) {
+      const auto point = static_cast<LogPointId>(rng.next_below(12));
+      clock.advance(static_cast<UsTime>(rng.next_below(1000)));
+      last = clock.now();
+      task->on_log(point, clock.now());
+      expected[point]++;
+    }
+    tracker.end_task(std::move(task));
+
+    ASSERT_EQ(emitted.size(), static_cast<std::size_t>(trial + 1));
+    const Synopsis& s = emitted.back();
+    ASSERT_EQ(s.log_points.size(), expected.size());
+    LogPointId prev = 0;
+    bool first = true;
+    for (const auto& lp : s.log_points) {
+      // Sorted strictly ascending, counts exact.
+      if (!first) ASSERT_GT(lp.point, prev);
+      prev = lp.point;
+      first = false;
+      ASSERT_EQ(lp.count, expected.at(lp.point));
+    }
+    ASSERT_EQ(s.start, start);
+    ASSERT_EQ(s.duration, hits == 0 ? 0 : last - start);
+  }
+}
+
+TEST_P(TrackerRandomized, InterleavedExplicitTasksDoNotCrossContaminate) {
+  ManualClock clock;
+  std::vector<Synopsis> emitted;
+  TaskExecutionTracker tracker(
+      0, &clock, [&](const Synopsis& s) { emitted.push_back(s); });
+
+  saad::Rng rng(GetParam() ^ 0xFACE);
+  // Run 8 logical tasks concurrently, binding each around its own hits —
+  // exactly what the simulator does with coroutines.
+  std::vector<std::unique_ptr<TaskContext>> tasks;
+  std::vector<std::map<LogPointId, std::uint32_t>> expected(8);
+  for (int t = 0; t < 8; ++t)
+    tasks.push_back(tracker.begin_task(static_cast<StageId>(t)));
+  for (int step = 0; step < 2000; ++step) {
+    const auto t = static_cast<std::size_t>(rng.next_below(8));
+    const auto point = static_cast<LogPointId>(rng.next_below(20));
+    clock.advance(10);
+    {
+      TaskBinding bind(tracker, tasks[t].get());
+      tracker.on_log(point);
+    }
+    expected[t][point]++;
+  }
+  for (auto& task : tasks) tracker.end_task(std::move(task));
+
+  ASSERT_EQ(emitted.size(), 8u);
+  for (const auto& s : emitted) {
+    const auto& want = expected[s.stage];
+    ASSERT_EQ(s.log_points.size(), want.size()) << "task " << s.stage;
+    for (const auto& lp : s.log_points)
+      ASSERT_EQ(lp.count, want.at(lp.point)) << "task " << s.stage;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackerRandomized,
+                         ::testing::Values(1, 7, 42, 1234));
+
+TEST(TrackerEncodeProperty, EveryEmittedSynopsisSurvivesTheWire) {
+  ManualClock clock;
+  std::vector<Synopsis> emitted;
+  TaskExecutionTracker tracker(
+      3, &clock, [&](const Synopsis& s) { emitted.push_back(s); });
+  saad::Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto task = tracker.begin_task(static_cast<StageId>(rng.next_below(4)));
+    const std::size_t hits = rng.next_below(30);
+    for (std::size_t h = 0; h < hits; ++h) {
+      clock.advance(static_cast<UsTime>(rng.next_below(500)));
+      task->on_log(static_cast<LogPointId>(rng.next_below(200)), clock.now());
+    }
+    tracker.end_task(std::move(task));
+  }
+  std::vector<std::uint8_t> wire;
+  for (const auto& s : emitted) encode_synopsis(s, wire);
+  std::span<const std::uint8_t> in(wire);
+  for (const auto& s : emitted) {
+    Synopsis out;
+    ASSERT_TRUE(decode_synopsis(in, out));
+    ASSERT_EQ(out, s);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+}  // namespace
+}  // namespace saad::core

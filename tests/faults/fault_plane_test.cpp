@@ -1,0 +1,181 @@
+#include "faults/fault_plane.h"
+
+#include <gtest/gtest.h>
+
+namespace saad::faults {
+namespace {
+
+TEST(FaultPlane, NoFaultsNoEffect) {
+  FaultPlane plane;
+  Rng rng(1);
+  const auto out = plane.apply(0, Activity::kWalAppend, 0, rng);
+  EXPECT_FALSE(out.error);
+  EXPECT_EQ(out.extra_delay, 0);
+  EXPECT_DOUBLE_EQ(plane.disk_slowdown(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(plane.cpu_slowdown(0, 0), 1.0);
+  EXPECT_FALSE(plane.any_active(0));
+}
+
+TEST(FaultPlane, FullIntensityErrorAlwaysFires) {
+  FaultPlane plane;
+  FaultSpec spec;
+  spec.host = 4;
+  spec.activity = Activity::kWalAppend;
+  spec.mode = FaultMode::kError;
+  spec.intensity = 1.0;
+  spec.from = minutes(30);
+  spec.until = minutes(40);
+  plane.add(spec);
+
+  Rng rng(2);
+  // Inside the window, on the right host & activity:
+  EXPECT_TRUE(plane.apply(4, Activity::kWalAppend, minutes(35), rng).error);
+  // Wrong host:
+  EXPECT_FALSE(plane.apply(3, Activity::kWalAppend, minutes(35), rng).error);
+  // Wrong activity:
+  EXPECT_FALSE(plane.apply(4, Activity::kMemtableFlush, minutes(35), rng).error);
+  // Outside the window:
+  EXPECT_FALSE(plane.apply(4, Activity::kWalAppend, minutes(45), rng).error);
+  EXPECT_FALSE(plane.apply(4, Activity::kWalAppend, minutes(29), rng).error);
+}
+
+TEST(FaultPlane, WindowBoundariesAreHalfOpen) {
+  FaultPlane plane;
+  FaultSpec spec;
+  spec.intensity = 1.0;
+  spec.from = 100;
+  spec.until = 200;
+  plane.add(spec);
+  Rng rng(3);
+  EXPECT_TRUE(plane.apply(0, Activity::kWalAppend, 100, rng).error);
+  EXPECT_FALSE(plane.apply(0, Activity::kWalAppend, 200, rng).error);
+}
+
+TEST(FaultPlane, LowIntensityAffectsRoughlyOnePercent) {
+  FaultPlane plane;
+  FaultSpec spec;
+  spec.mode = FaultMode::kError;
+  spec.intensity = 0.01;  // the paper's low-intensity fault
+  spec.until = minutes(60);
+  plane.add(spec);
+
+  Rng rng(4);
+  int errors = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (plane.apply(0, Activity::kWalAppend, 1, rng).error) ++errors;
+  EXPECT_NEAR(errors / static_cast<double>(n), 0.01, 0.003);
+}
+
+TEST(FaultPlane, DelayFaultAddsConfiguredDelay) {
+  FaultPlane plane;
+  FaultSpec spec;
+  spec.mode = FaultMode::kDelay;
+  spec.delay = ms(100);
+  spec.intensity = 1.0;
+  spec.until = sec(1);
+  plane.add(spec);
+  Rng rng(5);
+  const auto out = plane.apply(0, Activity::kWalAppend, 0, rng);
+  EXPECT_FALSE(out.error);
+  EXPECT_EQ(out.extra_delay, ms(100));
+}
+
+TEST(FaultPlane, OverlappingDelaysAccumulate) {
+  FaultPlane plane;
+  FaultSpec spec;
+  spec.mode = FaultMode::kDelay;
+  spec.delay = ms(50);
+  spec.intensity = 1.0;
+  spec.until = sec(1);
+  plane.add(spec);
+  plane.add(spec);
+  Rng rng(6);
+  EXPECT_EQ(plane.apply(0, Activity::kWalAppend, 0, rng).extra_delay, ms(100));
+}
+
+TEST(FaultPlane, AnyHostWildcardMatchesAllHosts) {
+  FaultPlane plane;
+  FaultSpec spec;
+  spec.host = kAnyHost;
+  spec.intensity = 1.0;
+  spec.until = sec(1);
+  plane.add(spec);
+  Rng rng(7);
+  for (std::uint16_t host = 0; host < 8; ++host)
+    EXPECT_TRUE(plane.apply(host, Activity::kWalAppend, 0, rng).error);
+}
+
+TEST(FaultPlane, HogSlowdownScalesWithProcesses) {
+  FaultPlane plane;
+  HogSpec hog;
+  hog.from = minutes(8);
+  hog.until = minutes(16);
+  hog.processes = 4;
+  plane.add_hog(hog);
+
+  EXPECT_EQ(plane.hog_processes(0, minutes(10)), 4);
+  EXPECT_EQ(plane.hog_processes(0, minutes(20)), 0);
+  EXPECT_DOUBLE_EQ(plane.disk_slowdown(0, minutes(10)), 1.6);
+  EXPECT_DOUBLE_EQ(plane.disk_slowdown(0, minutes(20)), 1.0);
+  // Cycle theft from the dd processes beyond the first: 1 + 0.15 * (4-1).
+  EXPECT_DOUBLE_EQ(plane.cpu_slowdown(0, minutes(10)), 1.45);
+}
+
+TEST(FaultPlane, SchedulerShieldsServerFromFewWriters) {
+  // One or two dd processes do not slow the server's small synchronous
+  // requests — only CPU theft shows (the paper's medium-intensity story).
+  FaultPlane plane;
+  HogSpec hog;
+  hog.until = sec(10);
+  hog.processes = 2;
+  plane.add_hog(hog);
+  EXPECT_DOUBLE_EQ(plane.disk_slowdown(0, 1), 1.0);
+  EXPECT_GT(plane.cpu_slowdown(0, 1), 1.0);
+}
+
+TEST(FaultPlane, MultipleHogsStack) {
+  FaultPlane plane;
+  HogSpec hog;
+  hog.until = sec(10);
+  hog.processes = 2;
+  plane.add_hog(hog);
+  plane.add_hog(hog);
+  EXPECT_EQ(plane.hog_processes(0, 1), 4);
+  EXPECT_DOUBLE_EQ(plane.disk_slowdown(0, 1), 1.6);
+}
+
+TEST(FaultPlane, AnyActiveDetectsWindows) {
+  FaultPlane plane;
+  FaultSpec spec;
+  spec.from = 100;
+  spec.until = 200;
+  plane.add(spec);
+  EXPECT_FALSE(plane.any_active(50));
+  EXPECT_TRUE(plane.any_active(150));
+  EXPECT_FALSE(plane.any_active(250));
+}
+
+TEST(FaultPlane, ClearRemovesEverything) {
+  FaultPlane plane;
+  FaultSpec spec;
+  spec.intensity = 1.0;
+  spec.until = sec(1);
+  plane.add(spec);
+  HogSpec hog;
+  hog.until = sec(1);
+  plane.add_hog(hog);
+  plane.clear();
+  Rng rng(8);
+  EXPECT_FALSE(plane.apply(0, Activity::kWalAppend, 0, rng).error);
+  EXPECT_DOUBLE_EQ(plane.disk_slowdown(0, 0), 1.0);
+}
+
+TEST(FaultPlane, ActivityNames) {
+  EXPECT_STREQ(activity_name(Activity::kWalAppend), "wal-append");
+  EXPECT_STREQ(activity_name(Activity::kMemtableFlush), "memtable-flush");
+  EXPECT_STREQ(activity_name(Activity::kNetwork), "network");
+}
+
+}  // namespace
+}  // namespace saad::faults

@@ -1,0 +1,257 @@
+#include "lsm/store.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+
+namespace saad::lsm {
+namespace {
+
+struct LsmFixture : ::testing::Test {
+  sim::Engine engine;
+  faults::FaultPlane plane;
+  std::unique_ptr<sim::Disk> disk;
+  LsmOptions options;
+  std::unique_ptr<LsmStore> store;
+
+  void SetUp() override {
+    disk = std::make_unique<sim::Disk>(&engine, &plane, 0, Rng(1));
+    options.memtable_flush_bytes = 1024;
+    options.major_compaction_tables = 3;
+    store = std::make_unique<LsmStore>(&engine, disk.get(), options);
+  }
+
+  void fill_memtable(int n, const std::string& prefix = "k") {
+    for (int i = 0; i < n; ++i)
+      store->apply(prefix + std::to_string(i), std::string(100, 'v'));
+  }
+
+  bool run_flush() {
+    bool result = false;
+    auto proc = [&]() -> sim::Process { result = co_await store->flush(); };
+    proc();
+    engine.run_all();
+    return result;
+  }
+};
+
+TEST_F(LsmFixture, ApplyAndGetFromMemtable) {
+  store->apply("alpha", "1");
+  auto proc = [&]() -> sim::Process {
+    const auto r = co_await store->get("alpha");
+    EXPECT_EQ(r.value, "1");
+    EXPECT_EQ(r.sstables_probed, 0u);
+  };
+  proc();
+  engine.run_all();
+}
+
+TEST_F(LsmFixture, GetMissingKey) {
+  auto proc = [&]() -> sim::Process {
+    const auto r = co_await store->get("ghost");
+    EXPECT_FALSE(r.value.has_value());
+  };
+  proc();
+  engine.run_all();
+}
+
+TEST_F(LsmFixture, NeedsFlushAfterThreshold) {
+  EXPECT_FALSE(store->needs_flush());
+  fill_memtable(20);  // ~2000 bytes > 1024
+  EXPECT_TRUE(store->needs_flush());
+}
+
+TEST_F(LsmFixture, FlushMovesDataToSSTable) {
+  fill_memtable(20);
+  EXPECT_TRUE(run_flush());
+  EXPECT_EQ(store->num_sstables(), 1u);
+  EXPECT_EQ(store->active_bytes(), 0u);
+  EXPECT_EQ(store->flushes_completed(), 1u);
+
+  // Data survives the flush and is read back from disk.
+  auto proc = [&]() -> sim::Process {
+    const auto r = co_await store->get("k3");
+    EXPECT_TRUE(r.value.has_value());
+    EXPECT_EQ(r.sstables_probed, 1u);
+  };
+  proc();
+  engine.run_all();
+}
+
+TEST_F(LsmFixture, FlushTrimsWal) {
+  auto writer = [&]() -> sim::Process {
+    (void)co_await store->wal_append(2000);
+  };
+  writer();
+  engine.run_all();
+  EXPECT_EQ(store->wal().pending_bytes(), 2000u);
+  fill_memtable(20);
+  run_flush();
+  EXPECT_LT(store->wal().pending_bytes(), 2000u);
+}
+
+TEST_F(LsmFixture, FailedFlushKeepsMemoryPressure) {
+  faults::FaultSpec spec;
+  spec.activity = faults::Activity::kMemtableFlush;
+  spec.mode = faults::FaultMode::kError;
+  spec.intensity = 1.0;
+  spec.until = minutes(60);
+  plane.add(spec);
+
+  fill_memtable(20);
+  const std::size_t before = store->unflushed_bytes();
+  EXPECT_FALSE(run_flush());
+  EXPECT_EQ(store->num_sstables(), 0u);
+  EXPECT_EQ(store->flushes_failed(), 1u);
+  EXPECT_EQ(store->frozen_backlog(), 1u);
+  EXPECT_EQ(store->unflushed_bytes(), before);  // still buffered
+
+  // Lift the fault: the retry drains the backlog.
+  plane.clear();
+  EXPECT_TRUE(run_flush());
+  EXPECT_EQ(store->frozen_backlog(), 0u);
+  EXPECT_EQ(store->num_sstables(), 1u);
+}
+
+TEST_F(LsmFixture, FailedFlushBacksOff) {
+  faults::FaultSpec spec;
+  spec.activity = faults::Activity::kMemtableFlush;
+  spec.mode = faults::FaultMode::kError;
+  spec.intensity = 1.0;
+  spec.until = minutes(60);
+  plane.add(spec);
+
+  fill_memtable(20);
+  EXPECT_TRUE(store->needs_flush());
+  EXPECT_FALSE(run_flush());
+  // The failure arms the backoff: no immediate retrigger at the write rate.
+  EXPECT_FALSE(store->needs_flush());
+  engine.run_until(engine.now() + options.flush_retry_backoff + 1);
+  fill_memtable(20);
+  EXPECT_TRUE(store->needs_flush());
+}
+
+TEST_F(LsmFixture, FrozenMemtableStillReadable) {
+  faults::FaultSpec spec;
+  spec.activity = faults::Activity::kMemtableFlush;
+  spec.mode = faults::FaultMode::kError;
+  spec.intensity = 1.0;
+  spec.until = minutes(60);
+  plane.add(spec);
+  fill_memtable(20);
+  run_flush();  // fails; data stays in the frozen table
+  auto proc = [&]() -> sim::Process {
+    const auto r = co_await store->get("k5");
+    EXPECT_TRUE(r.value.has_value());
+  };
+  proc();
+  engine.run_all();
+}
+
+TEST_F(LsmFixture, MajorCompactionMergesTables) {
+  for (int round = 0; round < 3; ++round) {
+    fill_memtable(20, "r" + std::to_string(round) + "_");
+    ASSERT_TRUE(run_flush());
+  }
+  ASSERT_EQ(store->num_sstables(), 3u);
+  EXPECT_TRUE(store->needs_major_compaction());
+
+  bool ok = false;
+  auto proc = [&]() -> sim::Process { ok = co_await store->major_compact(); };
+  proc();
+  engine.run_all();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(store->num_sstables(), 1u);
+  EXPECT_EQ(store->compactions_completed(), 1u);
+
+  // All rounds' keys are still present, with a single probe now.
+  auto reader = [&]() -> sim::Process {
+    for (int round = 0; round < 3; ++round) {
+      const auto r =
+          co_await store->get("r" + std::to_string(round) + "_7");
+      EXPECT_TRUE(r.value.has_value()) << "round " << round;
+      EXPECT_EQ(r.sstables_probed, 1u);
+    }
+  };
+  reader();
+  engine.run_all();
+}
+
+TEST_F(LsmFixture, CompactionKeepsNewestValue) {
+  store->apply("dup", "old");
+  fill_memtable(20);
+  run_flush();
+  store->apply("dup", "new");
+  fill_memtable(20);
+  run_flush();
+  fill_memtable(20, "x");
+  run_flush();
+
+  auto proc = [&]() -> sim::Process {
+    (void)co_await store->major_compact();
+    const auto r = co_await store->get("dup");
+    EXPECT_TRUE(r.value.has_value());
+    if (r.value) EXPECT_EQ(*r.value, "new");
+  };
+  proc();
+  engine.run_all();
+}
+
+TEST_F(LsmFixture, WedgeActiveBlocksApplies) {
+  store->apply("a", "1");
+  store->wedge_active();
+  EXPECT_TRUE(store->memtable_frozen());
+  EXPECT_FALSE(store->apply("b", "2"));
+}
+
+TEST_F(LsmFixture, WalErrorFaultFailsAppend) {
+  faults::FaultSpec spec;
+  spec.activity = faults::Activity::kWalAppend;
+  spec.mode = faults::FaultMode::kError;
+  spec.intensity = 1.0;
+  spec.until = minutes(60);
+  plane.add(spec);
+  auto proc = [&]() -> sim::Process {
+    const auto io = co_await store->wal_append(100);
+    EXPECT_FALSE(io.ok);
+  };
+  proc();
+  engine.run_all();
+  EXPECT_EQ(store->wal().failed_appends(), 1u);
+  EXPECT_EQ(store->wal().pending_bytes(), 0u);
+}
+
+TEST_F(LsmFixture, ConcurrentFlushReturnsFalse) {
+  fill_memtable(20);
+  bool first = false, second = true;
+  auto proc = [&]() -> sim::Process { first = co_await store->flush(); };
+  auto proc2 = [&]() -> sim::Process { second = co_await store->flush(); };
+  proc();
+  proc2();  // starts while the first flush awaits disk I/O
+  engine.run_all();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+}
+
+TEST(MemTable, OverwriteAdjustsBytes) {
+  MemTable m;
+  m.put("k", "12345");
+  const auto b1 = m.bytes();
+  m.put("k", "1");
+  EXPECT_EQ(m.bytes(), b1 - 4);
+  EXPECT_EQ(m.entries(), 1u);
+}
+
+TEST(SSTable, MergePrefersNewest) {
+  SSTable old_table(1, {{"a", "old"}, {"b", "only-old"}});
+  SSTable new_table(2, {{"a", "new"}});
+  const SSTable merged =
+      SSTable::merge(3, {&new_table, &old_table});
+  EXPECT_EQ(merged.entries(), 2u);
+  EXPECT_EQ(merged.get("a"), "new");
+  EXPECT_EQ(merged.get("b"), "only-old");
+  EXPECT_FALSE(merged.get("c").has_value());
+}
+
+}  // namespace
+}  // namespace saad::lsm

@@ -1,0 +1,163 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.h"
+
+namespace saad::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(300, [&] { order.push_back(3); });
+  engine.schedule_at(100, [&] { order.push_back(1); });
+  engine.schedule_at(200, [&] { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.events_processed(), 3u);
+}
+
+TEST(Engine, TiesBreakByScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(100, [&] { order.push_back(1); });
+  engine.schedule_at(100, [&] { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, RunUntilStopsAndAdvancesClock) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(100, [&] { fired++; });
+  engine.schedule_at(500, [&] { fired++; });
+  engine.run_until(250);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), 250);
+  engine.run_until(1000);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), 1000);
+}
+
+TEST(Engine, ClockMatchesEventTimeDuringExecution) {
+  Engine engine;
+  UsTime seen = -1;
+  engine.schedule_at(12345, [&] { seen = engine.now(); });
+  engine.run_all();
+  EXPECT_EQ(seen, 12345);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) engine.schedule_in(10, chain);
+  };
+  engine.schedule_at(0, chain);
+  engine.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(engine.now(), 40);
+}
+
+TEST(Engine, ProcessDelayResumesAtRightTime) {
+  Engine engine;
+  std::vector<UsTime> stamps;
+  auto proc = [&]() -> Process {
+    stamps.push_back(engine.now());
+    co_await engine.delay(100);
+    stamps.push_back(engine.now());
+    co_await engine.delay(250);
+    stamps.push_back(engine.now());
+  };
+  proc();
+  engine.run_all();
+  EXPECT_EQ(stamps, (std::vector<UsTime>{0, 100, 350}));
+}
+
+TEST(Engine, ZeroDelayDoesNotSuspend) {
+  Engine engine;
+  bool done = false;
+  auto proc = [&]() -> Process {
+    co_await engine.delay(0);
+    done = true;
+  };
+  proc();
+  // delay(0) is ready immediately: the process completed synchronously.
+  EXPECT_TRUE(done);
+}
+
+TEST(Engine, TaskComposesWithProcess) {
+  Engine engine;
+  std::vector<int> order;
+  auto child = [&](int v) -> Task<int> {
+    co_await engine.delay(50);
+    co_return v * 2;
+  };
+  auto parent = [&]() -> Process {
+    order.push_back(1);
+    const int r = co_await child(21);
+    order.push_back(r);
+  };
+  parent();
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 42}));
+  EXPECT_EQ(engine.now(), 50);
+}
+
+TEST(Engine, NestedTasksChainCorrectly) {
+  Engine engine;
+  auto inner = [&]() -> Task<int> {
+    co_await engine.delay(10);
+    co_return 7;
+  };
+  auto middle = [&]() -> Task<int> {
+    const int a = co_await inner();
+    co_await engine.delay(10);
+    co_return a + 1;
+  };
+  int result = 0;
+  auto outer = [&]() -> Process { result = co_await middle(); };
+  outer();
+  engine.run_all();
+  EXPECT_EQ(result, 8);
+  EXPECT_EQ(engine.now(), 20);
+}
+
+TEST(Engine, ManyConcurrentProcessesInterleaveDeterministically) {
+  Engine engine;
+  std::vector<int> order;
+  auto proc = [&](int id, UsTime dt) -> Process {
+    co_await engine.delay(dt);
+    order.push_back(id);
+  };
+  proc(1, 30);
+  proc(2, 10);
+  proc(3, 20);
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(Engine, VoidTask) {
+  Engine engine;
+  bool ran = false;
+  auto child = [&]() -> Task<void> {
+    co_await engine.delay(5);
+    ran = true;
+  };
+  auto parent = [&]() -> Process { co_await child(); };
+  parent();
+  engine.run_all();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace saad::sim

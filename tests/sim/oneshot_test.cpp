@@ -1,0 +1,107 @@
+#include "sim/oneshot.h"
+
+#include <gtest/gtest.h>
+
+namespace saad::sim {
+namespace {
+
+TEST(OneShot, FulfilledBeforeWaitIsImmediatelyReady) {
+  Engine engine;
+  auto shot = OneShot::create(&engine);
+  shot->fulfill();
+  bool result = false;
+  bool done = false;
+  auto proc = [&]() -> Process {
+    result = co_await shot->wait(ms(10));
+    done = true;
+  };
+  proc();
+  EXPECT_TRUE(done);  // completed synchronously
+  EXPECT_TRUE(result);
+}
+
+TEST(OneShot, FulfillWakesWaiterAtFulfillTime) {
+  Engine engine;
+  auto shot = OneShot::create(&engine);
+  bool result = false;
+  UsTime woke_at = -1;
+  auto proc = [&]() -> Process {
+    result = co_await shot->wait(sec(10));
+    woke_at = engine.now();
+  };
+  proc();
+  engine.schedule_at(ms(7), [&] { shot->fulfill(); });
+  engine.run_all();
+  EXPECT_TRUE(result);
+  EXPECT_EQ(woke_at, ms(7));
+}
+
+TEST(OneShot, TimeoutDeliversFalse) {
+  Engine engine;
+  auto shot = OneShot::create(&engine);
+  bool result = true;
+  UsTime woke_at = -1;
+  auto proc = [&]() -> Process {
+    result = co_await shot->wait(ms(50));
+    woke_at = engine.now();
+  };
+  proc();
+  engine.run_all();
+  EXPECT_FALSE(result);
+  EXPECT_EQ(woke_at, ms(50));
+}
+
+TEST(OneShot, LateFulfillAfterTimeoutIsHarmless) {
+  Engine engine;
+  auto shot = OneShot::create(&engine);
+  bool result = true;
+  auto proc = [&]() -> Process { result = co_await shot->wait(ms(10)); };
+  proc();
+  engine.schedule_at(ms(100), [&] { shot->fulfill(); });
+  engine.run_all();
+  EXPECT_FALSE(result);  // timed out first; the late fulfill is a no-op
+  EXPECT_TRUE(shot->fulfilled());
+}
+
+TEST(OneShot, FulfillIsIdempotent) {
+  Engine engine;
+  auto shot = OneShot::create(&engine);
+  int wakeups = 0;
+  bool result = false;
+  auto proc = [&]() -> Process {
+    result = co_await shot->wait(sec(1));
+    wakeups++;
+  };
+  proc();
+  engine.schedule_at(ms(1), [&] {
+    shot->fulfill();
+    shot->fulfill();
+    shot->fulfill();
+  });
+  engine.run_all();
+  EXPECT_EQ(wakeups, 1);
+  EXPECT_TRUE(result);
+}
+
+TEST(OneShot, StateOutlivesTimedOutWaiter) {
+  // The timeout event holds a shared_ptr: dropping the caller's reference
+  // right after waiting must not leave the scheduled event dangling.
+  Engine engine;
+  {
+    auto shot = OneShot::create(&engine);
+    auto proc = [&]() -> Process { (void)co_await shot->wait(ms(5)); };
+    proc();
+  }  // caller's reference gone; the engine still holds the timeout closure
+  engine.run_all();  // must not crash
+}
+
+TEST(OneShot, ZeroFulfillNoWaiterStaysFulfilled) {
+  Engine engine;
+  auto shot = OneShot::create(&engine);
+  EXPECT_FALSE(shot->fulfilled());
+  shot->fulfill();
+  EXPECT_TRUE(shot->fulfilled());
+}
+
+}  // namespace
+}  // namespace saad::sim

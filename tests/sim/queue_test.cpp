@@ -1,0 +1,134 @@
+#include "sim/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace saad::sim {
+namespace {
+
+TEST(SimQueue, PopReadyWhenItemAvailable) {
+  Engine engine;
+  SimQueue<int> queue(&engine);
+  queue.push(42);
+  int got = 0;
+  auto consumer = [&]() -> Process { got = co_await queue.pop(); };
+  consumer();
+  EXPECT_EQ(got, 42);  // completed synchronously: item was ready
+}
+
+TEST(SimQueue, ConsumerWaitsForProducer) {
+  Engine engine;
+  SimQueue<std::string> queue(&engine);
+  std::string got;
+  auto consumer = [&]() -> Process { got = co_await queue.pop(); };
+  consumer();
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(queue.waiting_consumers(), 1u);
+
+  engine.schedule_at(100, [&] { queue.push("hello"); });
+  engine.run_all();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(engine.now(), 100);
+}
+
+TEST(SimQueue, FifoOrderAmongItems) {
+  Engine engine;
+  SimQueue<int> queue(&engine);
+  std::vector<int> got;
+  auto consumer = [&]() -> Process {
+    for (int i = 0; i < 3; ++i) got.push_back(co_await queue.pop());
+  };
+  queue.push(1);
+  queue.push(2);
+  queue.push(3);
+  consumer();
+  engine.run_all();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimQueue, FifoOrderAmongWaiters) {
+  Engine engine;
+  SimQueue<int> queue(&engine);
+  std::vector<std::pair<int, int>> got;  // (consumer, item)
+  auto consumer = [&](int id) -> Process {
+    const int item = co_await queue.pop();
+    got.emplace_back(id, item);
+  };
+  consumer(1);
+  consumer(2);
+  engine.schedule_at(10, [&] {
+    queue.push(100);
+    queue.push(200);
+  });
+  engine.run_all();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], std::make_pair(1, 100));
+  EXPECT_EQ(got[1], std::make_pair(2, 200));
+}
+
+TEST(SimQueue, WokenConsumerCannotLoseItsItem) {
+  // A push destined for a suspended waiter delivers by value: a competing
+  // pop cannot steal it even if it runs before the waiter resumes.
+  Engine engine;
+  SimQueue<int> queue(&engine);
+  int waiter_got = 0, thief_got = 0;
+  auto waiter = [&]() -> Process { waiter_got = co_await queue.pop(); };
+  waiter();
+  queue.push(1);  // hands off to the waiter, resume scheduled
+  auto thief = [&]() -> Process { thief_got = co_await queue.pop(); };
+  thief();  // must suspend: the queue is logically empty
+  queue.push(2);
+  engine.run_all();
+  EXPECT_EQ(waiter_got, 1);
+  EXPECT_EQ(thief_got, 2);
+}
+
+TEST(SimQueue, SizeReflectsBufferedItems) {
+  Engine engine;
+  SimQueue<int> queue(&engine);
+  EXPECT_TRUE(queue.empty());
+  queue.push(1);
+  queue.push(2);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_FALSE(queue.empty());
+}
+
+TEST(SimQueue, ManyProducersManyConsumers) {
+  Engine engine;
+  SimQueue<int> queue(&engine);
+  int sum = 0, count = 0;
+  auto consumer = [&]() -> Process {
+    for (;;) {
+      sum += co_await queue.pop();
+      count++;
+    }
+  };
+  consumer();
+  consumer();
+  consumer();
+  for (int t = 1; t <= 100; ++t) {
+    engine.schedule_at(t, [&queue, t] { queue.push(t); });
+  }
+  engine.run_all();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sum, 5050);
+}
+
+TEST(SimQueue, MoveOnlyItems) {
+  Engine engine;
+  SimQueue<std::unique_ptr<int>> queue(&engine);
+  int got = 0;
+  auto consumer = [&]() -> Process {
+    auto p = co_await queue.pop();
+    got = *p;
+  };
+  consumer();
+  queue.push(std::make_unique<int>(9));
+  engine.run_all();
+  EXPECT_EQ(got, 9);
+}
+
+}  // namespace
+}  // namespace saad::sim

@@ -1,0 +1,229 @@
+#include "sim/resource.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace saad::sim {
+namespace {
+
+TEST(Resource, CapacityLimitsConcurrency) {
+  Engine engine;
+  Resource res(&engine, 2);
+  std::vector<UsTime> completion;
+  auto worker = [&]() -> Process {
+    co_await res.acquire();
+    co_await engine.delay(100);
+    res.release();
+    completion.push_back(engine.now());
+  };
+  worker();
+  worker();
+  worker();  // must queue behind the first two
+  engine.run_all();
+  ASSERT_EQ(completion.size(), 3u);
+  EXPECT_EQ(completion[0], 100);
+  EXPECT_EQ(completion[1], 100);
+  EXPECT_EQ(completion[2], 200);
+}
+
+TEST(Resource, ReleaseHandsSlotToFirstWaiter) {
+  Engine engine;
+  Resource res(&engine, 1);
+  std::vector<int> order;
+  auto worker = [&](int id) -> Process {
+    co_await res.acquire();
+    order.push_back(id);
+    co_await engine.delay(10);
+    res.release();
+  };
+  worker(1);
+  worker(2);
+  worker(3);
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(res.available(), 1);
+  EXPECT_EQ(res.queue_length(), 0u);
+}
+
+TEST(Resource, UseCombinesAcquireDelayRelease) {
+  Engine engine;
+  Resource res(&engine, 1);
+  std::vector<UsTime> completion;
+  auto worker = [&]() -> Process {
+    co_await res.use(50);
+    completion.push_back(engine.now());
+  };
+  worker();
+  worker();
+  engine.run_all();
+  EXPECT_EQ(completion, (std::vector<UsTime>{50, 100}));
+}
+
+struct DiskFixture : ::testing::Test {
+  Engine engine;
+  faults::FaultPlane plane;
+};
+
+TEST_F(DiskFixture, IoTakesServiceTime) {
+  Disk disk(&engine, &plane, 0, Rng(1));
+  IoResult result;
+  auto proc = [&]() -> Process {
+    result = co_await disk.io(faults::Activity::kDiskWrite, 500);
+  };
+  proc();
+  engine.run_all();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.service, 500);
+  EXPECT_EQ(engine.now(), 500);
+}
+
+TEST_F(DiskFixture, ContendedIoQueues) {
+  Disk disk(&engine, &plane, 0, Rng(2));
+  std::vector<IoResult> results;
+  auto proc = [&]() -> Process {
+    results.push_back(co_await disk.io(faults::Activity::kDiskWrite, 100));
+  };
+  proc();
+  proc();
+  engine.run_all();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].queued, 0);
+  EXPECT_EQ(results[1].queued, 100);
+  EXPECT_EQ(engine.now(), 200);
+}
+
+TEST_F(DiskFixture, ErrorFaultFailsOperation) {
+  faults::FaultSpec spec;
+  spec.host = 0;
+  spec.activity = faults::Activity::kWalAppend;
+  spec.mode = faults::FaultMode::kError;
+  spec.intensity = 1.0;
+  spec.from = 0;
+  spec.until = sec(10);
+  plane.add(spec);
+
+  Disk disk(&engine, &plane, 0, Rng(3));
+  IoResult wal, other;
+  auto proc = [&]() -> Process {
+    wal = co_await disk.io(faults::Activity::kWalAppend, 100);
+    other = co_await disk.io(faults::Activity::kDiskWrite, 100);
+  };
+  proc();
+  engine.run_all();
+  EXPECT_FALSE(wal.ok);     // targeted activity fails
+  EXPECT_TRUE(other.ok);    // other activities unaffected
+}
+
+TEST_F(DiskFixture, DelayFaultStretchesService) {
+  faults::FaultSpec spec;
+  spec.activity = faults::Activity::kMemtableFlush;
+  spec.mode = faults::FaultMode::kDelay;
+  spec.delay = ms(100);
+  spec.until = sec(10);
+  plane.add(spec);
+
+  Disk disk(&engine, &plane, 0, Rng(4));
+  IoResult result;
+  auto proc = [&]() -> Process {
+    result = co_await disk.io(faults::Activity::kMemtableFlush, 1000);
+  };
+  proc();
+  engine.run_all();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.service, 1000 + ms(100));
+}
+
+TEST_F(DiskFixture, HogMultipliesServiceTimeOnceSaturated) {
+  faults::HogSpec hog;
+  hog.host = 0;
+  hog.from = 0;
+  hog.until = sec(10);
+  hog.processes = 4;
+  plane.add_hog(hog);
+
+  Disk disk(&engine, &plane, 0, Rng(5));
+  IoResult result;
+  auto proc = [&]() -> Process {
+    result = co_await disk.io(faults::Activity::kDiskRead, 1000);
+  };
+  proc();
+  engine.run_all();
+  EXPECT_EQ(result.service, 1600);  // 1 + 0.3 * (4 - 2) = 1.6x
+}
+
+TEST_F(DiskFixture, ServiceJitterVariesAroundMedian) {
+  Disk disk(&engine, &plane, 0, Rng(6), /*service_sigma=*/0.25);
+  std::vector<UsTime> services;
+  auto proc = [&]() -> Process {
+    for (int i = 0; i < 200; ++i) {
+      const auto r = co_await disk.io(faults::Activity::kDiskRead, 1000);
+      services.push_back(r.service);
+    }
+  };
+  proc();
+  engine.run_all();
+  // Jittered: not all equal, median near 1000, all positive.
+  std::sort(services.begin(), services.end());
+  EXPECT_LT(services.front(), services.back());
+  EXPECT_NEAR(static_cast<double>(services[100]), 1000.0, 150.0);
+  EXPECT_GT(services.front(), 0);
+}
+
+TEST_F(DiskFixture, NetworkTransferLatency) {
+  Network net(&engine, &plane, Rng(6), ms(1));
+  IoResult result;
+  auto proc = [&]() -> Process { result = co_await net.transfer(0, 250); };
+  proc();
+  engine.run_all();
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.service, ms(1) + 250);
+}
+
+TEST(Gate, OpenGateDoesNotBlock) {
+  Engine engine;
+  Gate gate(&engine, true);
+  bool passed = false;
+  auto proc = [&]() -> Process {
+    co_await gate.wait();
+    passed = true;
+  };
+  proc();
+  EXPECT_TRUE(passed);
+}
+
+TEST(Gate, ClosedGateBlocksUntilOpened) {
+  Engine engine;
+  Gate gate(&engine, false);
+  std::vector<UsTime> passed;
+  auto proc = [&]() -> Process {
+    co_await gate.wait();
+    passed.push_back(engine.now());
+  };
+  proc();
+  proc();
+  EXPECT_EQ(gate.waiting(), 2u);
+  engine.schedule_at(500, [&] { gate.open(); });
+  engine.run_all();
+  EXPECT_EQ(passed, (std::vector<UsTime>{500, 500}));
+  EXPECT_TRUE(gate.is_open());
+}
+
+TEST(Gate, CloseReArmsTheGate) {
+  Engine engine;
+  Gate gate(&engine, true);
+  gate.close();
+  bool passed = false;
+  auto proc = [&]() -> Process {
+    co_await gate.wait();
+    passed = true;
+  };
+  proc();
+  EXPECT_FALSE(passed);
+  gate.open();
+  engine.run_all();
+  EXPECT_TRUE(passed);
+}
+
+}  // namespace
+}  // namespace saad::sim

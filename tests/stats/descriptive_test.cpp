@@ -1,0 +1,91 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace saad::stats {
+namespace {
+
+TEST(Welford, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.variance(), 0.0);
+}
+
+TEST(Welford, MeanAndVarianceMatchDefinition) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Welford, SingleSampleVarianceZero) {
+  Welford w;
+  w.add(3.0);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+}
+
+TEST(Welford, MergeEqualsCombinedStream) {
+  Welford a, b, combined;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37;
+    const double y = 50 - i * 0.11;
+    a.add(x);
+    b.add(y);
+    combined.add(x);
+    combined.add(y);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+}
+
+TEST(Welford, MergeWithEmptyIsIdentity) {
+  Welford a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Percentile, EmptyIsZero) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  // Sorted {10, 20}: q=0.5 -> midpoint.
+  EXPECT_DOUBLE_EQ(percentile({20, 10}, 0.5), 15.0);
+}
+
+TEST(Percentile, ExtremesAreMinMax) {
+  std::vector<double> v = {5, 9, 1, 7};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeQ) {
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 3.0);
+}
+
+TEST(PercentileSorted, P99OfUniformRange) {
+  std::vector<double> v(1000);
+  for (int i = 0; i < 1000; ++i) v[i] = i + 1;  // 1..1000 sorted
+  EXPECT_NEAR(percentile_sorted(v, 0.99), 990.01, 0.5);
+}
+
+}  // namespace
+}  // namespace saad::stats

@@ -1,0 +1,121 @@
+#include "stats/kfold.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace saad::stats {
+namespace {
+
+TEST(KFoldIndices, PartitionsAllIndicesExactlyOnce) {
+  const auto folds = kfold_indices(103, 5);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<bool> seen(103, false);
+  for (const auto& fold : folds) {
+    for (auto idx : fold) {
+      ASSERT_LT(idx, 103u);
+      ASSERT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(KFoldIndices, FoldsAreBalanced) {
+  const auto folds = kfold_indices(100, 5);
+  for (const auto& fold : folds) EXPECT_EQ(fold.size(), 20u);
+}
+
+TEST(KFoldIndices, ZeroSamples) {
+  const auto folds = kfold_indices(0, 3);
+  ASSERT_EQ(folds.size(), 3u);
+  for (const auto& fold : folds) EXPECT_TRUE(fold.empty());
+}
+
+TEST(KFoldStability, TightDistributionIsStable) {
+  // Lognormal with small sigma: p99 threshold generalizes across folds.
+  saad::Rng rng(1);
+  std::vector<double> samples(5000);
+  for (auto& s : samples) s = rng.lognormal_median(10000, 0.2);
+  const auto result = kfold_quantile_stability(samples, 5, 0.99, 2.0);
+  EXPECT_TRUE(result.stable);
+  EXPECT_NEAR(result.mean_heldout_outlier_rate, 0.01, 0.01);
+}
+
+TEST(KFoldStability, NonstationaryRegimeShiftIsUnstable) {
+  // The duration distribution changes partway through the training trace
+  // (e.g. a load regime): a threshold trained on the early blocks wildly
+  // misclassifies the late block. No single p99 is meaningful for this flow.
+  saad::Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 800; ++i) samples.push_back(rng.uniform(1, 2));
+  for (int i = 0; i < 200; ++i) samples.push_back(rng.uniform(100, 1000));
+  const auto result = kfold_quantile_stability(samples, 5, 0.99, 2.0);
+  EXPECT_FALSE(result.stable);
+  EXPECT_GT(result.mean_heldout_outlier_rate, 0.02);
+}
+
+TEST(KFoldStability, StationaryHeavyTailRemainsStable) {
+  // I.i.d. samples, even with a heavy tail, generalize: the held-out
+  // outlier rate stays near the nominal 1%.
+  saad::Rng rng(21);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(rng.chance(0.15) ? rng.uniform(100, 1000)
+                                       : rng.uniform(1, 2));
+  }
+  const auto result = kfold_quantile_stability(samples, 5, 0.99, 2.0);
+  EXPECT_TRUE(result.stable);
+}
+
+TEST(KFoldIndices, BlocksAreContiguousAndOrdered) {
+  const auto folds = kfold_indices(10, 3);
+  ASSERT_EQ(folds.size(), 3u);
+  std::size_t expected = 0;
+  for (const auto& fold : folds) {
+    for (auto idx : fold) EXPECT_EQ(idx, expected++);
+  }
+  EXPECT_EQ(expected, 10u);
+}
+
+TEST(KFoldStability, TooFewSamplesReportedUnstable) {
+  const std::vector<double> tiny = {1, 2, 3};
+  const auto result = kfold_quantile_stability(tiny, 5, 0.99, 2.0);
+  EXPECT_FALSE(result.stable);
+}
+
+TEST(KFoldStability, KBelowTwoReportedUnstable) {
+  const std::vector<double> samples(100, 1.0);
+  const auto result = kfold_quantile_stability(samples, 1, 0.99, 2.0);
+  EXPECT_FALSE(result.stable);
+}
+
+TEST(KFoldStability, ConstantSamplesAreStable) {
+  // All durations identical: nothing exceeds the threshold, perfectly stable.
+  const std::vector<double> samples(500, 42.0);
+  const auto result = kfold_quantile_stability(samples, 5, 0.99, 2.0);
+  EXPECT_TRUE(result.stable);
+  EXPECT_EQ(result.mean_heldout_outlier_rate, 0.0);
+}
+
+class UnstableFactorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UnstableFactorSweep, HigherFactorIsMorePermissive) {
+  saad::Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(rng.lognormal_median(100, 1.2));
+  const auto strict = kfold_quantile_stability(samples, 5, 0.99, 0.1);
+  const auto at_param = kfold_quantile_stability(samples, 5, 0.99, GetParam());
+  // The held-out rate is identical; only the verdict changes with the factor.
+  EXPECT_DOUBLE_EQ(strict.mean_heldout_outlier_rate,
+                   at_param.mean_heldout_outlier_rate);
+  if (strict.stable) {
+    EXPECT_TRUE(at_param.stable);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, UnstableFactorSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace saad::stats

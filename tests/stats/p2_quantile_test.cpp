@@ -1,0 +1,74 @@
+#include "stats/p2_quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/descriptive.h"
+
+namespace saad::stats {
+namespace {
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile p2(0.99);
+  EXPECT_EQ(p2.value(), 0.0);
+  EXPECT_EQ(p2.count(), 0u);
+}
+
+TEST(P2Quantile, TinySamplesAreExactish) {
+  P2Quantile median(0.5);
+  median.add(3);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(1);
+  median.add(2);
+  EXPECT_DOUBLE_EQ(median.value(), 2.0);
+}
+
+class P2Accuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, TracksLognormalQuantileWithinFivePercent) {
+  const double q = GetParam();
+  saad::Rng rng(42);
+  P2Quantile p2(q);
+  std::vector<double> exact;
+  exact.reserve(100000);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.lognormal_median(10000, 0.3);
+    p2.add(x);
+    exact.push_back(x);
+  }
+  const double truth = percentile(std::move(exact), q);
+  EXPECT_NEAR(p2.value() / truth, 1.0, 0.05) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy,
+                         ::testing::Values(0.5, 0.9, 0.95, 0.99));
+
+TEST(P2Quantile, UniformP99) {
+  saad::Rng rng(7);
+  P2Quantile p2(0.99);
+  for (int i = 0; i < 50000; ++i) p2.add(rng.uniform(0, 1000));
+  EXPECT_NEAR(p2.value(), 990.0, 15.0);
+}
+
+TEST(P2Quantile, SortedInputDoesNotBreakIt) {
+  P2Quantile p2(0.9);
+  for (int i = 1; i <= 10000; ++i) p2.add(i);
+  EXPECT_NEAR(p2.value(), 9000.0, 500.0);
+}
+
+TEST(P2Quantile, ConstantStream) {
+  P2Quantile p2(0.99);
+  for (int i = 0; i < 1000; ++i) p2.add(42.0);
+  EXPECT_DOUBLE_EQ(p2.value(), 42.0);
+}
+
+TEST(P2Quantile, MemoryIsConstant) {
+  // The whole point: five markers, regardless of stream length.
+  EXPECT_LE(sizeof(P2Quantile), 200u);
+}
+
+}  // namespace
+}  // namespace saad::stats

@@ -1,0 +1,96 @@
+#include "stats/tests.h"
+
+#include <gtest/gtest.h>
+
+namespace saad::stats {
+namespace {
+
+TEST(ProportionAbove, ZeroTrialsNeverRejects) {
+  const auto r = proportion_above(0, 0, 0.01);
+  EXPECT_FALSE(r.reject);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(ProportionAbove, ProportionBelowBaselineNeverRejects) {
+  // 1% observed vs 5% baseline: cannot reject "p <= p0".
+  const auto r = proportion_above(10, 1000, 0.05);
+  EXPECT_FALSE(r.reject);
+}
+
+TEST(ProportionAbove, LargeExcessRejects) {
+  // 30% observed vs 1% baseline with n=1000: decisive.
+  const auto r = proportion_above(300, 1000, 0.01);
+  EXPECT_TRUE(r.reject);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ProportionAbove, SmallExcessWithSmallNDoesNotReject) {
+  // 2/100 vs 1%: not significant at alpha=0.001.
+  const auto r = proportion_above(2, 100, 0.01);
+  EXPECT_FALSE(r.reject);
+}
+
+TEST(ProportionAbove, TinyWindowFallsBackToExactBinomial) {
+  // n < min_n: exact binomial path. 3 of 5 outliers vs 1% baseline:
+  // P(X>=3 | n=5, p=.01) ~ 9.8e-6 < 0.001 -> reject.
+  const auto r = proportion_above(3, 5, 0.01);
+  EXPECT_TRUE(r.reject);
+  // But 1 of 5 is plausible under 1%: P(X>=1) ~ 4.9% -> no rejection.
+  const auto r2 = proportion_above(1, 5, 0.01);
+  EXPECT_FALSE(r2.reject);
+}
+
+TEST(ProportionAbove, AllOutliersUsesExactPath) {
+  // phat == 1 would give zero standard error; must not blow up.
+  const auto r = proportion_above(50, 50, 0.01);
+  EXPECT_TRUE(r.reject);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(ProportionAbove, ZeroBaselineAnyOutlierSignificantWithEnoughN) {
+  // p0 = 0: any outlier count has binomial tail 0 under H0 -> reject.
+  const auto r = proportion_above(1, 100, 0.0);
+  EXPECT_TRUE(r.reject);
+}
+
+TEST(ProportionAbove, TTestVsZTestAgreeForLargeN) {
+  const auto t = proportion_above(60, 2000, 0.01, kDefaultAlpha,
+                                  ProportionTestKind::kTTest);
+  const auto z = proportion_above(60, 2000, 0.01, kDefaultAlpha,
+                                  ProportionTestKind::kZTest);
+  EXPECT_EQ(t.reject, z.reject);
+  EXPECT_NEAR(t.p_value, z.p_value, 1e-4);
+}
+
+TEST(ProportionAbove, ExactBinomialKindForcesExactPath) {
+  const auto r = proportion_above(30, 1000, 0.01, kDefaultAlpha,
+                                  ProportionTestKind::kExactBinomial);
+  EXPECT_TRUE(r.reject);
+}
+
+TEST(ProportionAbove, AlphaControlsDecision) {
+  // Borderline case: p-value between 1e-3 and 1e-1.
+  const auto strict = proportion_above(20, 1000, 0.01, 1e-6);
+  const auto loose = proportion_above(20, 1000, 0.01, 0.05);
+  EXPECT_FALSE(strict.reject);
+  EXPECT_TRUE(loose.reject);
+}
+
+class ProportionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProportionSweep, MonotoneInOutlierCount) {
+  // p-value must not increase as the outlier count grows (fixed n, p0).
+  const std::uint64_t n = GetParam();
+  double prev = 1.0;
+  for (std::uint64_t k = n / 100 + 1; k <= n / 4; k += n / 100 + 1) {
+    const auto r = proportion_above(k, n, 0.01);
+    EXPECT_LE(r.p_value, prev + 1e-12) << "n=" << n << " k=" << k;
+    prev = r.p_value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ProportionSweep,
+                         ::testing::Values(100, 500, 2000, 10000));
+
+}  // namespace
+}  // namespace saad::stats

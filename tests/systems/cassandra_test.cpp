@@ -1,0 +1,298 @@
+#include "systems/cassandra/cassandra.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/report.h"
+#include "workload/ycsb.h"
+
+namespace saad::systems {
+namespace {
+
+/// End-to-end harness: 4-node MiniCassandra + YCSB + SAAD monitor.
+struct CassandraFixture : ::testing::Test {
+  sim::Engine engine;
+  core::LogRegistry registry;
+  core::NullSink sink;
+  faults::FaultPlane plane;
+  std::unique_ptr<core::Monitor> monitor;
+  std::unique_ptr<MiniCassandra> cass;
+  std::unique_ptr<workload::YcsbDriver> ycsb;
+
+  void SetUp() override {
+    monitor = std::make_unique<core::Monitor>(&registry, &engine.clock());
+    CassandraOptions options;  // 4 nodes, RF 2
+    cass = std::make_unique<MiniCassandra>(
+        &engine, &registry, monitor.get(), &sink, core::Level::kInfo, &plane,
+        options, /*seed=*/2024);
+
+    workload::YcsbOptions wl;
+    wl.clients = 8;
+    wl.think_mean = ms(10);
+    wl.read_proportion = 0.2;
+    // Bounded key space: the dataset (and with it compaction cost and read
+    // fan-in) plateaus, so the system reaches a steady state.
+    wl.key_space = 20000;
+    ycsb = std::make_unique<workload::YcsbDriver>(&engine, cass.get(), wl,
+                                                  /*seed=*/99);
+  }
+
+  /// Warm up to steady state (the paper lets the loaded system run before
+  /// measuring), train on [warmup, warmup+train), arm the detector.
+  void train(UsTime warmup = minutes(2), UsTime train_span = minutes(2)) {
+    cass->preload(20000, 100);  // the paper's baseline data set
+    cass->start();
+    ycsb->start(minutes(40));  // clients run for the whole test
+    engine.run_until(warmup);
+    monitor->start_training();  // discards warmup synopses
+    engine.run_until(warmup + train_span);
+    core::TrainingConfig config;
+    monitor->train(config);
+    monitor->arm();
+  }
+
+  std::vector<core::Anomaly> run_and_poll(UsTime until) {
+    engine.run_until(until);
+    return monitor->poll(engine.now());
+  }
+
+  bool has_anomaly(const std::vector<core::Anomaly>& anomalies,
+                   core::StageId stage, core::HostId host,
+                   core::AnomalyKind kind) const {
+    for (const auto& a : anomalies) {
+      if (a.stage == stage && a.host == host && a.kind == kind) return true;
+    }
+    return false;
+  }
+};
+
+TEST_F(CassandraFixture, TrainingCoversTheCoreStages) {
+  train();
+  const auto* model = monitor->model();
+  ASSERT_NE(model, nullptr);
+  EXPECT_GT(model->trained_tasks(), 10000u);
+  const auto& st = cass->stages();
+  for (core::StageId stage :
+       {st.worker_process, st.table, st.storage_proxy, st.log_record_adder,
+        st.memtable, st.commit_log, st.gc_inspector, st.cassandra_daemon,
+        st.local_read, st.incoming_tcp, st.outbound_tcp,
+        st.compaction_manager}) {
+    EXPECT_NE(model->stage_model(stage), nullptr)
+        << registry.stage(stage).name;
+  }
+}
+
+TEST_F(CassandraFixture, FaultFreeRunStaysMostlyQuiet) {
+  train();
+  const auto anomalies = run_and_poll(minutes(8));
+  // Natural variability can produce a handful of false positives (the paper
+  // measures ~1 per 10 minutes per system); a quiet 4-minute run must not
+  // light up the cluster.
+  EXPECT_LE(anomalies.size(), 6u);
+}
+
+TEST_F(CassandraFixture, WalErrorHighIntensityWedgesAndRaisesTableAnomaly) {
+  train();
+
+  faults::FaultSpec fault;
+  fault.host = 1;
+  fault.activity = faults::Activity::kWalAppend;
+  fault.mode = faults::FaultMode::kError;
+  fault.intensity = 1.0;
+  fault.from = minutes(5);
+  fault.until = minutes(10);
+  plane.add(fault);
+
+  const auto anomalies = run_and_poll(minutes(10));
+  EXPECT_TRUE(cass->node_wedged(1));
+  // Table 1's frozen-MemTable flow on the faulted host:
+  EXPECT_TRUE(has_anomaly(anomalies, cass->stages().table, 1,
+                          core::AnomalyKind::kFlow));
+  // And no Table flow anomaly on an unfaulted host.
+  EXPECT_FALSE(has_anomaly(anomalies, cass->stages().table, 2,
+                           core::AnomalyKind::kFlow));
+  // Coordinators hint the failed endpoint.
+  EXPECT_GT(cass->hints_stored(), 0u);
+}
+
+TEST_F(CassandraFixture, WedgedNodeEventuallyCrashes) {
+  train();
+  faults::FaultSpec fault;
+  fault.host = 1;
+  fault.activity = faults::Activity::kWalAppend;
+  fault.mode = faults::FaultMode::kError;
+  fault.intensity = 1.0;
+  fault.from = minutes(5);
+  fault.until = minutes(25);
+  plane.add(fault);
+
+  engine.run_until(minutes(25));
+  EXPECT_TRUE(cass->node_crashed(1));
+  // The cluster keeps serving after the crash: gossip marks it down and
+  // writes keep succeeding on the surviving replicas.
+  const auto& ops = ycsb->stats().ops;
+  const std::size_t last = ops.num_windows() - 1;
+  EXPECT_GT(ops.rate_in(last), 0.0);
+}
+
+TEST_F(CassandraFixture, WalErrorLowIntensityDoesNotWedge) {
+  train();
+  faults::FaultSpec fault;
+  fault.host = 1;
+  fault.activity = faults::Activity::kWalAppend;
+  fault.mode = faults::FaultMode::kError;
+  fault.intensity = 0.01;
+  fault.from = minutes(5);
+  fault.until = minutes(15);
+  plane.add(fault);
+
+  const auto anomalies = run_and_poll(minutes(15));
+  EXPECT_FALSE(cass->node_wedged(1));
+  EXPECT_FALSE(cass->node_crashed(1));
+  // The 1% failed writes terminate prematurely: a rare {lra_add}-only /
+  // {tbl_start}-only flow the detector flags on the faulted host.
+  const bool flow_on_faulted =
+      has_anomaly(anomalies, cass->stages().table, 1,
+                  core::AnomalyKind::kFlow) ||
+      has_anomaly(anomalies, cass->stages().log_record_adder, 1,
+                  core::AnomalyKind::kFlow) ||
+      has_anomaly(anomalies, cass->stages().worker_process, 1,
+                  core::AnomalyKind::kFlow);
+  EXPECT_TRUE(flow_on_faulted);
+}
+
+TEST_F(CassandraFixture, FlushErrorRaisesMemtableAndGcAnomalies) {
+  train();
+  faults::FaultSpec fault;
+  fault.host = 2;
+  fault.activity = faults::Activity::kMemtableFlush;
+  fault.mode = faults::FaultMode::kError;
+  fault.intensity = 1.0;
+  fault.from = minutes(5);
+  fault.until = minutes(12);
+  plane.add(fault);
+
+  const auto anomalies = run_and_poll(minutes(12));
+  EXPECT_TRUE(has_anomaly(anomalies, cass->stages().memtable, 2,
+                          core::AnomalyKind::kFlow));
+  // Memory pressure from unflushable MemTables shows up in GCInspector.
+  EXPECT_TRUE(has_anomaly(anomalies, cass->stages().gc_inspector, 2,
+                          core::AnomalyKind::kFlow));
+  EXPECT_GT(cass->store(2).flushes_failed(), 0u);
+  EXPECT_GT(cass->store(2).frozen_backlog(), 0u);
+}
+
+TEST_F(CassandraFixture, WalDelayRaisesPerformanceAnomalies) {
+  train();
+  faults::FaultSpec fault;
+  fault.host = 3;
+  fault.activity = faults::Activity::kWalAppend;
+  fault.mode = faults::FaultMode::kDelay;
+  fault.delay = ms(100);
+  fault.intensity = 1.0;
+  fault.from = minutes(5);
+  fault.until = minutes(10);
+  plane.add(fault);
+
+  const auto anomalies = run_and_poll(minutes(10));
+  const bool perf_on_faulted =
+      has_anomaly(anomalies, cass->stages().worker_process, 3,
+                  core::AnomalyKind::kPerformance) ||
+      has_anomaly(anomalies, cass->stages().log_record_adder, 3,
+                  core::AnomalyKind::kPerformance) ||
+      has_anomaly(anomalies, cass->stages().table, 3,
+                  core::AnomalyKind::kPerformance);
+  EXPECT_TRUE(perf_on_faulted);
+  EXPECT_FALSE(cass->node_wedged(3));  // delay faults don't wedge
+}
+
+TEST_F(CassandraFixture, DataPathServesWrittenValues) {
+  cass->start();
+  bool ok = false;
+  std::optional<std::string> read_back;
+  auto proc = [&]() -> sim::Process {
+    ok = co_await cass->put("mykey", "myvalue");
+    read_back = co_await cass->get("mykey");
+  };
+  proc();
+  engine.run_until(sec(1));
+  EXPECT_TRUE(ok);
+  ASSERT_TRUE(read_back.has_value());
+  EXPECT_EQ(*read_back, "myvalue");
+}
+
+TEST_F(CassandraFixture, SignatureDistributionIsHeadHeavy) {
+  // Fig. 6c's shape: a few signatures account for ~95% of tasks.
+  train();
+  std::map<std::pair<core::StageId, core::Signature>, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for (const auto& s : monitor->training_trace()) {
+    counts[{s.stage, core::Signature::from(s)}]++;
+    total++;
+  }
+  ASSERT_GT(total, 0u);
+  std::vector<std::uint64_t> sorted;
+  for (const auto& [k, c] : counts) sorted.push_back(c);
+  std::sort(sorted.rbegin(), sorted.rend());
+  std::uint64_t cum = 0;
+  std::size_t needed = 0;
+  for (auto c : sorted) {
+    cum += c;
+    needed++;
+    if (cum >= total * 95 / 100) break;
+  }
+  // A minority of signatures covers 95% of tasks.
+  EXPECT_LT(needed, sorted.size());
+  EXPECT_LE(needed, sorted.size() / 2 + 1);
+}
+
+TEST_F(CassandraFixture, DeterministicAcrossRuns) {
+  train();
+  faults::FaultSpec fault;
+  fault.host = 1;
+  fault.activity = faults::Activity::kWalAppend;
+  fault.mode = faults::FaultMode::kError;
+  fault.intensity = 1.0;
+  fault.from = minutes(5);
+  fault.until = minutes(8);
+  plane.add(fault);
+  const auto anomalies = run_and_poll(minutes(8));
+
+  // Rebuild the identical world and replay.
+  sim::Engine engine2;
+  core::LogRegistry registry2;
+  core::NullSink sink2;
+  faults::FaultPlane plane2;
+  core::Monitor monitor2(&registry2, &engine2.clock());
+  MiniCassandra cass2(&engine2, &registry2, &monitor2, &sink2,
+                      core::Level::kInfo, &plane2, CassandraOptions{}, 2024);
+  workload::YcsbOptions wl;
+  wl.clients = 8;
+  wl.think_mean = ms(10);
+  wl.read_proportion = 0.2;
+  wl.key_space = 20000;
+  workload::YcsbDriver ycsb2(&engine2, &cass2, wl, 99);
+  cass2.preload(20000, 100);
+  cass2.start();
+  ycsb2.start(minutes(40));
+  engine2.run_until(minutes(2));
+  monitor2.start_training();
+  engine2.run_until(minutes(4));
+  monitor2.train({});
+  monitor2.arm();
+  plane2.add(fault);
+  engine2.run_until(minutes(8));
+  const auto anomalies2 = monitor2.poll(engine2.now());
+
+  ASSERT_EQ(anomalies.size(), anomalies2.size());
+  for (std::size_t i = 0; i < anomalies.size(); ++i) {
+    EXPECT_EQ(anomalies[i].stage, anomalies2[i].stage);
+    EXPECT_EQ(anomalies[i].host, anomalies2[i].host);
+    EXPECT_EQ(anomalies[i].kind, anomalies2[i].kind);
+    EXPECT_EQ(anomalies[i].window, anomalies2[i].window);
+  }
+}
+
+}  // namespace
+}  // namespace saad::systems

@@ -1,0 +1,121 @@
+#include "systems/host.h"
+
+#include <gtest/gtest.h>
+
+namespace saad::systems {
+namespace {
+
+struct HostFixture : ::testing::Test {
+  sim::Engine engine;
+  faults::FaultPlane plane;
+  core::LogRegistry registry;
+  core::NullSink sink;
+  ManualClock clock;
+  std::vector<core::Synopsis> emitted;
+  std::unique_ptr<core::TaskExecutionTracker> tracker;
+  std::unique_ptr<Host> host;
+  core::StageId stage = core::kInvalidStage;
+  core::LogPointId lp = 0;
+
+  void SetUp() override {
+    stage = registry.register_stage("S");
+    lp = registry.register_log_point(stage, core::Level::kInfo, "x");
+    tracker = std::make_unique<core::TaskExecutionTracker>(
+        2, &engine.clock(),
+        [this](const core::Synopsis& s) { emitted.push_back(s); });
+    host = std::make_unique<Host>(&engine, &plane, &registry, &sink,
+                                  core::Level::kInfo, tracker.get(), 2,
+                                  Rng(1));
+  }
+};
+
+TEST_F(HostFixture, BeginProducesTrackedTasks) {
+  {
+    auto task = host->begin(stage);
+    task.log(lp, "hello");
+  }
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0].host, 2);
+  EXPECT_EQ(emitted[0].stage, stage);
+}
+
+TEST_F(HostFixture, ComputeTakesRoughlyTheRequestedTime) {
+  UsTime elapsed = 0;
+  auto proc = [&]() -> sim::Process {
+    const UsTime begin = engine.now();
+    co_await host->compute(ms(10));
+    elapsed = engine.now() - begin;
+  };
+  proc();
+  engine.run_all();
+  // Lognormal jitter (sigma 0.2) around the base.
+  EXPECT_GT(elapsed, ms(5));
+  EXPECT_LT(elapsed, ms(25));
+}
+
+TEST_F(HostFixture, ComputeQueuesBeyondTheCpuSlots) {
+  // 2 * kCpuSlots equal jobs: the second wave finishes ~one service later.
+  std::vector<UsTime> done;
+  auto proc = [&]() -> sim::Process {
+    co_await host->compute(ms(10));
+    done.push_back(engine.now());
+  };
+  for (int i = 0; i < 2 * Host::kCpuSlots; ++i) proc();
+  engine.run_all();
+  ASSERT_EQ(done.size(), static_cast<std::size_t>(2 * Host::kCpuSlots));
+  EXPECT_GT(done.back(), ms(15));  // queued behind the first wave
+}
+
+TEST_F(HostFixture, HogServiceIdlesWithoutHogs) {
+  host->run_disk_hog_service();
+  engine.run_until(sec(10));
+  // Nothing occupied the disk: a probe completes at its bare service time.
+  UsTime elapsed = 0;
+  auto probe = [&]() -> sim::Process {
+    const UsTime begin = engine.now();
+    (void)co_await host->disk().io(faults::Activity::kDiskRead, 1000);
+    elapsed = engine.now() - begin;
+  };
+  probe();
+  engine.run_until(sec(11));
+  EXPECT_LT(elapsed, ms(5));
+}
+
+TEST_F(HostFixture, HogServiceBlocksDiskUnderHighIntensity) {
+  faults::HogSpec hog;
+  hog.host = 2;
+  hog.from = 0;
+  hog.until = minutes(5);
+  hog.processes = 4;
+  plane.add_hog(hog);
+  host->run_disk_hog_service();
+
+  // Probe the disk repeatedly; at least one probe lands behind a writeback
+  // burst (60ms * (4-2)^2 = 240ms base) and takes far longer than service.
+  UsTime worst = 0;
+  auto prober = [&]() -> sim::Process {
+    for (int i = 0; i < 100; ++i) {
+      const UsTime begin = engine.now();
+      (void)co_await host->disk().io(faults::Activity::kDiskRead, 500);
+      worst = std::max(worst, engine.now() - begin);
+      co_await engine.delay(ms(500));
+    }
+  };
+  prober();
+  engine.run_until(minutes(2));
+  EXPECT_GT(worst, ms(50));
+}
+
+TEST_F(HostFixture, NullTrackerHostStillLogs) {
+  core::CountingSink counting;
+  Host untracked(&engine, &plane, &registry, &counting, core::Level::kInfo,
+                 nullptr, 3, Rng(2));
+  {
+    auto task = untracked.begin(stage);
+    task.log(lp, "text");
+  }
+  EXPECT_EQ(counting.total_messages(), 1u);  // logged, no synopsis
+}
+
+}  // namespace
+}  // namespace saad::systems

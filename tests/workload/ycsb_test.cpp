@@ -1,0 +1,174 @@
+#include "workload/ycsb.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace saad::workload {
+namespace {
+
+/// Minimal in-sim KV service with a fixed per-op latency.
+class FakeKv : public KvService {
+ public:
+  FakeKv(sim::Engine* engine, UsTime latency)
+      : engine_(engine), latency_(latency) {}
+
+  sim::Task<bool> put(std::string key, std::string value) override {
+    co_await engine_->delay(latency_);
+    data_[std::move(key)] = std::move(value);
+    puts_++;
+    co_return true;
+  }
+
+  sim::Task<std::optional<std::string>> get(std::string key) override {
+    co_await engine_->delay(latency_);
+    gets_++;
+    const auto it = data_.find(key);
+    if (it == data_.end()) co_return std::nullopt;
+    co_return it->second;
+  }
+
+  int puts() const { return puts_; }
+  int gets() const { return gets_; }
+
+ private:
+  sim::Engine* engine_;
+  UsTime latency_;
+  std::map<std::string, std::string> data_;
+  int puts_ = 0;
+  int gets_ = 0;
+};
+
+TEST(YcsbDriver, GeneratesConfiguredMix) {
+  sim::Engine engine;
+  FakeKv kv(&engine, 100);
+  YcsbOptions options;
+  options.clients = 20;
+  options.read_proportion = 0.25;
+  options.think_mean = ms(1);
+  YcsbDriver driver(&engine, &kv, options, 42);
+  driver.start(sec(30));
+  engine.run_all();
+
+  const int total = kv.puts() + kv.gets();
+  ASSERT_GT(total, 1000);
+  EXPECT_NEAR(static_cast<double>(kv.gets()) / total, 0.25, 0.05);
+}
+
+TEST(YcsbDriver, ThroughputRecordedPerWindow) {
+  sim::Engine engine;
+  FakeKv kv(&engine, 100);
+  YcsbOptions options;
+  options.clients = 10;
+  options.think_mean = ms(1);
+  YcsbDriver driver(&engine, &kv, options, 7);
+  driver.start(sec(40));
+  engine.run_all();
+
+  // 40 s of traffic = 4 windows of 10 s, all nonzero.
+  ASSERT_GE(driver.stats().ops.num_windows(), 4u);
+  for (std::size_t w = 0; w < 4; ++w)
+    EXPECT_GT(driver.stats().ops.rate_in(w), 0.0) << "window " << w;
+  EXPECT_GT(driver.mean_rate(0, 4), 100.0);
+}
+
+TEST(YcsbDriver, StopsAtDeadline) {
+  sim::Engine engine;
+  FakeKv kv(&engine, 100);
+  YcsbOptions options;
+  options.clients = 5;
+  options.think_mean = ms(1);
+  YcsbDriver driver(&engine, &kv, options, 7);
+  driver.start(sec(5));
+  engine.run_all();
+  // All events drained: no client still running.
+  EXPECT_TRUE(engine.idle());
+  // Ops stop shortly after the deadline (at most one in-flight op each).
+  EXPECT_LE(engine.now(), sec(5) + ms(10));
+}
+
+TEST(YcsbDriver, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Engine engine;
+    FakeKv kv(&engine, 100);
+    YcsbOptions options;
+    options.clients = 10;
+    options.think_mean = ms(1);
+    YcsbDriver driver(&engine, &kv, options, seed);
+    driver.start(sec(10));
+    engine.run_all();
+    return std::make_pair(kv.puts(), kv.gets());
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(YcsbDriver, ZipfianSkewsKeys) {
+  sim::Engine engine;
+  FakeKv kv(&engine, 10);
+
+  class CountingKv : public KvService {
+   public:
+    explicit CountingKv(sim::Engine* e) : engine_(e) {}
+    sim::Task<bool> put(std::string key, std::string) override {
+      co_await engine_->delay(10);
+      counts_[key]++;
+      total_++;
+      co_return true;
+    }
+    sim::Task<std::optional<std::string>> get(std::string key) override {
+      co_await engine_->delay(10);
+      counts_[key]++;
+      total_++;
+      co_return std::nullopt;
+    }
+    std::map<std::string, int> counts_;
+    int total_ = 0;
+    sim::Engine* engine_;
+  } counting(&engine);
+
+  YcsbOptions options;
+  options.clients = 10;
+  options.key_space = 10000;
+  options.think_mean = 500;
+  YcsbDriver driver(&engine, &counting, options, 11);
+  driver.start(sec(20));
+  engine.run_all();
+
+  // Hot keys dominate: the single most popular key holds a few percent.
+  int max_count = 0;
+  for (const auto& [k, c] : counting.counts_) max_count = std::max(max_count, c);
+  ASSERT_GT(counting.total_, 1000);
+  EXPECT_GT(static_cast<double>(max_count) / counting.total_, 0.02);
+}
+
+TEST(YcsbDriver, PutBatchingQuirkStarvesServerPuts) {
+  sim::Engine engine;
+  FakeKv kv(&engine, 100);
+  YcsbOptions options;
+  options.clients = 10;
+  options.read_proportion = 0.2;
+  options.think_mean = ms(1);
+  options.put_batch_size = 10;  // the YCSB 0.1.4 misconfiguration
+  YcsbDriver driver(&engine, &kv, options, 13);
+  driver.start(sec(20));
+  engine.run_all();
+
+  const auto& stats = driver.stats();
+  std::uint64_t client_ops = 0, server_puts = 0;
+  for (std::size_t w = 0; w < stats.ops.num_windows(); ++w)
+    client_ops += stats.ops.count_in(w);
+  for (std::size_t w = 0; w < stats.server_puts.num_windows(); ++w)
+    server_puts += stats.server_puts.count_in(w);
+  // ~80% writes, only 1 in 10 reaches the server.
+  EXPECT_LT(server_puts, client_ops / 5);
+  EXPECT_GT(server_puts, 0u);
+}
+
+TEST(YcsbDriver, KeyNameFormat) {
+  EXPECT_EQ(YcsbDriver::key_name(0), "user0");
+  EXPECT_EQ(YcsbDriver::key_name(12345), "user12345");
+}
+
+}  // namespace
+}  // namespace saad::workload

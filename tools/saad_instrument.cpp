@@ -1,0 +1,74 @@
+// saad_instrument — the paper's §4.1.1 instrumentation pass as a CLI:
+// scans server sources for log statements and stage beginnings, builds the
+// log template dictionary, generates the registration code, and lists the
+// queue-dequeue sites that need manual inspection (non-Executor
+// producer-consumer stages).
+//
+//   saad_instrument [--generate=out.inc] file1.java file2.cc ...
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/source_scan.h"
+
+int main(int argc, char** argv) {
+  using namespace saad::core;
+
+  std::string generate_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--generate=", 0) == 0) {
+      generate_path = arg.substr(11);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: saad_instrument [--generate=out.inc] <sources...>\n");
+    return 2;
+  }
+
+  ScanResult all;
+  for (const auto& path : files) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    merge(all, scan_source(text.str(), path));
+  }
+
+  std::printf("stages (%zu):\n", all.stages.size());
+  for (const auto& stage : all.stages) {
+    std::printf("  %-30s %s:%d%s\n", stage.name.c_str(), stage.file.c_str(),
+                stage.line, stage.explicit_marker ? "  (explicit)" : "");
+  }
+  std::printf("\nlog points (%zu):\n", all.log_points.size());
+  for (const auto& point : all.log_points) {
+    std::printf("  [%-5s] %-50s %s:%d\n", point.level.c_str(),
+                point.template_text.c_str(), point.file.c_str(), point.line);
+  }
+  std::printf("\ndequeue sites for manual inspection (%zu):\n",
+              all.dequeue_sites.size());
+  for (const auto& site : all.dequeue_sites) {
+    std::printf("  %s:%d: %s\n", site.file.c_str(), site.line,
+                site.text.c_str());
+  }
+
+  if (!generate_path.empty()) {
+    std::ofstream out(generate_path, std::ios::trunc);
+    out << generate_registration(all);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", generate_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote registration code to %s\n", generate_path.c_str());
+  }
+  return 0;
+}

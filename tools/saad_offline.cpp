@@ -1,0 +1,303 @@
+// saad_offline — command-line front end for the train-offline /
+// detect-offline workflow on synopsis trace files.
+//
+//   record  run a simulated cluster, write the synopsis trace + the log
+//           template dictionary (and optionally inject a fault)
+//   train   build an outlier model from a fault-free trace
+//   detect  replay a trace against a model; print anomalies, optionally
+//           write a self-contained HTML report
+//   info    summarize a trace file
+//
+// Example session:
+//   saad_offline record --system=cassandra --minutes=6
+//       --trace=clean.trc --registry=reg.bin
+//   saad_offline train  --trace=clean.trc --model=model.bin
+//   saad_offline record --system=cassandra --minutes=6 --fault=error-wal
+//       --trace=faulty.trc --registry=reg.bin
+//   saad_offline detect --trace=faulty.trc --model=model.bin
+//       --registry=reg.bin --html=report.html
+// (each command is a single line; wrapped here for readability)
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "core/report_html.h"
+#include "core/saad.h"
+#include "core/trace_io.h"
+#include "systems/cassandra/cassandra.h"
+#include "systems/hbase/hbase.h"
+#include "workload/ycsb.h"
+
+namespace {
+
+using namespace saad;
+
+struct Args {
+  std::string command;
+  std::string trace, model, registry, html, system = "cassandra";
+  std::string fault;
+  long long run_minutes = 6;
+  long long window_sec = 60;
+  std::uint64_t seed = 1;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* key) -> std::string {
+      const std::string prefix = std::string("--") + key + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return {};
+    };
+    if (auto v = value("trace"); !v.empty()) args.trace = v;
+    if (auto v = value("model"); !v.empty()) args.model = v;
+    if (auto v = value("registry"); !v.empty()) args.registry = v;
+    if (auto v = value("html"); !v.empty()) args.html = v;
+    if (auto v = value("system"); !v.empty()) args.system = v;
+    if (auto v = value("fault"); !v.empty()) args.fault = v;
+    if (auto v = value("minutes"); !v.empty()) args.run_minutes = std::stoll(v);
+    if (auto v = value("window-sec"); !v.empty()) args.window_sec = std::stoll(v);
+    if (auto v = value("seed"); !v.empty()) args.seed = std::stoull(v);
+  }
+  return args;
+}
+
+bool write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(file);
+}
+
+std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(file)),
+                                   std::istreambuf_iterator<char>());
+}
+
+int cmd_record(const Args& args) {
+  if (args.trace.empty()) {
+    std::fprintf(stderr, "record: --trace=<out> required\n");
+    return 2;
+  }
+  sim::Engine engine;
+  core::LogRegistry registry;
+  core::NullSink sink;
+  faults::FaultPlane plane;
+  core::Monitor monitor(&registry, &engine.clock());
+
+  std::unique_ptr<systems::MiniCassandra> cassandra;
+  std::unique_ptr<systems::MiniHdfs> hdfs;
+  std::unique_ptr<systems::MiniHBase> hbase;
+  workload::KvService* service = nullptr;
+  if (args.system == "cassandra") {
+    cassandra = std::make_unique<systems::MiniCassandra>(
+        &engine, &registry, &monitor, &sink, core::Level::kInfo, &plane,
+        systems::CassandraOptions{}, args.seed);
+    cassandra->preload(20000, 100);
+    cassandra->start();
+    service = cassandra.get();
+  } else if (args.system == "hbase") {
+    hdfs = std::make_unique<systems::MiniHdfs>(
+        &engine, &registry, &monitor, &sink, core::Level::kInfo, &plane,
+        systems::HdfsOptions{}, args.seed);
+    hbase = std::make_unique<systems::MiniHBase>(
+        &engine, &registry, &monitor, &sink, core::Level::kInfo, &plane,
+        hdfs.get(), systems::HBaseOptions{}, args.seed ^ 0xABCD);
+    hbase->preload(20000, 100);
+    hdfs->start();
+    hbase->start();
+    service = hbase.get();
+  } else {
+    std::fprintf(stderr, "record: unknown --system=%s (cassandra|hbase)\n",
+                 args.system.c_str());
+    return 2;
+  }
+
+  if (!args.fault.empty()) {
+    faults::FaultSpec fault;
+    fault.host = 1;
+    fault.intensity = 1.0;
+    fault.from = minutes(2 + args.run_minutes / 3);
+    fault.until = minutes(2 + args.run_minutes);
+    if (args.fault == "error-wal") {
+      fault.activity = faults::Activity::kWalAppend;
+      fault.mode = faults::FaultMode::kError;
+    } else if (args.fault == "delay-wal") {
+      fault.activity = faults::Activity::kWalAppend;
+      fault.mode = faults::FaultMode::kDelay;
+      fault.delay = ms(100);
+    } else if (args.fault == "error-flush") {
+      fault.activity = faults::Activity::kMemtableFlush;
+      fault.mode = faults::FaultMode::kError;
+    } else if (args.fault == "delay-flush") {
+      fault.activity = faults::Activity::kMemtableFlush;
+      fault.mode = faults::FaultMode::kDelay;
+      fault.delay = ms(100);
+    } else {
+      std::fprintf(stderr, "record: unknown --fault=%s\n", args.fault.c_str());
+      return 2;
+    }
+    plane.add(fault);
+    std::printf("injecting %s on host 1, minutes %lld-%lld\n",
+                args.fault.c_str(),
+                static_cast<long long>(to_min(fault.from)),
+                static_cast<long long>(to_min(fault.until)));
+  }
+
+  workload::YcsbOptions wl;
+  wl.clients = 8;
+  wl.think_mean = ms(10);
+  wl.read_proportion = 0.2;
+  wl.key_space = 20000;
+  workload::YcsbDriver ycsb(&engine, service, wl, args.seed ^ 0x55AA);
+  ycsb.start(minutes(2 + args.run_minutes));
+
+  engine.run_until(minutes(2));   // warm to steady state
+  monitor.start_training();       // capture from here
+  engine.run_until(minutes(2 + args.run_minutes));
+  monitor.poll(engine.now());
+
+  const auto& trace = monitor.training_trace();
+  if (!core::write_trace_file(args.trace, trace)) {
+    std::fprintf(stderr, "record: cannot write %s\n", args.trace.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu synopses to %s\n", trace.size(), args.trace.c_str());
+  if (!args.registry.empty()) {
+    std::vector<std::uint8_t> bytes;
+    registry.save(bytes);
+    if (!write_file(args.registry, bytes)) {
+      std::fprintf(stderr, "record: cannot write %s\n", args.registry.c_str());
+      return 1;
+    }
+    std::printf("wrote template dictionary (%zu stages, %zu log points) to "
+                "%s\n",
+                registry.num_stages(), registry.num_log_points(),
+                args.registry.c_str());
+  }
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto trace = core::read_trace_file(args.trace);
+  if (!trace) {
+    std::fprintf(stderr, "train: cannot read --trace=%s\n", args.trace.c_str());
+    return 1;
+  }
+  const auto model = core::OutlierModel::train(*trace);
+  std::vector<std::uint8_t> bytes;
+  model.save(bytes);
+  if (args.model.empty() || !write_file(args.model, bytes)) {
+    std::fprintf(stderr, "train: cannot write --model=%s\n",
+                 args.model.c_str());
+    return 1;
+  }
+  std::printf("trained on %llu tasks across %zu stages -> %s (%zu bytes)\n",
+              static_cast<unsigned long long>(model.trained_tasks()),
+              model.num_stages(), args.model.c_str(), bytes.size());
+  return 0;
+}
+
+int cmd_detect(const Args& args) {
+  const auto trace = core::read_trace_file(args.trace);
+  if (!trace) {
+    std::fprintf(stderr, "detect: cannot read --trace=%s\n",
+                 args.trace.c_str());
+    return 1;
+  }
+  const auto model_bytes = read_file(args.model);
+  if (!model_bytes) {
+    std::fprintf(stderr, "detect: cannot read --model=%s\n",
+                 args.model.c_str());
+    return 1;
+  }
+  const auto model = core::OutlierModel::load(*model_bytes);
+  if (!model) {
+    std::fprintf(stderr, "detect: %s is not a SAAD model\n",
+                 args.model.c_str());
+    return 1;
+  }
+  core::LogRegistry registry;
+  if (!args.registry.empty()) {
+    const auto reg_bytes = read_file(args.registry);
+    if (!reg_bytes || !registry.load(*reg_bytes)) {
+      std::fprintf(stderr, "detect: cannot load --registry=%s\n",
+                   args.registry.c_str());
+      return 1;
+    }
+  }
+
+  core::DetectorConfig config;
+  config.window = sec(args.window_sec);
+  core::AnomalyDetector detector(&*model, config);
+  for (const auto& s : *trace) detector.ingest(s);
+  const auto anomalies = detector.finish();
+
+  std::printf("%zu anomalies in %zu synopses:\n", anomalies.size(),
+              trace->size());
+  for (const auto& a : anomalies)
+    std::printf("  %s\n", core::describe(a, registry).c_str());
+
+  if (!args.html.empty()) {
+    core::HtmlReportOptions options;
+    options.title = "SAAD report: " + args.trace;
+    std::size_t max_window = 0;
+    for (const auto& a : anomalies)
+      max_window = std::max(max_window, a.window + 1);
+    options.num_windows = std::max<std::size_t>(max_window, 10);
+    const std::string html =
+        core::render_html_report(anomalies, registry, options);
+    std::ofstream file(args.html, std::ios::trunc);
+    file << html;
+    if (!file) {
+      std::fprintf(stderr, "detect: cannot write --html=%s\n",
+                   args.html.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args.html.c_str());
+  }
+  return anomalies.empty() ? 0 : 3;  // 3 = anomalies found (like grep's 0/1)
+}
+
+int cmd_info(const Args& args) {
+  const auto trace = core::read_trace_file(args.trace);
+  if (!trace) {
+    std::fprintf(stderr, "info: cannot read --trace=%s\n", args.trace.c_str());
+    return 1;
+  }
+  UsTime first = 0, last = 0;
+  std::uint64_t bytes = 0;
+  std::map<core::StageId, std::uint64_t> per_stage;
+  for (const auto& s : *trace) {
+    if (s.start < first || first == 0) first = s.start;
+    last = std::max(last, s.start + s.duration);
+    bytes += core::encoded_size(s);
+    per_stage[s.stage]++;
+  }
+  std::printf("%zu synopses, %.2f MB encoded, spanning %.1f minutes, %zu "
+              "stages\n",
+              trace->size(), static_cast<double>(bytes) / 1e6,
+              to_min(last - first), per_stage.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command == "record") return cmd_record(args);
+  if (args.command == "train") return cmd_train(args);
+  if (args.command == "detect") return cmd_detect(args);
+  if (args.command == "info") return cmd_info(args);
+  std::fprintf(stderr,
+               "usage: saad_offline <record|train|detect|info> [--trace=] "
+               "[--model=] [--registry=] [--html=] [--system=cassandra|hbase] "
+               "[--fault=error-wal|delay-wal|error-flush|delay-flush] "
+               "[--minutes=N] [--window-sec=N] [--seed=N]\n");
+  return 2;
+}
