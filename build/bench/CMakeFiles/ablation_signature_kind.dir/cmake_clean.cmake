@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_signature_kind.dir/ablation_signature_kind.cpp.o"
+  "CMakeFiles/ablation_signature_kind.dir/ablation_signature_kind.cpp.o.d"
+  "ablation_signature_kind"
+  "ablation_signature_kind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_signature_kind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

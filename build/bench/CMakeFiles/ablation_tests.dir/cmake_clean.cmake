@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tests.dir/ablation_tests.cpp.o"
+  "CMakeFiles/ablation_tests.dir/ablation_tests.cpp.o.d"
+  "ablation_tests"
+  "ablation_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

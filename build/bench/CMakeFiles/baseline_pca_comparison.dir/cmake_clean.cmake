@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_pca_comparison.dir/baseline_pca_comparison.cpp.o"
+  "CMakeFiles/baseline_pca_comparison.dir/baseline_pca_comparison.cpp.o.d"
+  "baseline_pca_comparison"
+  "baseline_pca_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_pca_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_log_volume.dir/fig08_log_volume.cpp.o"
+  "CMakeFiles/fig08_log_volume.dir/fig08_log_volume.cpp.o.d"
+  "fig08_log_volume"
+  "fig08_log_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_log_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cassandra_faults.dir/fig09_cassandra_faults.cpp.o"
+  "CMakeFiles/fig09_cassandra_faults.dir/fig09_cassandra_faults.cpp.o.d"
+  "fig09_cassandra_faults"
+  "fig09_cassandra_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cassandra_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

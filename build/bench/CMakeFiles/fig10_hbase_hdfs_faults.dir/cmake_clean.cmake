@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hbase_hdfs_faults.dir/fig10_hbase_hdfs_faults.cpp.o"
+  "CMakeFiles/fig10_hbase_hdfs_faults.dir/fig10_hbase_hdfs_faults.cpp.o.d"
+  "fig10_hbase_hdfs_faults"
+  "fig10_hbase_hdfs_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hbase_hdfs_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_hbase_hdfs_faults.
+# This may be replaced when dependencies are built.

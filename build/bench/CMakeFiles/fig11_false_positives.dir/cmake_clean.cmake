@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_false_positives.dir/fig11_false_positives.cpp.o"
+  "CMakeFiles/fig11_false_positives.dir/fig11_false_positives.cpp.o.d"
+  "fig11_false_positives"
+  "fig11_false_positives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_false_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

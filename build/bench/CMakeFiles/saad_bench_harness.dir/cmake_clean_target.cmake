@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libsaad_bench_harness.a"
+)

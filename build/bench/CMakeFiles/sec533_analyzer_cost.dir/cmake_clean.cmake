@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec533_analyzer_cost.dir/sec533_analyzer_cost.cpp.o"
+  "CMakeFiles/sec533_analyzer_cost.dir/sec533_analyzer_cost.cpp.o.d"
+  "sec533_analyzer_cost"
+  "sec533_analyzer_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec533_analyzer_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

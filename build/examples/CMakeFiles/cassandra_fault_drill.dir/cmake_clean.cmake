@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cassandra_fault_drill.dir/cassandra_fault_drill.cpp.o"
+  "CMakeFiles/cassandra_fault_drill.dir/cassandra_fault_drill.cpp.o.d"
+  "cassandra_fault_drill"
+  "cassandra_fault_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cassandra_fault_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

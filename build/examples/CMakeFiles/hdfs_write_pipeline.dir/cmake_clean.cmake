@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdfs_write_pipeline.dir/hdfs_write_pipeline.cpp.o"
+  "CMakeFiles/hdfs_write_pipeline.dir/hdfs_write_pipeline.cpp.o.d"
+  "hdfs_write_pipeline"
+  "hdfs_write_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdfs_write_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/live_monitor.cpp" "examples/CMakeFiles/live_monitor.dir/live_monitor.cpp.o" "gcc" "examples/CMakeFiles/live_monitor.dir/live_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/saad_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/saad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/saad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/saad_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/saad_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/saad_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/saad_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/saad_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/error_monitor.cpp" "src/baseline/CMakeFiles/saad_baseline.dir/error_monitor.cpp.o" "gcc" "src/baseline/CMakeFiles/saad_baseline.dir/error_monitor.cpp.o.d"
+  "/root/repo/src/baseline/log_renderer.cpp" "src/baseline/CMakeFiles/saad_baseline.dir/log_renderer.cpp.o" "gcc" "src/baseline/CMakeFiles/saad_baseline.dir/log_renderer.cpp.o.d"
+  "/root/repo/src/baseline/pca_detector.cpp" "src/baseline/CMakeFiles/saad_baseline.dir/pca_detector.cpp.o" "gcc" "src/baseline/CMakeFiles/saad_baseline.dir/pca_detector.cpp.o.d"
+  "/root/repo/src/baseline/text_miner.cpp" "src/baseline/CMakeFiles/saad_baseline.dir/text_miner.cpp.o" "gcc" "src/baseline/CMakeFiles/saad_baseline.dir/text_miner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/saad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/saad_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saad_baseline.dir/error_monitor.cpp.o"
+  "CMakeFiles/saad_baseline.dir/error_monitor.cpp.o.d"
+  "CMakeFiles/saad_baseline.dir/log_renderer.cpp.o"
+  "CMakeFiles/saad_baseline.dir/log_renderer.cpp.o.d"
+  "CMakeFiles/saad_baseline.dir/pca_detector.cpp.o"
+  "CMakeFiles/saad_baseline.dir/pca_detector.cpp.o.d"
+  "CMakeFiles/saad_baseline.dir/text_miner.cpp.o"
+  "CMakeFiles/saad_baseline.dir/text_miner.cpp.o.d"
+  "libsaad_baseline.a"
+  "libsaad_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saad_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saad_common.dir/clock.cpp.o"
+  "CMakeFiles/saad_common.dir/clock.cpp.o.d"
+  "CMakeFiles/saad_common.dir/histogram.cpp.o"
+  "CMakeFiles/saad_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/saad_common.dir/rng.cpp.o"
+  "CMakeFiles/saad_common.dir/rng.cpp.o.d"
+  "CMakeFiles/saad_common.dir/table.cpp.o"
+  "CMakeFiles/saad_common.dir/table.cpp.o.d"
+  "libsaad_common.a"
+  "libsaad_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saad_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

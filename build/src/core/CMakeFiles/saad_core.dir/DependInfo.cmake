@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/channel.cpp" "src/core/CMakeFiles/saad_core.dir/channel.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/channel.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/saad_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/feature.cpp" "src/core/CMakeFiles/saad_core.dir/feature.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/feature.cpp.o.d"
+  "/root/repo/src/core/incidents.cpp" "src/core/CMakeFiles/saad_core.dir/incidents.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/incidents.cpp.o.d"
+  "/root/repo/src/core/log_registry.cpp" "src/core/CMakeFiles/saad_core.dir/log_registry.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/log_registry.cpp.o.d"
+  "/root/repo/src/core/logger.cpp" "src/core/CMakeFiles/saad_core.dir/logger.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/logger.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/saad_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/saad_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/saad_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/saad_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/report_html.cpp" "src/core/CMakeFiles/saad_core.dir/report_html.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/report_html.cpp.o.d"
+  "/root/repo/src/core/report_json.cpp" "src/core/CMakeFiles/saad_core.dir/report_json.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/report_json.cpp.o.d"
+  "/root/repo/src/core/source_scan.cpp" "src/core/CMakeFiles/saad_core.dir/source_scan.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/source_scan.cpp.o.d"
+  "/root/repo/src/core/synopsis.cpp" "src/core/CMakeFiles/saad_core.dir/synopsis.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/synopsis.cpp.o.d"
+  "/root/repo/src/core/trace_io.cpp" "src/core/CMakeFiles/saad_core.dir/trace_io.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/trace_io.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/saad_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/saad_core.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/saad_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

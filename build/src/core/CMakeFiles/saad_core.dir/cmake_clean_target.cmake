@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsaad_core.a"
+)

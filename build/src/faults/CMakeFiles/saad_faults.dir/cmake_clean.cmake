@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saad_faults.dir/fault_plane.cpp.o"
+  "CMakeFiles/saad_faults.dir/fault_plane.cpp.o.d"
+  "libsaad_faults.a"
+  "libsaad_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saad_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

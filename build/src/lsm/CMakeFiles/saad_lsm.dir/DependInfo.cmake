@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/memtable.cpp" "src/lsm/CMakeFiles/saad_lsm.dir/memtable.cpp.o" "gcc" "src/lsm/CMakeFiles/saad_lsm.dir/memtable.cpp.o.d"
+  "/root/repo/src/lsm/sstable.cpp" "src/lsm/CMakeFiles/saad_lsm.dir/sstable.cpp.o" "gcc" "src/lsm/CMakeFiles/saad_lsm.dir/sstable.cpp.o.d"
+  "/root/repo/src/lsm/store.cpp" "src/lsm/CMakeFiles/saad_lsm.dir/store.cpp.o" "gcc" "src/lsm/CMakeFiles/saad_lsm.dir/store.cpp.o.d"
+  "/root/repo/src/lsm/wal.cpp" "src/lsm/CMakeFiles/saad_lsm.dir/wal.cpp.o" "gcc" "src/lsm/CMakeFiles/saad_lsm.dir/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/saad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/saad_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/saad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/saad_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

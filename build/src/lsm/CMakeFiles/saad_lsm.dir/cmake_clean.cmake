@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saad_lsm.dir/memtable.cpp.o"
+  "CMakeFiles/saad_lsm.dir/memtable.cpp.o.d"
+  "CMakeFiles/saad_lsm.dir/sstable.cpp.o"
+  "CMakeFiles/saad_lsm.dir/sstable.cpp.o.d"
+  "CMakeFiles/saad_lsm.dir/store.cpp.o"
+  "CMakeFiles/saad_lsm.dir/store.cpp.o.d"
+  "CMakeFiles/saad_lsm.dir/wal.cpp.o"
+  "CMakeFiles/saad_lsm.dir/wal.cpp.o.d"
+  "libsaad_lsm.a"
+  "libsaad_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saad_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

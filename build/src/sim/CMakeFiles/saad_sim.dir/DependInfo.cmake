@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/saad_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/saad_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/sim/CMakeFiles/saad_sim.dir/resource.cpp.o" "gcc" "src/sim/CMakeFiles/saad_sim.dir/resource.cpp.o.d"
+  "/root/repo/src/sim/staged.cpp" "src/sim/CMakeFiles/saad_sim.dir/staged.cpp.o" "gcc" "src/sim/CMakeFiles/saad_sim.dir/staged.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/saad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/saad_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/saad_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

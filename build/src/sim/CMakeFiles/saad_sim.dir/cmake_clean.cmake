@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saad_sim.dir/engine.cpp.o"
+  "CMakeFiles/saad_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/saad_sim.dir/resource.cpp.o"
+  "CMakeFiles/saad_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/saad_sim.dir/staged.cpp.o"
+  "CMakeFiles/saad_sim.dir/staged.cpp.o.d"
+  "libsaad_sim.a"
+  "libsaad_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saad_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/saad_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/saad_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/kfold.cpp" "src/stats/CMakeFiles/saad_stats.dir/kfold.cpp.o" "gcc" "src/stats/CMakeFiles/saad_stats.dir/kfold.cpp.o.d"
+  "/root/repo/src/stats/p2_quantile.cpp" "src/stats/CMakeFiles/saad_stats.dir/p2_quantile.cpp.o" "gcc" "src/stats/CMakeFiles/saad_stats.dir/p2_quantile.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/saad_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/saad_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/tests.cpp" "src/stats/CMakeFiles/saad_stats.dir/tests.cpp.o" "gcc" "src/stats/CMakeFiles/saad_stats.dir/tests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saad_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

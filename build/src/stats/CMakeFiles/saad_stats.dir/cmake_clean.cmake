@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saad_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/saad_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/saad_stats.dir/kfold.cpp.o"
+  "CMakeFiles/saad_stats.dir/kfold.cpp.o.d"
+  "CMakeFiles/saad_stats.dir/p2_quantile.cpp.o"
+  "CMakeFiles/saad_stats.dir/p2_quantile.cpp.o.d"
+  "CMakeFiles/saad_stats.dir/special.cpp.o"
+  "CMakeFiles/saad_stats.dir/special.cpp.o.d"
+  "CMakeFiles/saad_stats.dir/tests.cpp.o"
+  "CMakeFiles/saad_stats.dir/tests.cpp.o.d"
+  "libsaad_stats.a"
+  "libsaad_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saad_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

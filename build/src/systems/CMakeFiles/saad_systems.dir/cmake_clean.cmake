@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saad_systems.dir/cassandra/cassandra.cpp.o"
+  "CMakeFiles/saad_systems.dir/cassandra/cassandra.cpp.o.d"
+  "CMakeFiles/saad_systems.dir/hbase/hbase.cpp.o"
+  "CMakeFiles/saad_systems.dir/hbase/hbase.cpp.o.d"
+  "CMakeFiles/saad_systems.dir/hdfs/hdfs.cpp.o"
+  "CMakeFiles/saad_systems.dir/hdfs/hdfs.cpp.o.d"
+  "CMakeFiles/saad_systems.dir/host.cpp.o"
+  "CMakeFiles/saad_systems.dir/host.cpp.o.d"
+  "libsaad_systems.a"
+  "libsaad_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saad_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saad_workload.dir/ycsb.cpp.o"
+  "CMakeFiles/saad_workload.dir/ycsb.cpp.o.d"
+  "libsaad_workload.a"
+  "libsaad_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saad_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

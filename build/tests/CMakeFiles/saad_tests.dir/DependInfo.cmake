@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/baseline_test.cpp" "tests/CMakeFiles/saad_tests.dir/baseline/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/baseline/baseline_test.cpp.o.d"
+  "/root/repo/tests/baseline/pca_detector_test.cpp" "tests/CMakeFiles/saad_tests.dir/baseline/pca_detector_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/baseline/pca_detector_test.cpp.o.d"
+  "/root/repo/tests/common/clock_test.cpp" "tests/CMakeFiles/saad_tests.dir/common/clock_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/common/clock_test.cpp.o.d"
+  "/root/repo/tests/common/histogram_test.cpp" "tests/CMakeFiles/saad_tests.dir/common/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/common/histogram_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/saad_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/saad_tests.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/core/channel_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/channel_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/channel_test.cpp.o.d"
+  "/root/repo/tests/core/detector_property_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/detector_property_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/detector_property_test.cpp.o.d"
+  "/root/repo/tests/core/detector_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/detector_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/detector_test.cpp.o.d"
+  "/root/repo/tests/core/feature_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/feature_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/feature_test.cpp.o.d"
+  "/root/repo/tests/core/incidents_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/incidents_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/incidents_test.cpp.o.d"
+  "/root/repo/tests/core/log_registry_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/log_registry_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/log_registry_test.cpp.o.d"
+  "/root/repo/tests/core/logger_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/logger_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/logger_test.cpp.o.d"
+  "/root/repo/tests/core/model_io_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/model_io_test.cpp.o.d"
+  "/root/repo/tests/core/model_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/model_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/model_test.cpp.o.d"
+  "/root/repo/tests/core/monitor_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/monitor_test.cpp.o.d"
+  "/root/repo/tests/core/offline_workflow_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/offline_workflow_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/offline_workflow_test.cpp.o.d"
+  "/root/repo/tests/core/report_html_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/report_html_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/report_html_test.cpp.o.d"
+  "/root/repo/tests/core/report_json_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/report_json_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/report_json_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/source_scan_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/source_scan_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/source_scan_test.cpp.o.d"
+  "/root/repo/tests/core/synopsis_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/synopsis_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/synopsis_test.cpp.o.d"
+  "/root/repo/tests/core/trace_io_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/trace_io_test.cpp.o.d"
+  "/root/repo/tests/core/tracker_property_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/tracker_property_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/tracker_property_test.cpp.o.d"
+  "/root/repo/tests/core/tracker_test.cpp" "tests/CMakeFiles/saad_tests.dir/core/tracker_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/core/tracker_test.cpp.o.d"
+  "/root/repo/tests/faults/fault_plane_test.cpp" "tests/CMakeFiles/saad_tests.dir/faults/fault_plane_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/faults/fault_plane_test.cpp.o.d"
+  "/root/repo/tests/lsm/store_property_test.cpp" "tests/CMakeFiles/saad_tests.dir/lsm/store_property_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/lsm/store_property_test.cpp.o.d"
+  "/root/repo/tests/lsm/store_test.cpp" "tests/CMakeFiles/saad_tests.dir/lsm/store_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/lsm/store_test.cpp.o.d"
+  "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/saad_tests.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/sim/engine_test.cpp.o.d"
+  "/root/repo/tests/sim/oneshot_test.cpp" "tests/CMakeFiles/saad_tests.dir/sim/oneshot_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/sim/oneshot_test.cpp.o.d"
+  "/root/repo/tests/sim/queue_test.cpp" "tests/CMakeFiles/saad_tests.dir/sim/queue_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/sim/queue_test.cpp.o.d"
+  "/root/repo/tests/sim/resource_test.cpp" "tests/CMakeFiles/saad_tests.dir/sim/resource_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/sim/resource_test.cpp.o.d"
+  "/root/repo/tests/stats/descriptive_test.cpp" "tests/CMakeFiles/saad_tests.dir/stats/descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/stats/descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats/kfold_test.cpp" "tests/CMakeFiles/saad_tests.dir/stats/kfold_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/stats/kfold_test.cpp.o.d"
+  "/root/repo/tests/stats/p2_quantile_test.cpp" "tests/CMakeFiles/saad_tests.dir/stats/p2_quantile_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/stats/p2_quantile_test.cpp.o.d"
+  "/root/repo/tests/stats/special_test.cpp" "tests/CMakeFiles/saad_tests.dir/stats/special_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/stats/special_test.cpp.o.d"
+  "/root/repo/tests/stats/tests_test.cpp" "tests/CMakeFiles/saad_tests.dir/stats/tests_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/stats/tests_test.cpp.o.d"
+  "/root/repo/tests/systems/cassandra_test.cpp" "tests/CMakeFiles/saad_tests.dir/systems/cassandra_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/systems/cassandra_test.cpp.o.d"
+  "/root/repo/tests/systems/cassandra_unit_test.cpp" "tests/CMakeFiles/saad_tests.dir/systems/cassandra_unit_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/systems/cassandra_unit_test.cpp.o.d"
+  "/root/repo/tests/systems/hbase_hdfs_test.cpp" "tests/CMakeFiles/saad_tests.dir/systems/hbase_hdfs_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/systems/hbase_hdfs_test.cpp.o.d"
+  "/root/repo/tests/systems/hbase_unit_test.cpp" "tests/CMakeFiles/saad_tests.dir/systems/hbase_unit_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/systems/hbase_unit_test.cpp.o.d"
+  "/root/repo/tests/systems/hdfs_test.cpp" "tests/CMakeFiles/saad_tests.dir/systems/hdfs_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/systems/hdfs_test.cpp.o.d"
+  "/root/repo/tests/systems/host_test.cpp" "tests/CMakeFiles/saad_tests.dir/systems/host_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/systems/host_test.cpp.o.d"
+  "/root/repo/tests/workload/ycsb_test.cpp" "tests/CMakeFiles/saad_tests.dir/workload/ycsb_test.cpp.o" "gcc" "tests/CMakeFiles/saad_tests.dir/workload/ycsb_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/saad_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/saad_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/saad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/saad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/saad_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/saad_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/saad_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/saad_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/saad_baseline.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

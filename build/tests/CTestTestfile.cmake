@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/saad_tests[1]_include.cmake")
+add_test(saad_instrument_smoke "sh" "-c" "/root/repo/build/tools/saad_instrument /root/repo/build/tests/inst_fixture.java | grep -q 'hello world'")
+set_tests_properties(saad_instrument_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;58;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(saad_offline_workflow_smoke "sh" "-c" "/root/repo/build/tools/saad_offline record --system=cassandra --minutes=2 --trace=smoke.trc --registry=smoke.reg --seed=9 && /root/repo/build/tools/saad_offline train --trace=smoke.trc --model=smoke.mdl && /root/repo/build/tools/saad_offline info --trace=smoke.trc")
+set_tests_properties(saad_offline_workflow_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;60;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,1 @@
+class Foo implements Runnable { void run() { LOG.info("hello world"); } }

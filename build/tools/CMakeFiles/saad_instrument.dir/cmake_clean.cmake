@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saad_instrument.dir/saad_instrument.cpp.o"
+  "CMakeFiles/saad_instrument.dir/saad_instrument.cpp.o.d"
+  "saad_instrument"
+  "saad_instrument.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saad_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

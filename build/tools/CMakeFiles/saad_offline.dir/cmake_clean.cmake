@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saad_offline.dir/saad_offline.cpp.o"
+  "CMakeFiles/saad_offline.dir/saad_offline.cpp.o.d"
+  "saad_offline"
+  "saad_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saad_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
