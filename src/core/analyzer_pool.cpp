@@ -1,0 +1,165 @@
+#include "core/analyzer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+namespace saad::core {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // SplitMix64 finalizer: full avalanche, so consecutive host/stage ids
+  // spread evenly over the partitions.
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::size_t AnalyzerPool::partition(HostId host, StageId stage,
+                                    std::size_t n) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(host) << 32) ^ static_cast<std::uint64_t>(stage);
+  return static_cast<std::size_t>(mix64(key) % n);
+}
+
+AnalyzerPool::AnalyzerPool(const OutlierModel* model, DetectorConfig config)
+    : model_(model), config_(config) {
+  assert(model_ != nullptr);
+  std::size_t n = config_.analyzer_threads;
+  if (n == 0) n = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  // Bonferroni counts tests across the whole window — a partition cannot see
+  // that count locally, so the pool stays serial to keep verdicts exact.
+  if (config_.bonferroni) n = 1;
+  if (n <= 1) {
+    serial_ = std::make_unique<AnomalyDetector>(model_, config_);
+    return;
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->detector = std::make_unique<AnomalyDetector>(model_, config_);
+    worker->pending.reserve(kDispatchBatch);
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_)
+    worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+}
+
+AnalyzerPool::~AnalyzerPool() {
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard lock(worker->mu);
+      worker->stop = true;
+    }
+    worker->cv.notify_one();
+  }
+  for (auto& worker : workers_)
+    if (worker->thread.joinable()) worker->thread.join();
+}
+
+void AnalyzerPool::worker_loop(Worker& worker) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(worker.mu);
+      worker.cv.wait(lock,
+                     [&] { return worker.stop || !worker.jobs.empty(); });
+      if (worker.jobs.empty()) return;  // stop && drained
+      job = std::move(worker.jobs.front());
+      worker.jobs.pop_front();
+    }
+    for (const auto& s : job.batch) worker.detector->ingest(s);
+    if (job.close) {
+      *job.out = job.close_all ? worker.detector->finish()
+                               : worker.detector->advance_to(job.now);
+      {
+        std::lock_guard lock(done_mu_);
+        outstanding_--;
+      }
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void AnalyzerPool::enqueue(Worker& worker, Job job) {
+  {
+    std::lock_guard lock(worker.mu);
+    worker.jobs.push_back(std::move(job));
+  }
+  worker.cv.notify_one();
+}
+
+void AnalyzerPool::flush_pending(Worker& worker) {
+  if (worker.pending.empty()) return;
+  Job job;
+  job.batch.swap(worker.pending);
+  worker.pending.reserve(kDispatchBatch);
+  enqueue(worker, std::move(job));
+}
+
+void AnalyzerPool::ingest(const Synopsis& synopsis) {
+  ingested_++;
+  if (serial_ != nullptr) {
+    serial_->ingest(synopsis);
+    return;
+  }
+  Worker& worker =
+      *workers_[partition(synopsis.host, synopsis.stage, workers_.size())];
+  worker.pending.push_back(synopsis);
+  if (worker.pending.size() >= kDispatchBatch) flush_pending(worker);
+}
+
+std::vector<Anomaly> AnalyzerPool::close_windows(UsTime now, bool close_all) {
+  if (serial_ != nullptr)
+    return close_all ? serial_->finish() : serial_->advance_to(now);
+
+  std::vector<std::vector<Anomaly>> slots(workers_.size());
+  {
+    std::lock_guard lock(done_mu_);
+    outstanding_ = workers_.size();
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    flush_pending(*workers_[i]);
+    Job job;
+    job.close = true;
+    job.now = now;
+    job.close_all = close_all;
+    job.out = &slots[i];
+    enqueue(*workers_[i], std::move(job));
+  }
+  {
+    std::unique_lock lock(done_mu_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  }
+
+  std::vector<Anomaly> out;
+  std::size_t total = 0;
+  for (const auto& slot : slots) total += slot.size();
+  out.reserve(total);
+  for (auto& slot : slots)
+    out.insert(out.end(), std::make_move_iterator(slot.begin()),
+               std::make_move_iterator(slot.end()));
+  // Reconstruct the serial emission order; at most one anomaly exists per
+  // sort key, so the order (and thus the byte stream) is fully determined.
+  std::sort(out.begin(), out.end(), [](const Anomaly& a, const Anomaly& b) {
+    return std::tie(a.window, a.host, a.stage, a.kind) <
+           std::tie(b.window, b.host, b.stage, b.kind);
+  });
+  return out;
+}
+
+std::vector<Anomaly> AnalyzerPool::advance_to(UsTime now) {
+  return close_windows(now, /*close_all=*/false);
+}
+
+std::vector<Anomaly> AnalyzerPool::finish() {
+  return close_windows(/*now=*/0, /*close_all=*/true);
+}
+
+}  // namespace saad::core

@@ -1,0 +1,116 @@
+// Multi-threaded windowed detection (scales the paper's "centralized
+// analyzer" across cores without changing a single verdict).
+//
+// Every statistical test the detector runs is keyed per (host, stage) — the
+// flow test — or per (host, stage, signature) — the performance test. Nothing
+// crosses those keys, so closed windows can be fanned out across worker
+// threads that each own a private AnomalyDetector over a fixed hash partition
+// of (host, stage). Because the partition function is a pure function of the
+// key, a given (host, stage) always lands on the same worker, every worker
+// sees exactly the serial detector's per-key input in the serial order, and
+// the per-key statistics — hence every test statistic and p-value — are
+// bit-identical to the serial path.
+//
+// Output ordering: the serial detector emits, per closed window in ascending
+// order, one flow and/or one performance anomaly per (host, stage) in
+// ascending key order. At most one anomaly exists per (window, host, stage,
+// kind), so sorting the merged worker outputs by exactly that tuple
+// reconstructs the serial order — the determinism the golden test pins.
+//
+// The one intentionally unsupported combination: DetectorConfig::bonferroni
+// counts hypothesis tests *across the whole window*, which a partition cannot
+// see locally; with bonferroni the pool falls back to one inline serial
+// detector (still correct, just not parallel).
+//
+// Threading model: ingest() is called by the single analyzer/consumer thread;
+// it appends to a caller-side per-worker buffer (no locks) and hands full
+// buffers to the worker's FIFO job queue, so classification and window
+// bookkeeping overlap with the caller's next channel drain. advance_to() and
+// finish() flush all buffers, enqueue a close job on every worker, wait for
+// the barrier, and merge.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/detector.h"
+
+namespace saad::core {
+
+class AnalyzerPool {
+ public:
+  /// Spawns config.analyzer_threads workers when analyzer_threads >= 2
+  /// (0 means std::thread::hardware_concurrency()); with analyzer_threads
+  /// == 1 (or bonferroni set) no threads are spawned and every call runs an
+  /// inline AnomalyDetector — the exact serial path.
+  AnalyzerPool(const OutlierModel* model, DetectorConfig config = {});
+  ~AnalyzerPool();
+
+  AnalyzerPool(const AnalyzerPool&) = delete;
+  AnalyzerPool& operator=(const AnalyzerPool&) = delete;
+
+  /// Routes the synopsis to its (host, stage) partition. Single caller
+  /// thread (the channel's single consumer).
+  void ingest(const Synopsis& synopsis);
+
+  /// Closes every window ending at or before `now` on all partitions and
+  /// returns the merged anomalies in serial (window, host, stage, kind)
+  /// order. Blocks until all workers have drained their queues.
+  std::vector<Anomaly> advance_to(UsTime now);
+
+  /// Closes all remaining windows on all partitions.
+  std::vector<Anomaly> finish();
+
+  const DetectorConfig& config() const { return config_; }
+  /// Actual parallelism (1 when running inline).
+  std::size_t threads() const { return workers_.empty() ? 1 : workers_.size(); }
+  std::uint64_t ingested() const { return ingested_; }
+
+ private:
+  struct Job {
+    std::vector<Synopsis> batch;             // non-empty: ingest these
+    bool close = false;                      // then close windows...
+    UsTime now = 0;                          // ...ending <= now,
+    bool close_all = false;                  // or all of them (finish)
+    std::vector<Anomaly>* out = nullptr;     // close-job result slot
+  };
+
+  struct Worker {
+    std::unique_ptr<AnomalyDetector> detector;  // worker-thread-owned
+    std::vector<Synopsis> pending;              // caller-side, lock-free
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Job> jobs;
+    bool stop = false;
+    std::thread thread;
+  };
+
+  static std::size_t partition(HostId host, StageId stage, std::size_t n);
+
+  void worker_loop(Worker& worker);
+  void enqueue(Worker& worker, Job job);
+  void flush_pending(Worker& worker);
+  std::vector<Anomaly> close_windows(UsTime now, bool close_all);
+
+  const OutlierModel* model_;
+  DetectorConfig config_;
+  std::unique_ptr<AnomalyDetector> serial_;      // inline path (threads <= 1)
+  std::vector<std::unique_ptr<Worker>> workers_; // parallel path
+
+  // Barrier for close jobs: workers decrement and notify.
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::size_t outstanding_ = 0;
+
+  std::uint64_t ingested_ = 0;
+
+  /// Caller-side batch size before a buffer is handed to its worker.
+  static constexpr std::size_t kDispatchBatch = 512;
+};
+
+}  // namespace saad::core

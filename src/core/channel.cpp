@@ -1,30 +1,108 @@
 #include "core/channel.h"
 
+#include <thread>
+
 namespace saad::core {
 
+SynopsisChannel::SynopsisChannel(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::size_t SynopsisChannel::shard_for_this_thread() const {
+  // Stable per thread for the channel's lifetime, so a single producer
+  // thread's synopses stay FIFO within one shard.
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  // Fibonacci multiplier spreads consecutive thread-id hashes (often small
+  // integers) across shards.
+  return (h * 0x9E3779B97F4A7C15ull >> 32) % shards_.size();
+}
+
 void SynopsisChannel::push(const Synopsis& s) {
-  const std::size_t wire = encoded_size(s);
-  std::lock_guard lock(mu_);
-  queue_.push_back(s);
-  pushed_++;
-  encoded_bytes_ += wire;
+  const std::size_t wire = encoded_size(s);  // compute outside the lock
+  Shard& shard = *shards_[shard_for_this_thread()];
+  {
+    std::lock_guard lock(shard.mu);
+    shard.items.push_back(s);
+  }
+  pushed_.fetch_add(1, std::memory_order_relaxed);
+  encoded_bytes_.fetch_add(wire, std::memory_order_relaxed);
+}
+
+void SynopsisChannel::push_batch(std::size_t shard_index,
+                                 std::vector<Synopsis>& batch) {
+  if (batch.empty()) return;
+  std::uint64_t wire = 0;
+  for (const auto& s : batch) wire += encoded_size(s);
+  Shard& shard = *shards_[shard_index];
+  {
+    std::lock_guard lock(shard.mu);
+    shard.items.insert(shard.items.end(),
+                       std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
+  }
+  pushed_.fetch_add(batch.size(), std::memory_order_relaxed);
+  encoded_bytes_.fetch_add(wire, std::memory_order_relaxed);
+  batch.clear();
 }
 
 void SynopsisChannel::drain(std::vector<Synopsis>& out) {
-  std::lock_guard lock(mu_);
-  out.reserve(out.size() + queue_.size());
-  for (auto& s : queue_) out.push_back(std::move(s));
-  queue_.clear();
+  std::size_t queued = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    queued += shard->items.size();
+  }
+  out.reserve(out.size() + queued);
+  for (auto& shard : shards_) {
+    std::vector<Synopsis> items;
+    {
+      std::lock_guard lock(shard->mu);
+      items.swap(shard->items);
+    }
+    out.insert(out.end(), std::make_move_iterator(items.begin()),
+               std::make_move_iterator(items.end()));
+  }
 }
 
 std::uint64_t SynopsisChannel::pushed() const {
-  std::lock_guard lock(mu_);
-  return pushed_;
+  return pushed_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t SynopsisChannel::encoded_bytes() const {
-  std::lock_guard lock(mu_);
-  return encoded_bytes_;
+  return encoded_bytes_.load(std::memory_order_relaxed);
+}
+
+// ---- Producer --------------------------------------------------------------
+
+SynopsisChannel::Producer::Producer(SynopsisChannel& channel)
+    : channel_(&channel),
+      shard_(channel.next_producer_shard_.fetch_add(
+                 1, std::memory_order_relaxed) %
+             channel.shards_.size()) {
+  buffer_.reserve(kBatch);
+}
+
+SynopsisChannel::Producer::~Producer() {
+  if (channel_ != nullptr) flush();
+}
+
+SynopsisChannel::Producer::Producer(Producer&& other) noexcept
+    : channel_(other.channel_),
+      shard_(other.shard_),
+      buffer_(std::move(other.buffer_)) {
+  other.channel_ = nullptr;
+}
+
+void SynopsisChannel::Producer::push(const Synopsis& s) {
+  buffer_.push_back(s);
+  if (buffer_.size() >= kBatch) flush();
+}
+
+void SynopsisChannel::Producer::flush() {
+  channel_->push_batch(shard_, buffer_);
 }
 
 }  // namespace saad::core

@@ -37,6 +37,12 @@ struct DetectorConfig {
   /// the correction trades a little sensitivity for a familywise error
   /// bound. See the `ablation_tests` bench.
   bool bonferroni = false;
+  /// Worker threads for windowed detection when the detector runs behind an
+  /// AnalyzerPool (Monitor does this). 1 = serial (seed behavior), 0 = one
+  /// per hardware thread. Verdicts are thread-count-invariant: tests are
+  /// keyed per (host, stage[, signature]) and windows are partitioned by
+  /// that key (see analyzer_pool.h). Ignored by a bare AnomalyDetector.
+  std::size_t analyzer_threads = 1;
 };
 
 enum class AnomalyKind : std::uint8_t { kFlow, kPerformance };

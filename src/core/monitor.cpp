@@ -48,7 +48,7 @@ void Monitor::arm(const DetectorConfig& config) {
   // Drop synopses produced between training and arming.
   std::vector<Synopsis> scratch;
   channel_.drain(scratch);
-  detector_ = std::make_unique<AnomalyDetector>(model_.get(), config);
+  analyzer_ = std::make_unique<AnalyzerPool>(model_.get(), config);
   mode_ = Mode::kDetecting;
 }
 
@@ -59,15 +59,15 @@ std::vector<Anomaly> Monitor::poll(UsTime now) {
     training_trace_.insert(training_trace_.end(), batch.begin(), batch.end());
     return {};
   }
-  if (mode_ != Mode::kDetecting) return {};
-  for (const auto& s : batch) detector_->ingest(s);
-  return detector_->advance_to(now);
+  if (mode_ != Mode::kDetecting) return {};  // idle: batch is discarded
+  for (const auto& s : batch) analyzer_->ingest(s);
+  return analyzer_->advance_to(now);
 }
 
 std::vector<Anomaly> Monitor::finish() {
-  if (detector_ == nullptr) return {};
+  if (analyzer_ == nullptr) return {};
   auto out = poll(clock_->now());
-  auto tail = detector_->finish();
+  auto tail = analyzer_->finish();
   out.insert(out.end(), tail.begin(), tail.end());
   return out;
 }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/analyzer_pool.h"
 #include "core/channel.h"
 #include "core/detector.h"
 #include "core/tracker.h"
@@ -36,20 +37,31 @@ class Monitor {
   void start_training();
 
   /// Drain outstanding synopses into the training trace and build the model.
+  /// Training on an empty trace is valid and yields an empty model (zero
+  /// stages): once armed, every task then hits an unknown stage and raises a
+  /// new-signature flow anomaly — loud, by design, rather than silent.
   void train(const TrainingConfig& config = {});
 
   /// Provide an externally trained model instead.
   void set_model(OutlierModel model);
   const OutlierModel* model() const { return model_.get(); }
 
-  /// Switch to detection. Requires a trained model.
+  /// Switch to detection. Requires a trained model. With
+  /// config.analyzer_threads > 1 detection fans out across an AnalyzerPool;
+  /// anomaly output is identical to the serial path for any thread count.
   void arm(const DetectorConfig& config = {});
-  bool armed() const { return detector_ != nullptr; }
+  bool armed() const { return analyzer_ != nullptr; }
 
   /// Drain the channel; when armed, ingest and close windows ending <= now.
+  /// When training, append to the training trace instead. When idle (before
+  /// start_training / arm), queued synopses are drained and *discarded* —
+  /// the same policy arm() applies to synopses produced between training and
+  /// arming — and an empty list is returned.
   std::vector<Anomaly> poll(UsTime now);
 
-  /// Close all remaining windows.
+  /// Close all remaining windows. May be called repeatedly: each call closes
+  /// the windows open at that point, so a second finish() with no new
+  /// synopses in between returns an empty list. Returns empty when unarmed.
   std::vector<Anomaly> finish();
 
   const std::vector<Synopsis>& training_trace() const {
@@ -67,7 +79,7 @@ class Monitor {
   std::vector<std::unique_ptr<TaskExecutionTracker>> trackers_;  // by host
   std::vector<Synopsis> training_trace_;
   std::unique_ptr<OutlierModel> model_;
-  std::unique_ptr<AnomalyDetector> detector_;
+  std::unique_ptr<AnalyzerPool> analyzer_;
   Mode mode_ = Mode::kIdle;
 };
 

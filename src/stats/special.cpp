@@ -8,6 +8,19 @@ namespace saad::stats {
 
 namespace {
 
+/// std::lgamma writes the process-global `signgam`, which is a data race
+/// when the analyzer pool runs t-tests on several worker threads at once.
+/// All our arguments are positive (gamma > 0), so the sign output is
+/// irrelevant — use the reentrant lgamma_r where available.
+double lgamma_threadsafe(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 /// Continued fraction for the incomplete beta function (modified Lentz).
 double betacf(double a, double b, double x) {
   constexpr int kMaxIter = 300;
@@ -50,8 +63,9 @@ double incomplete_beta(double a, double b, double x) {
   assert(a > 0.0 && b > 0.0);
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
-  const double ln_bt = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
-                       a * std::log(x) + b * std::log1p(-x);
+  const double ln_bt = lgamma_threadsafe(a + b) - lgamma_threadsafe(a) -
+                       lgamma_threadsafe(b) + a * std::log(x) +
+                       b * std::log1p(-x);
   const double bt = std::exp(ln_bt);
   if (x < (a + 1.0) / (a + b + 2.0)) {
     return bt * betacf(a, b, x) / a;
@@ -87,9 +101,9 @@ double binomial_upper_tail(std::uint64_t k, std::uint64_t n, double p) {
   double tail = 0.0;
   for (std::uint64_t i = k; i <= n; ++i) {
     const double log_pmf =
-        std::lgamma(static_cast<double>(n) + 1.0) -
-        std::lgamma(static_cast<double>(i) + 1.0) -
-        std::lgamma(static_cast<double>(n - i) + 1.0) +
+        lgamma_threadsafe(static_cast<double>(n) + 1.0) -
+        lgamma_threadsafe(static_cast<double>(i) + 1.0) -
+        lgamma_threadsafe(static_cast<double>(n - i) + 1.0) +
         static_cast<double>(i) * log_p + static_cast<double>(n - i) * log_q;
     tail += std::exp(log_pmf);
     if (std::exp(log_pmf) < 1e-18 && i > k) break;  // negligible remainder

@@ -125,6 +125,75 @@ TEST_F(MonitorFixture, ChannelCountsBytes) {
   EXPECT_GT(monitor.channel().encoded_bytes(), 0u);
 }
 
+// ---- Pinned edge-case behavior (documented in monitor.h) -------------------
+
+TEST_F(MonitorFixture, PollBeforeArmReturnsEmptyAndDiscards) {
+  Monitor monitor(&registry, &clock);
+  run_task(monitor, false, ms(5));
+  // Idle poll: no detection, no training capture — the synopsis is drained
+  // and discarded (same policy arm() applies between training and arming).
+  EXPECT_TRUE(monitor.poll(clock.now()).empty());
+  EXPECT_EQ(monitor.channel().pushed(), 1u);  // lifetime counter unaffected
+  monitor.start_training();
+  run_task(monitor, false, ms(5));
+  monitor.train();
+  // Only the post-start task made it into the trace.
+  EXPECT_EQ(monitor.training_trace().size(), 1u);
+}
+
+TEST_F(MonitorFixture, TrainOnEmptyTraceYieldsEmptyLoudModel) {
+  Monitor monitor(&registry, &clock);
+  monitor.start_training();
+  monitor.train();  // zero tasks observed: valid, not an error
+  ASSERT_NE(monitor.model(), nullptr);
+  EXPECT_EQ(monitor.model()->trained_tasks(), 0u);
+  EXPECT_EQ(monitor.model()->num_stages(), 0u);
+  // Against an empty model every stage is unknown, so detection is loud:
+  // each task raises a new-signature flow anomaly rather than being ignored.
+  monitor.arm();
+  run_task(monitor, false, ms(5));
+  const auto anomalies = monitor.finish();
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].kind, AnomalyKind::kFlow);
+  EXPECT_TRUE(anomalies[0].due_to_new_signature);
+}
+
+TEST_F(MonitorFixture, FinishTwiceSecondCallIsEmpty) {
+  Monitor monitor(&registry, &clock);
+  monitor.start_training();
+  for (int i = 0; i < 1000; ++i) run_task(monitor, false, ms(5));
+  monitor.train();
+  monitor.arm();
+  run_task(monitor, true, ms(5));
+  EXPECT_FALSE(monitor.finish().empty());
+  // All windows were closed by the first call; with no new synopses the
+  // second finish() has nothing to report (and must not throw or re-emit).
+  EXPECT_TRUE(monitor.finish().empty());
+  EXPECT_TRUE(monitor.armed());  // finish() does not disarm
+}
+
+TEST_F(MonitorFixture, FinishBeforeArmReturnsEmpty) {
+  Monitor monitor(&registry, &clock);
+  EXPECT_TRUE(monitor.finish().empty());
+}
+
+TEST_F(MonitorFixture, MultiThreadedArmMatchesSerialVerdicts) {
+  Monitor monitor(&registry, &clock);
+  monitor.start_training();
+  for (int i = 0; i < 1500; ++i) run_task(monitor, false, ms(5));
+  monitor.train();
+  DetectorConfig config;
+  config.analyzer_threads = 4;
+  monitor.arm(config);
+  for (int i = 0; i < 100; ++i) run_task(monitor, false, ms(5));
+  for (int i = 0; i < 30; ++i) run_task(monitor, true, ms(5));
+  clock.advance(minutes(2));
+  const auto anomalies = monitor.poll(clock.now());
+  ASSERT_FALSE(anomalies.empty());
+  EXPECT_EQ(anomalies[0].kind, AnomalyKind::kFlow);
+  EXPECT_TRUE(anomalies[0].due_to_new_signature);
+}
+
 TEST_F(MonitorFixture, SetModelAllowsExternallyTrainedModel) {
   Monitor trainer(&registry, &clock);
   trainer.start_training();

@@ -22,6 +22,7 @@
 #include <map>
 #include <string>
 
+#include "core/analyzer_pool.h"
 #include "core/report_html.h"
 #include "core/saad.h"
 #include "core/trace_io.h"
@@ -39,8 +40,21 @@ struct Args {
   std::string fault;
   long long run_minutes = 6;
   long long window_sec = 60;
+  long long threads = 1;  // analyzer threads for detect (0 = all cores)
   std::uint64_t seed = 1;
 };
+
+long long parse_int(const std::string& v, const char* key) {
+  try {
+    std::size_t used = 0;
+    const long long parsed = std::stoll(v, &used);
+    if (used == v.size()) return parsed;
+  } catch (const std::exception&) {
+  }
+  std::fprintf(stderr, "invalid --%s=%s (expected an integer)\n", key,
+               v.c_str());
+  std::exit(2);
+}
 
 Args parse(int argc, char** argv) {
   Args args;
@@ -58,9 +72,14 @@ Args parse(int argc, char** argv) {
     if (auto v = value("html"); !v.empty()) args.html = v;
     if (auto v = value("system"); !v.empty()) args.system = v;
     if (auto v = value("fault"); !v.empty()) args.fault = v;
-    if (auto v = value("minutes"); !v.empty()) args.run_minutes = std::stoll(v);
-    if (auto v = value("window-sec"); !v.empty()) args.window_sec = std::stoll(v);
-    if (auto v = value("seed"); !v.empty()) args.seed = std::stoull(v);
+    if (auto v = value("minutes"); !v.empty())
+      args.run_minutes = parse_int(v, "minutes");
+    if (auto v = value("window-sec"); !v.empty())
+      args.window_sec = parse_int(v, "window-sec");
+    if (auto v = value("threads"); !v.empty())
+      args.threads = parse_int(v, "threads");
+    if (auto v = value("seed"); !v.empty())
+      args.seed = static_cast<std::uint64_t>(parse_int(v, "seed"));
   }
   return args;
 }
@@ -234,9 +253,11 @@ int cmd_detect(const Args& args) {
 
   core::DetectorConfig config;
   config.window = sec(args.window_sec);
-  core::AnomalyDetector detector(&*model, config);
-  for (const auto& s : *trace) detector.ingest(s);
-  const auto anomalies = detector.finish();
+  config.analyzer_threads =
+      args.threads < 0 ? 1 : static_cast<std::size_t>(args.threads);
+  core::AnalyzerPool analyzer(&*model, config);
+  for (const auto& s : *trace) analyzer.ingest(s);
+  const auto anomalies = analyzer.finish();
 
   std::printf("%zu anomalies in %zu synopses:\n", anomalies.size(),
               trace->size());
@@ -298,6 +319,6 @@ int main(int argc, char** argv) {
                "usage: saad_offline <record|train|detect|info> [--trace=] "
                "[--model=] [--registry=] [--html=] [--system=cassandra|hbase] "
                "[--fault=error-wal|delay-wal|error-flush|delay-flush] "
-               "[--minutes=N] [--window-sec=N] [--seed=N]\n");
+               "[--minutes=N] [--window-sec=N] [--threads=N] [--seed=N]\n");
   return 2;
 }
