@@ -1,0 +1,33 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace saad {
+
+namespace {
+
+// Reflected CRC32C table for the Castagnoli polynomial 0x1EDC6F41
+// (reversed: 0x82F63B78), built once at static-init time.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t crc) {
+  std::uint32_t c = ~crc;
+  for (const std::uint8_t byte : data)
+    c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace saad

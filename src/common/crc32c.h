@@ -1,0 +1,16 @@
+// CRC32C (Castagnoli polynomial, reflected). Used by the framed trace
+// format v2 to checksum each block of synopses; picked over plain CRC32
+// because it is the de-facto storage checksum (iSCSI, ext4, LevelDB WAL)
+// and has hardware support on most targets if we ever want it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace saad {
+
+/// CRC32C of `data`, chained onto `crc` (pass the previous return value to
+/// checksum a stream incrementally; 0 starts a fresh sum).
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t crc = 0);
+
+}  // namespace saad

@@ -9,6 +9,7 @@
 //     per signature: point count, delta-encoded points, task_count, share,
 //       flags (flow_outlier | perf_applicable << 1), duration_threshold,
 //       train_perf_outlier_rate
+#include <cmath>
 #include <cstring>
 
 #include "core/model.h"
@@ -18,6 +19,10 @@ namespace saad::core {
 
 namespace {
 constexpr char kMagic[8] = {'S', 'A', 'A', 'D', 'M', 'D', 'L', '1'};
+
+// Shares, rates, and quantiles are probabilities; anything else in those
+// fields is corruption, not a model.
+bool valid_rate(double d) { return std::isfinite(d) && d >= 0.0 && d <= 1.0; }
 }
 
 void OutlierModel::save(std::vector<std::uint8_t>& out) const {
@@ -63,11 +68,21 @@ std::optional<OutlierModel> OutlierModel::load(
 
   OutlierModel model;
   std::uint64_t v = 0;
-  if (!get_double(in, model.config_.flow_share_threshold)) return std::nullopt;
-  if (!get_double(in, model.config_.duration_quantile)) return std::nullopt;
+  if (!get_double(in, model.config_.flow_share_threshold) ||
+      !valid_rate(model.config_.flow_share_threshold)) {
+    return std::nullopt;
+  }
+  if (!get_double(in, model.config_.duration_quantile) ||
+      !valid_rate(model.config_.duration_quantile)) {
+    return std::nullopt;
+  }
   if (!get_varint(in, v)) return std::nullopt;
   model.config_.kfold_k = static_cast<std::size_t>(v);
-  if (!get_double(in, model.config_.unstable_factor)) return std::nullopt;
+  if (!get_double(in, model.config_.unstable_factor) ||
+      !std::isfinite(model.config_.unstable_factor) ||
+      model.config_.unstable_factor < 0.0) {
+    return std::nullopt;
+  }
   if (!get_varint(in, v)) return std::nullopt;
   model.config_.min_signature_samples = static_cast<std::size_t>(v);
 
@@ -79,7 +94,10 @@ std::optional<OutlierModel> OutlierModel::load(
     if (!get_varint(in, v) || v > 0xFFFF) return std::nullopt;
     sm.stage = static_cast<StageId>(v);
     if (!get_varint(in, sm.task_count)) return std::nullopt;
-    if (!get_double(in, sm.train_flow_outlier_rate)) return std::nullopt;
+    if (!get_double(in, sm.train_flow_outlier_rate) ||
+        !valid_rate(sm.train_flow_outlier_rate)) {
+      return std::nullopt;
+    }
     std::uint64_t num_sigs = 0;
     if (!get_varint(in, num_sigs) || num_sigs > 0x100000) return std::nullopt;
     for (std::uint64_t g = 0; g < num_sigs; ++g) {
@@ -98,18 +116,28 @@ std::optional<OutlierModel> OutlierModel::load(
       }
       SignatureStats ss;
       if (!get_varint(in, ss.task_count)) return std::nullopt;
-      if (!get_double(in, ss.share)) return std::nullopt;
+      if (!get_double(in, ss.share) || !valid_rate(ss.share))
+        return std::nullopt;
       std::uint64_t flags = 0;
-      if (!get_varint(in, flags)) return std::nullopt;
+      if (!get_varint(in, flags) || flags > 3u) return std::nullopt;
       ss.flow_outlier = (flags & 1u) != 0;
       ss.perf_applicable = (flags & 2u) != 0;
       if (!get_varint(in, v)) return std::nullopt;
       ss.duration_threshold = unzigzag(v);
-      if (!get_double(in, ss.train_perf_outlier_rate)) return std::nullopt;
+      // Thresholds are trained from task durations, which are never
+      // negative; a negative value here is corruption.
+      if (ss.duration_threshold < 0) return std::nullopt;
+      if (!get_double(in, ss.train_perf_outlier_rate) ||
+          !valid_rate(ss.train_perf_outlier_rate)) {
+        return std::nullopt;
+      }
       sm.signatures.emplace(Signature(std::move(points)), ss);
     }
     model.stages_.emplace(sm.stage, std::move(sm));
   }
+  // A valid model consumes its input exactly; trailing bytes mean the file
+  // is not what it claims to be (concatenated junk, a torn rewrite, ...).
+  if (!in.empty()) return std::nullopt;
   return model;
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/log_registry.h"
+#include "core/trace_io.h"
 
 namespace saad::core {
 
@@ -27,6 +28,25 @@ void Monitor::start_training() {
   channel_.drain(scratch);
   training_trace_.clear();
   mode_ = Mode::kTraining;
+}
+
+void Monitor::start_recording(TraceWriter* writer) {
+  assert(writer != nullptr);
+  // Discard anything queued before recording formally began.
+  std::vector<Synopsis> scratch;
+  channel_.drain(scratch);
+  trace_writer_ = writer;
+  mode_ = Mode::kRecording;
+}
+
+bool Monitor::stop_recording() {
+  if (mode_ != Mode::kRecording)
+    throw std::logic_error("Monitor::stop_recording without start_recording");
+  poll(clock_->now());
+  TraceWriter* writer = trace_writer_;
+  trace_writer_ = nullptr;
+  mode_ = Mode::kIdle;
+  return writer->flush();
 }
 
 void Monitor::train(const TrainingConfig& config) {
@@ -57,6 +77,10 @@ std::vector<Anomaly> Monitor::poll(UsTime now) {
   channel_.drain(batch);
   if (mode_ == Mode::kTraining) {
     training_trace_.insert(training_trace_.end(), batch.begin(), batch.end());
+    return {};
+  }
+  if (mode_ == Mode::kRecording) {
+    for (const auto& s : batch) trace_writer_->append(s);
     return {};
   }
   if (mode_ != Mode::kDetecting) return {};  // idle: batch is discarded

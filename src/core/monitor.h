@@ -24,6 +24,7 @@
 namespace saad::core {
 
 class LogRegistry;
+class TraceWriter;
 
 class Monitor {
  public:
@@ -35,6 +36,18 @@ class Monitor {
 
   /// Start capturing the fault-free training trace.
   void start_training();
+
+  /// Start streaming every subsequent synopsis straight to `writer` (the
+  /// crash-safe spill path: O(block) memory instead of an in-RAM trace, and
+  /// everything up to the writer's last flush survives a crash). The writer
+  /// must outlive recording; like start_training, anything queued beforehand
+  /// is discarded. Synopses are handed to the writer on each poll().
+  void start_recording(TraceWriter* writer);
+
+  /// Drain outstanding synopses to the writer and seal the current block.
+  /// Leaves the monitor idle; finalizing the writer stays with the caller.
+  /// Returns the writer's health.
+  bool stop_recording();
 
   /// Drain outstanding synopses into the training trace and build the model.
   /// Training on an empty trace is valid and yields an empty model (zero
@@ -71,7 +84,7 @@ class Monitor {
   const LogRegistry& registry() const { return *registry_; }
 
  private:
-  enum class Mode { kIdle, kTraining, kDetecting };
+  enum class Mode { kIdle, kTraining, kRecording, kDetecting };
 
   const LogRegistry* registry_;
   const Clock* clock_;
@@ -80,6 +93,7 @@ class Monitor {
   std::vector<Synopsis> training_trace_;
   std::unique_ptr<OutlierModel> model_;
   std::unique_ptr<AnalyzerPool> analyzer_;
+  TraceWriter* trace_writer_ = nullptr;  // non-null iff mode_ == kRecording
   Mode mode_ = Mode::kIdle;
 };
 

@@ -1,54 +1,360 @@
 #include "core/trace_io.h"
 
+#include <algorithm>
 #include <cstring>
-#include <fstream>
+#include <filesystem>
+
+#include "common/crc32c.h"
 
 namespace saad::core {
 
 namespace {
-constexpr char kMagic[8] = {'S', 'A', 'A', 'D', 'T', 'R', 'C', '1'};
+
+constexpr char kMagicV1[8] = {'S', 'A', 'A', 'D', 'T', 'R', 'C', '1'};
+constexpr char kMagicV2[8] = {'S', 'A', 'A', 'D', 'T', 'R', 'C', '2'};
+constexpr char kBlockMarker[4] = {'B', 'L', 'K', '2'};
+constexpr std::size_t kBlockHeaderSize = 16;
+// Sanity cap on a decoded block: a length field above this is damage, not a
+// block (the writer seals at Options::block_bytes, default 64 KB).
+constexpr std::uint32_t kMaxBlockPayload = 64u * 1024 * 1024;
+constexpr std::size_t kV1Chunk = 64 * 1024;
+
+void put_u32le(std::uint32_t v, std::uint8_t* dst) {
+  for (int i = 0; i < 4; ++i) dst[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
+
+std::uint32_t get_u32le(const std::uint8_t* src) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(src[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+// ---- v1 buffer codec -------------------------------------------------------
 
 std::vector<std::uint8_t> encode_trace(std::span<const Synopsis> trace) {
   std::vector<std::uint8_t> out;
-  out.reserve(trace.size() * 32 + sizeof(kMagic));
-  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  out.reserve(trace.size() * 32 + sizeof(kMagicV1));
+  out.insert(out.end(), kMagicV1, kMagicV1 + sizeof(kMagicV1));
   for (const auto& s : trace) encode_synopsis(s, out);
   return out;
 }
 
 std::optional<std::vector<Synopsis>> decode_trace(
-    std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < sizeof(kMagic) ||
-      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    std::span<const std::uint8_t> bytes, TraceStats* stats) {
+  TraceStats local;
+  if (stats) *stats = local;
+  if (bytes.size() < sizeof(kMagicV1) ||
+      std::memcmp(bytes.data(), kMagicV1, sizeof(kMagicV1)) != 0) {
     return std::nullopt;
   }
-  bytes = bytes.subspan(sizeof(kMagic));
+  local.version = 1;
+  bytes = bytes.subspan(sizeof(kMagicV1));
   std::vector<Synopsis> trace;
   while (!bytes.empty()) {
+    auto attempt = bytes;  // decode leaves the span unspecified on failure
     Synopsis s;
-    if (!decode_synopsis(bytes, s)) return std::nullopt;
+    if (!decode_synopsis(attempt, s)) {
+      // Unframed records: recover the complete-record prefix, drop the rest.
+      local.bytes_discarded = bytes.size();
+      local.truncated_tail = true;
+      break;
+    }
+    bytes = attempt;
     trace.push_back(std::move(s));
   }
+  local.synopses = trace.size();
+  if (stats) *stats = local;
   return trace;
 }
 
-bool write_trace_file(const std::string& path,
-                      std::span<const Synopsis> trace) {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) return false;
-  const auto bytes = encode_trace(trace);
-  file.write(reinterpret_cast<const char*>(bytes.data()),
-             static_cast<std::streamsize>(bytes.size()));
-  return static_cast<bool>(file);
+// ---- TraceWriter -----------------------------------------------------------
+
+TraceWriter::TraceWriter(std::string path, Options options)
+    : path_(std::move(path)),
+      write_path_(options.atomic_finalize ? path_ + ".tmp" : path_),
+      options_(options) {
+  if (options_.block_bytes == 0) options_.block_bytes = 1;
+  out_.open(write_path_, std::ios::binary | std::ios::trunc);
+  if (!out_) return;
+  out_.write(kMagicV2, sizeof(kMagicV2));
+  ok_ = static_cast<bool>(out_);
+  if (ok_) bytes_ = sizeof(kMagicV2);
 }
 
-std::optional<std::vector<Synopsis>> read_trace_file(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return std::nullopt;
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(file)),
-                                  std::istreambuf_iterator<char>());
-  return decode_trace(bytes);
+TraceWriter::~TraceWriter() {
+  // Crash semantics: flush what we can, never rename. An unfinalized atomic
+  // writer leaves `path.tmp` with every sealed block recoverable.
+  if (!finalized_) {
+    flush();
+    out_.close();
+  }
+}
+
+bool TraceWriter::write_block() {
+  std::uint8_t header[kBlockHeaderSize];
+  std::memcpy(header, kBlockMarker, sizeof(kBlockMarker));
+  put_u32le(static_cast<std::uint32_t>(payload_.size()), header + 4);
+  put_u32le(payload_records_, header + 8);
+  put_u32le(crc32c(payload_), header + 12);
+  out_.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out_.write(reinterpret_cast<const char*>(payload_.data()),
+             static_cast<std::streamsize>(payload_.size()));
+  out_.flush();  // sealed blocks survive the process dying
+  if (!out_) {
+    ok_ = false;
+    return false;
+  }
+  bytes_ += sizeof(header) + payload_.size();
+  ++blocks_;
+  payload_.clear();
+  payload_records_ = 0;
+  return true;
+}
+
+bool TraceWriter::append(const Synopsis& s) {
+  if (!ok_ || finalized_) return false;
+  encode_synopsis(s, payload_);
+  ++payload_records_;
+  ++synopses_;
+  if (payload_.size() >= options_.block_bytes) return write_block();
+  return true;
+}
+
+bool TraceWriter::flush() {
+  if (!ok_ || finalized_) return false;
+  if (!payload_.empty()) return write_block();
+  out_.flush();
+  ok_ = static_cast<bool>(out_);
+  return ok_;
+}
+
+bool TraceWriter::finalize() {
+  if (finalized_) return ok_;
+  if (ok_) flush();
+  out_.close();
+  if (out_.fail()) ok_ = false;
+  if (ok_ && options_.atomic_finalize) {
+    std::error_code ec;
+    std::filesystem::rename(write_path_, path_, ec);
+    if (ec) ok_ = false;
+  }
+  finalized_ = true;
+  return ok_;
+}
+
+// ---- TraceReader -----------------------------------------------------------
+
+TraceReader::TraceReader(const std::string& path) {
+  in_.open(path, std::ios::binary);
+  if (!in_) return;
+  std::uint8_t magic[8];
+  std::size_t got = 0;
+  if (!read_exact(magic, sizeof(magic), &got)) return;
+  if (std::memcmp(magic, kMagicV1, sizeof(magic)) == 0) {
+    stats_.version = 1;
+    ok_ = true;
+  } else if (std::memcmp(magic, kMagicV2, sizeof(magic)) == 0) {
+    stats_.version = 2;
+    ok_ = true;
+  }
+}
+
+bool TraceReader::read_exact(std::uint8_t* dst, std::size_t n,
+                             std::size_t* got_out) {
+  std::size_t got = 0;
+  const std::size_t from_carry = std::min(n, carry_.size());
+  std::memcpy(dst, carry_.data(), from_carry);
+  carry_.erase(carry_.begin(),
+               carry_.begin() + static_cast<std::ptrdiff_t>(from_carry));
+  got += from_carry;
+  if (got < n) {
+    in_.read(reinterpret_cast<char*>(dst) + got,
+             static_cast<std::streamsize>(n - got));
+    got += static_cast<std::size_t>(in_.gcount());
+  }
+  if (got_out) *got_out = got;
+  return got == n;
+}
+
+bool TraceReader::next(Synopsis& out) {
+  if (!ok_) return false;
+  if (stats_.version == 1) return next_v1(out);
+  if (block_pos_ >= block_records_.size() && !refill_block_v2()) return false;
+  out = std::move(block_records_[block_pos_++]);
+  ++stats_.synopses;
+  return true;
+}
+
+bool TraceReader::refill_block_v2() {
+  block_records_.clear();
+  block_pos_ = 0;
+
+  // Scans forward from `window` (bytes already consumed, starting at the
+  // byte where framing broke) to the next block marker; queues the marker
+  // and everything after it back through carry_. False when the file ends
+  // first. Every skipped byte is counted discarded.
+  const auto resync = [this](std::vector<std::uint8_t> window) {
+    ++stats_.blocks_corrupt;
+    if (!window.empty()) {  // the first byte is known-bad
+      window.erase(window.begin());
+      ++stats_.bytes_discarded;
+    }
+    for (;;) {
+      std::size_t i = 0;
+      for (; i + sizeof(kBlockMarker) <= window.size(); ++i)
+        if (std::memcmp(window.data() + i, kBlockMarker,
+                        sizeof(kBlockMarker)) == 0)
+          break;
+      if (i + sizeof(kBlockMarker) <= window.size()) {
+        stats_.bytes_discarded += i;
+        carry_.assign(window.begin() + static_cast<std::ptrdiff_t>(i),
+                      window.end());
+        return true;
+      }
+      if (window.size() > 3) {  // keep a 3-byte overlap for split markers
+        stats_.bytes_discarded += window.size() - 3;
+        window.erase(window.begin(),
+                     window.end() - 3);
+      }
+      std::uint8_t chunk[512];
+      in_.read(reinterpret_cast<char*>(chunk), sizeof(chunk));
+      const auto got = static_cast<std::size_t>(in_.gcount());
+      if (got == 0) {
+        stats_.bytes_discarded += window.size();
+        return false;
+      }
+      window.insert(window.end(), chunk, chunk + got);
+    }
+  };
+
+  for (;;) {
+    std::uint8_t header[kBlockHeaderSize];
+    std::size_t got = 0;
+    if (!read_exact(header, sizeof(header), &got)) {
+      if (got > 0) {  // partial header: torn tail
+        stats_.bytes_discarded += got;
+        stats_.truncated_tail = true;
+      }
+      return false;
+    }
+    const std::uint32_t payload_len = get_u32le(header + 4);
+    const std::uint32_t record_count = get_u32le(header + 8);
+    const std::uint32_t crc = get_u32le(header + 12);
+    if (std::memcmp(header, kBlockMarker, sizeof(kBlockMarker)) != 0 ||
+        payload_len > kMaxBlockPayload) {
+      if (!resync(std::vector<std::uint8_t>(header, header + sizeof(header))))
+        return false;
+      continue;
+    }
+    ++stats_.blocks_total;
+    std::vector<std::uint8_t> payload(payload_len);
+    got = 0;
+    if (!read_exact(payload.data(), payload_len, &got)) {
+      stats_.bytes_discarded += sizeof(header) + got;
+      stats_.truncated_tail = true;
+      return false;
+    }
+    max_buffered_ = std::max(max_buffered_, payload.size() + sizeof(header));
+    if (crc32c(payload) != crc) {
+      ++stats_.blocks_corrupt;
+      stats_.bytes_discarded += sizeof(header) + payload_len;
+      continue;  // framing intact: the next header follows immediately
+    }
+    // CRC verified; a decode failure past this point is a codec bug or a
+    // CRC collision — treat the block as corrupt rather than trust it.
+    std::span<const std::uint8_t> rest(payload);
+    bool bad = false;
+    for (std::uint32_t r = 0; r < record_count; ++r) {
+      Synopsis s;
+      if (!decode_synopsis(rest, s)) {
+        bad = true;
+        break;
+      }
+      block_records_.push_back(std::move(s));
+    }
+    if (bad || !rest.empty()) {
+      block_records_.clear();
+      ++stats_.blocks_corrupt;
+      stats_.bytes_discarded += sizeof(header) + payload_len;
+      continue;
+    }
+    if (!block_records_.empty()) return true;
+  }
+}
+
+bool TraceReader::next_v1(Synopsis& out) {
+  for (;;) {
+    std::span<const std::uint8_t> rest(v1_buf_.data() + v1_pos_,
+                                       v1_buf_.size() - v1_pos_);
+    if (!rest.empty()) {
+      auto attempt = rest;
+      if (decode_synopsis(attempt, out)) {
+        v1_pos_ = v1_buf_.size() - attempt.size();
+        ++stats_.synopses;
+        return true;
+      }
+    }
+    if (v1_eof_) {
+      // v1 carries no framing, so a failed record ends recovery: whether
+      // torn tail or mid-file damage, everything after the last complete
+      // record is discarded.
+      if (!rest.empty()) {
+        stats_.bytes_discarded += rest.size();
+        stats_.truncated_tail = true;
+        v1_pos_ = v1_buf_.size();
+      }
+      return false;
+    }
+    // The record may simply span the chunk boundary: slide the unconsumed
+    // tail to the front and read another chunk.
+    v1_buf_.erase(v1_buf_.begin(),
+                  v1_buf_.begin() + static_cast<std::ptrdiff_t>(v1_pos_));
+    v1_pos_ = 0;
+    const std::size_t old = v1_buf_.size();
+    v1_buf_.resize(old + kV1Chunk);
+    in_.read(reinterpret_cast<char*>(v1_buf_.data() + old), kV1Chunk);
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    v1_buf_.resize(old + got);
+    if (got < kV1Chunk) v1_eof_ = true;
+    max_buffered_ = std::max(max_buffered_, v1_buf_.size());
+  }
+}
+
+// ---- file convenience wrappers ---------------------------------------------
+
+bool write_trace_file(const std::string& path,
+                      std::span<const Synopsis> trace) {
+  bool ok;
+  {
+    TraceWriter writer(path);
+    ok = writer.ok();
+    for (const auto& s : trace) {
+      if (!writer.append(s)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ok = writer.finalize();
+  }
+  if (!ok) {  // don't leave a stale temp file behind
+    std::error_code ec;
+    std::filesystem::remove(path + ".tmp", ec);
+  }
+  return ok;
+}
+
+std::optional<std::vector<Synopsis>> read_trace_file(const std::string& path,
+                                                     TraceStats* stats) {
+  TraceReader reader(path);
+  if (stats) *stats = reader.stats();
+  if (!reader.ok()) return std::nullopt;
+  std::vector<Synopsis> trace;
+  Synopsis s;
+  while (reader.next(s)) trace.push_back(std::move(s));
+  if (stats) *stats = reader.stats();
+  return trace;
 }
 
 }  // namespace saad::core

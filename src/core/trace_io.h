@@ -2,11 +2,33 @@
 //
 // SAAD keeps synopses in memory in production, "however, they could be
 // stored for later inspection" (paper §5.3.2) — and storing them is how the
-// train-offline/deploy-online workflow works. A trace file is the magic
-// header followed by back-to-back varint-encoded synopses (the same wire
-// encoding the channel uses); a one-hour production trace is a few MB.
+// train-offline/deploy-online workflow works. Two on-disk formats share the
+// read_trace_file / TraceReader entry points:
+//
+//  v1 ("SAADTRC1") — the original format: the magic followed by back-to-back
+//    varint-encoded synopses (the same wire encoding the channel uses).
+//    Compact but fragile: records carry no framing, so a reader cannot skip
+//    damage — it can only recover the complete-record *prefix* of a file and
+//    discard the rest. Kept readable for traces written by older builds.
+//
+//  v2 ("SAADTRC2") — the framed streaming format written by TraceWriter:
+//    the magic followed by checksummed blocks
+//
+//      +--------+-------------+--------------+---------+------------------+
+//      | "BLK2" | payload_len | record_count | crc32c  | payload          |
+//      | 4 B    | u32 LE      | u32 LE       | u32 LE  | encoded synopses |
+//      +--------+-------------+--------------+---------+------------------+
+//
+//    Every flush() seals a block, so a recorder killed mid-run (power cut,
+//    kill -9) loses at most the unflushed tail: TraceReader verifies each
+//    block's CRC32C, skips corrupt blocks (counted in TraceStats),
+//    resynchronizes on the "BLK2" marker after damaged framing, and stops
+//    cleanly at a torn tail. Reader and writer memory are O(one block), not
+//    O(trace) — a one-hour production trace streams through a few KB.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <optional>
 #include <span>
 #include <string>
@@ -16,16 +38,142 @@
 
 namespace saad::core {
 
-/// Serializes `trace` into a byte buffer (header + concatenated synopses).
+/// What a read pass saw: how much decoded cleanly and how much damage was
+/// tolerated. A trace with blocks_corrupt == 0 && bytes_discarded == 0 is
+/// pristine.
+struct TraceStats {
+  int version = 0;                    // 1 or 2; 0 = magic not recognized
+  std::uint64_t synopses = 0;         // records successfully decoded
+  std::uint64_t blocks_total = 0;     // v2: block headers seen (incl. corrupt)
+  std::uint64_t blocks_corrupt = 0;   // v2: blocks skipped (bad CRC/framing)
+  std::uint64_t bytes_discarded = 0;  // corrupt-block + torn-tail bytes
+  bool truncated_tail = false;        // file ended mid-record / mid-block
+};
+
+/// Serializes `trace` into a v1 byte buffer (header + concatenated
+/// synopses). Kept for compatibility and for in-memory round trips; files
+/// are written in format v2 (see TraceWriter / write_trace_file).
 std::vector<std::uint8_t> encode_trace(std::span<const Synopsis> trace);
 
-/// Parses a buffer produced by encode_trace. nullopt on bad magic or a
-/// malformed record.
+/// Parses a v1 buffer. nullopt only on bad magic. A truncated or malformed
+/// record ends the parse: the complete-record prefix is returned and the
+/// discarded byte count is reported through `stats`.
 std::optional<std::vector<Synopsis>> decode_trace(
-    std::span<const std::uint8_t> bytes);
+    std::span<const std::uint8_t> bytes, TraceStats* stats = nullptr);
 
-/// File convenience wrappers; false/nullopt on I/O errors.
+/// Streaming, crash-safe trace writer (format v2). Appended synopses are
+/// buffered into a block; when the block payload reaches block_bytes — or on
+/// an explicit flush() — the block is sealed (length + record count + CRC32C
+/// header) and pushed to the OS, making everything up to that boundary
+/// recoverable even if the process dies. finalize() publishes the file
+/// atomically: the stream goes to `path + ".tmp"` and is renamed onto `path`
+/// only once complete, so a reader at `path` never observes a half-written
+/// file and a crash mid-record leaves any previous good trace untouched
+/// (the torn ".tmp" remains readable block-by-block with TraceReader).
+class TraceWriter {
+ public:
+  struct Options {
+    std::size_t block_bytes = 64 * 1024;  // payload size that seals a block
+    bool atomic_finalize = true;  // stream to path+".tmp", rename on finalize
+  };
+
+  explicit TraceWriter(std::string path) : TraceWriter(std::move(path), Options()) {}
+  TraceWriter(std::string path, Options options);
+  /// Flushes buffered synopses but never renames: destruction without
+  /// finalize() models a crash and leaves the ".tmp" recoverable.
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// False after any I/O error; subsequent calls are no-ops.
+  bool ok() const { return ok_; }
+
+  /// Buffers one synopsis; seals and writes a block when full.
+  bool append(const Synopsis& s);
+
+  /// Seals the current block (if non-empty) and flushes to the OS: a crash
+  /// after flush() loses nothing appended before it.
+  bool flush();
+
+  /// flush() + close + (atomic mode) rename into place. Idempotent.
+  bool finalize();
+
+  std::uint64_t synopses_written() const { return synopses_; }
+  std::uint64_t blocks_written() const { return blocks_; }
+  /// Framed bytes written so far (file magic + sealed block frames).
+  std::uint64_t bytes_written() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  bool write_block();
+
+  std::string path_;
+  std::string write_path_;  // path_ or path_ + ".tmp"
+  Options options_;
+  std::ofstream out_;
+  std::vector<std::uint8_t> payload_;  // current unsealed block
+  std::uint32_t payload_records_ = 0;
+  std::uint64_t synopses_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t bytes_ = 0;
+  bool ok_ = false;
+  bool finalized_ = false;
+};
+
+/// Streaming trace reader for both formats. Iterates synopses one at a
+/// time; damage short of an unrecognizable magic is skipped and tallied in
+/// stats() rather than failing the whole file. For v2, memory is bounded by
+/// one block. For v1 (no framing) the reader streams in chunks but must
+/// buffer up to the rest of the file when a record is malformed mid-stream;
+/// the complete-record prefix is still recovered.
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+
+  /// False when the file could not be opened or carries no trace magic.
+  bool ok() const { return ok_; }
+  int version() const { return stats_.version; }
+
+  /// Decodes the next synopsis; false at the end of recoverable data.
+  /// Damage counters in stats() are final once next() has returned false.
+  bool next(Synopsis& out);
+
+  const TraceStats& stats() const { return stats_; }
+
+  /// Peak bytes buffered internally (framed block for v2, chunk buffer for
+  /// v1). Lets tests pin the O(one block) memory guarantee.
+  std::size_t max_buffered_bytes() const { return max_buffered_; }
+
+ private:
+  bool read_exact(std::uint8_t* dst, std::size_t n, std::size_t* got);
+  bool refill_block_v2();
+  bool next_v1(Synopsis& out);
+
+  std::ifstream in_;
+  bool ok_ = false;
+  TraceStats stats_;
+  std::size_t max_buffered_ = 0;
+
+  // v2: records of the current CRC-verified block, drained front to back.
+  std::vector<Synopsis> block_records_;
+  std::size_t block_pos_ = 0;
+  std::vector<std::uint8_t> carry_;  // bytes consumed while resynchronizing
+
+  // v1: chunked byte buffer.
+  std::vector<std::uint8_t> v1_buf_;
+  std::size_t v1_pos_ = 0;
+  bool v1_eof_ = false;
+};
+
+/// Writes `trace` as a v2 file via TraceWriter: temp file + atomic rename,
+/// so failure at any point leaves a previous trace at `path` intact.
 bool write_trace_file(const std::string& path, std::span<const Synopsis> trace);
-std::optional<std::vector<Synopsis>> read_trace_file(const std::string& path);
+
+/// Loads an entire trace file (v1 or v2) through TraceReader. nullopt when
+/// the file cannot be opened or the magic is unrecognized; lesser damage
+/// (corrupt blocks, torn tail) yields the recoverable records, tallied in
+/// `stats`.
+std::optional<std::vector<Synopsis>> read_trace_file(
+    const std::string& path, TraceStats* stats = nullptr);
 
 }  // namespace saad::core

@@ -17,13 +17,17 @@ inline void put_varint(std::uint64_t v, std::vector<std::uint8_t>& out) {
 }
 
 /// Reads one varint from the front of `in`, advancing it. False on
-/// truncated or overlong input.
+/// truncated input, on encodings longer than 10 bytes, and on 10-byte
+/// encodings whose final byte carries bits beyond the 64th — those bits
+/// would otherwise be shifted out and silently dropped.
 inline bool get_varint(std::span<const std::uint8_t>& in, std::uint64_t& v) {
   v = 0;
   for (int shift = 0; shift < 64; shift += 7) {
     if (in.empty()) return false;
     const std::uint8_t byte = in.front();
     in = in.subspan(1);
+    // The 10th byte (shift 63) has exactly one bit of room left in a u64.
+    if (shift == 63 && (byte & 0x7F) > 1) return false;
     v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) return true;
   }

@@ -1,0 +1,343 @@
+// Corruption / fuzz suite for every binary codec: varint, synopsis,
+// trace v1, trace v2, and the model image. The contract under test is
+// uniform: random byte mutations and truncations must decode to a clean
+// error (or skip, for framed traces) — never crash, never OOM, never
+// fabricate records. Runs under the asan preset in CI (ctest -L corruption).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "common/crc32c.h"
+#include "common/rng.h"
+#include "core/model.h"
+#include "core/trace_io.h"
+#include "core/varint.h"
+
+namespace saad::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<Synopsis> sample_trace(std::size_t n, std::uint64_t seed) {
+  saad::Rng rng(seed);
+  std::vector<Synopsis> trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Synopsis s;
+    s.host = static_cast<HostId>(rng.next_below(4));
+    s.stage = static_cast<StageId>(rng.next_below(8));
+    s.uid = i;
+    s.start = static_cast<UsTime>(rng.next_below(minutes(5)));
+    s.duration = static_cast<UsTime>(rng.next_below(sec(1)));
+    LogPointId prev = 0;
+    const std::size_t points = 1 + rng.next_below(5);
+    for (std::size_t p = 0; p < points; ++p) {
+      prev = static_cast<LogPointId>(prev + 1 + rng.next_below(9));
+      s.log_points.push_back(
+          {prev, static_cast<std::uint32_t>(1 + rng.next_below(9))});
+    }
+    trace.push_back(std::move(s));
+  }
+  return trace;
+}
+
+void mutate(std::vector<std::uint8_t>& bytes, saad::Rng& rng) {
+  if (bytes.empty()) return;
+  const std::size_t flips = 1 + rng.next_below(4);
+  for (std::size_t f = 0; f < flips; ++f)
+    bytes[rng.next_below(bytes.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+}
+
+// ---- crc32c ----------------------------------------------------------------
+
+TEST(Crc32c, KnownAnswerAndChaining) {
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  // The canonical CRC32C check value (iSCSI test vector).
+  EXPECT_EQ(crc32c(digits), 0xE3069283u);
+  EXPECT_EQ(crc32c({}), 0u);
+  // Chained halves equal the one-shot sum.
+  const auto first = crc32c(std::span(digits, 4));
+  EXPECT_EQ(crc32c(std::span(digits + 4, 5), first), crc32c(digits));
+  // Any single-bit flip changes the sum.
+  auto copy = std::vector<std::uint8_t>(digits, digits + sizeof(digits));
+  copy[3] ^= 0x10;
+  EXPECT_NE(crc32c(copy), crc32c(digits));
+}
+
+// ---- varint ----------------------------------------------------------------
+
+TEST(VarintCorruption, TenthByteOverflowRejected) {
+  // 9 continuation bytes leave one bit of the u64; a 10th byte above 1
+  // encodes bits 65+ which the seed decoder silently dropped.
+  std::vector<std::uint8_t> overflow(9, 0xFF);
+  overflow.push_back(0x7F);
+  std::span<const std::uint8_t> in(overflow);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(get_varint(in, v));
+
+  std::vector<std::uint8_t> max_ok(9, 0xFF);
+  max_ok.push_back(0x01);
+  in = max_ok;
+  ASSERT_TRUE(get_varint(in, v));
+  EXPECT_EQ(v, ~0ull);
+  EXPECT_TRUE(in.empty());
+
+  // An 11th byte (continuation set on the 10th) is also malformed.
+  std::vector<std::uint8_t> eleven(10, 0xFF);
+  eleven.push_back(0x00);
+  in = eleven;
+  EXPECT_FALSE(get_varint(in, v));
+}
+
+TEST(VarintCorruption, EdgeValuesRoundTrip) {
+  for (const std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, (1ull << 32) - 1,
+        1ull << 32, (1ull << 63) - 1, 1ull << 63, ~0ull}) {
+    std::vector<std::uint8_t> buf;
+    put_varint(v, buf);
+    EXPECT_EQ(buf.size(), varint_size(v));
+    std::span<const std::uint8_t> in(buf);
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(get_varint(in, decoded)) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(in.empty());
+    // Every strict prefix is truncated input.
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+      std::span<const std::uint8_t> prefix(buf.data(), cut);
+      EXPECT_FALSE(get_varint(prefix, decoded));
+    }
+  }
+}
+
+TEST(VarintCorruption, RandomBytesNeverCrash) {
+  saad::Rng rng(21);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> buf(rng.next_below(16));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next_u64());
+    std::span<const std::uint8_t> in(buf);
+    std::uint64_t v = 0;
+    if (get_varint(in, v)) {
+      // Whatever decoded must re-encode to at most the consumed length
+      // (overlong-but-in-range encodings are accepted).
+      EXPECT_LE(varint_size(v), buf.size() - in.size());
+    }
+  }
+}
+
+// ---- synopsis --------------------------------------------------------------
+
+TEST(SynopsisCorruption, MutatedRecordsDecodeToErrorOrValidRecord) {
+  saad::Rng rng(22);
+  const auto originals = sample_trace(50, 22);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> buf;
+    encode_synopsis(originals[trial % originals.size()], buf);
+    mutate(buf, rng);
+    std::span<const std::uint8_t> in(buf);
+    Synopsis s;
+    if (decode_synopsis(in, s)) {
+      // A successful decode must re-encode without crashing and within the
+      // codec's own bounds (counts and ids were range-checked).
+      std::vector<std::uint8_t> rebuf;
+      encode_synopsis(s, rebuf);
+      EXPECT_LE(s.log_points.size(), 0x10000u);
+    }
+  }
+}
+
+TEST(SynopsisCorruption, TruncationsAlwaysFail) {
+  const auto originals = sample_trace(20, 23);
+  for (const auto& s : originals) {
+    std::vector<std::uint8_t> buf;
+    encode_synopsis(s, buf);
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+      std::span<const std::uint8_t> in(buf.data(), cut);
+      Synopsis out;
+      EXPECT_FALSE(decode_synopsis(in, out));
+    }
+  }
+}
+
+// ---- trace v1 --------------------------------------------------------------
+
+TEST(TraceCorruption, V1MutationsNeverCrashAndNeverReject) {
+  saad::Rng rng(24);
+  const auto trace = sample_trace(40, 24);
+  const auto pristine = encode_trace(trace);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto bytes = pristine;
+    mutate(bytes, rng);
+    TraceStats stats;
+    const auto decoded = decode_trace(bytes, &stats);
+    if (decoded.has_value()) {
+      // Magic intact: some prefix (possibly empty) was recovered.
+      EXPECT_LE(stats.bytes_discarded, bytes.size());
+    }
+  }
+}
+
+// ---- trace v2 --------------------------------------------------------------
+
+class TraceV2Corruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (fs::temp_directory_path() / "saad_fuzz_v2.trc").string();
+    trace_ = sample_trace(120, 25);
+    TraceWriter::Options options;
+    options.block_bytes = 512;
+    options.atomic_finalize = false;
+    TraceWriter writer(path_, options);
+    for (const auto& s : trace_) ASSERT_TRUE(writer.append(s));
+    ASSERT_TRUE(writer.finalize());
+    pristine_ = read(path_);
+    for (const auto& s : trace_) {
+      std::vector<std::uint8_t> buf;
+      encode_synopsis(s, buf);
+      encodings_.insert(buf);
+    }
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+
+  std::vector<std::uint8_t> read(const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(f)),
+                                     std::istreambuf_iterator<char>());
+  }
+  void write(std::span<const std::uint8_t> bytes) {
+    std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // True iff `s` is bit-identical to one of the written synopses.
+  bool is_genuine(const Synopsis& s) const {
+    std::vector<std::uint8_t> buf;
+    encode_synopsis(s, buf);
+    return encodings_.count(buf) > 0;
+  }
+
+  std::string path_;
+  std::vector<Synopsis> trace_;
+  std::vector<std::uint8_t> pristine_;
+  std::set<std::vector<std::uint8_t>> encodings_;
+};
+
+TEST_F(TraceV2Corruption, MutationsNeverCrashOrFabricateRecords) {
+  saad::Rng rng(26);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bytes = pristine_;
+    mutate(bytes, rng);
+    write(bytes);
+    TraceReader reader(path_);
+    Synopsis s;
+    std::size_t recovered = 0;
+    while (reader.next(s)) {
+      // CRC32C gates every block: damage is skipped, so whatever comes
+      // through is a record we actually wrote.
+      ASSERT_TRUE(is_genuine(s)) << "trial " << trial;
+      ++recovered;
+    }
+    EXPECT_LE(recovered, trace_.size());
+  }
+}
+
+TEST_F(TraceV2Corruption, EveryTruncationRecoversOnlyGenuineRecords) {
+  for (std::size_t cut = 0; cut <= pristine_.size();
+       cut += 1 + cut % 13) {  // irregular stride over all offsets
+    write(std::span(pristine_.data(), cut));
+    TraceReader reader(path_);
+    if (cut < 8) {
+      EXPECT_FALSE(reader.ok()) << "cut=" << cut;
+      continue;
+    }
+    Synopsis s;
+    std::size_t i = 0;
+    while (reader.next(s)) {
+      ASSERT_LT(i, trace_.size());
+      // Truncation must yield an exact prefix, in order.
+      ASSERT_EQ(s, trace_[i]) << "cut=" << cut;
+      ++i;
+    }
+  }
+}
+
+// ---- model -----------------------------------------------------------------
+
+std::vector<Synopsis> model_trace(std::size_t n) {
+  saad::Rng rng(27);
+  std::vector<Synopsis> trace;
+  for (std::size_t i = 0; i < n; ++i) {
+    Synopsis s;
+    s.stage = static_cast<StageId>(rng.next_below(3));
+    s.duration = static_cast<UsTime>(rng.lognormal_median(ms(10), 0.2));
+    s.log_points = rng.chance(0.01)
+                       ? std::vector<LogPointCount>{{1, 1}, {3, 1}}
+                       : std::vector<LogPointCount>{{1, 1}, {2, 2}};
+    trace.push_back(std::move(s));
+  }
+  return trace;
+}
+
+TEST(ModelCorruption, MutationsNeverCrash) {
+  saad::Rng rng(28);
+  const OutlierModel model = OutlierModel::train(model_trace(20000));
+  std::vector<std::uint8_t> pristine;
+  model.save(pristine);
+  ASSERT_TRUE(OutlierModel::load(pristine).has_value());
+  for (int trial = 0; trial < 500; ++trial) {
+    auto bytes = pristine;
+    mutate(bytes, rng);
+    (void)OutlierModel::load(bytes);  // error or valid — never crash
+  }
+}
+
+// Hand-built minimal model image following the documented layout, so a
+// single field can be poisoned precisely.
+std::vector<std::uint8_t> craft_model(std::int64_t duration_threshold) {
+  std::vector<std::uint8_t> out;
+  const char magic[8] = {'S', 'A', 'A', 'D', 'M', 'D', 'L', '1'};
+  out.insert(out.end(), magic, magic + 8);
+  put_double(0.01, out);   // flow_share_threshold
+  put_double(0.99, out);   // duration_quantile
+  put_varint(5, out);      // kfold_k
+  put_double(2.0, out);    // unstable_factor
+  put_varint(50, out);     // min_signature_samples
+  put_varint(100, out);    // trained_tasks
+  put_varint(1, out);      // num_stages
+  put_varint(3, out);      //   stage_id
+  put_varint(100, out);    //   task_count
+  put_double(0.0, out);    //   train_flow_outlier_rate
+  put_varint(1, out);      //   num_signatures
+  put_varint(1, out);      //     point count
+  put_varint(4, out);      //     delta-encoded point
+  put_varint(100, out);    //     task_count
+  put_double(1.0, out);    //     share
+  put_varint(3, out);      //     flags
+  put_varint(zigzag(duration_threshold), out);
+  put_double(0.0, out);    //     train_perf_outlier_rate
+  return out;
+}
+
+TEST(ModelCorruption, NegativeDurationThresholdRejected) {
+  // Sanity: the crafted image with a sane threshold loads...
+  const auto valid = craft_model(ms(5));
+  ASSERT_TRUE(OutlierModel::load(valid).has_value());
+  // ...and the same image with a negative threshold is corruption.
+  const auto poisoned = craft_model(-ms(5));
+  EXPECT_FALSE(OutlierModel::load(poisoned).has_value());
+}
+
+TEST(ModelCorruption, TrailingGarbageRejected) {
+  auto bytes = craft_model(ms(5));
+  bytes.push_back(0x00);
+  EXPECT_FALSE(OutlierModel::load(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace saad::core

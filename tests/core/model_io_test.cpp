@@ -115,6 +115,24 @@ TEST(ModelIo, RejectsTruncation) {
   }
 }
 
+TEST(ModelIo, RejectsTrailingGarbage) {
+  saad::Rng rng(6);
+  const OutlierModel model = OutlierModel::train(sample_trace(5000, rng));
+  std::vector<std::uint8_t> bytes;
+  model.save(bytes);
+  ASSERT_TRUE(OutlierModel::load(bytes).has_value());
+  // A single appended byte means the input is not a model image.
+  for (const std::uint8_t extra : {0x00, 0x01, 0xFF}) {
+    auto padded = bytes;
+    padded.push_back(extra);
+    EXPECT_FALSE(OutlierModel::load(padded).has_value());
+  }
+  // Nor is a model concatenated with itself.
+  auto doubled = bytes;
+  doubled.insert(doubled.end(), bytes.begin(), bytes.end());
+  EXPECT_FALSE(OutlierModel::load(doubled).has_value());
+}
+
 TEST(ModelIo, FuzzGarbageDoesNotCrash) {
   saad::Rng rng(5);
   for (int trial = 0; trial < 300; ++trial) {

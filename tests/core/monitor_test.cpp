@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <stdexcept>
 
 #include "core/log_registry.h"
 #include "core/logger.h"
+#include "core/trace_io.h"
 
 namespace saad::core {
 namespace {
@@ -192,6 +194,47 @@ TEST_F(MonitorFixture, MultiThreadedArmMatchesSerialVerdicts) {
   ASSERT_FALSE(anomalies.empty());
   EXPECT_EQ(anomalies[0].kind, AnomalyKind::kFlow);
   EXPECT_TRUE(anomalies[0].due_to_new_signature);
+}
+
+TEST_F(MonitorFixture, RecordingStreamsSynopsesToDisk) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "saad_monitor_rec.trc")
+          .string();
+  Monitor monitor(&registry, &clock);
+  TraceWriter::Options options;
+  options.block_bytes = 256;  // several blocks for 200 tasks
+  TraceWriter writer(path, options);
+  monitor.start_recording(&writer);
+  for (int i = 0; i < 200; ++i) run_task(monitor, false, ms(5));
+  monitor.poll(clock.now());
+  EXPECT_TRUE(monitor.stop_recording());
+  ASSERT_TRUE(writer.finalize());
+  EXPECT_EQ(writer.synopses_written(), 200u);
+  // Recording spills to disk instead of RAM.
+  EXPECT_TRUE(monitor.training_trace().empty());
+
+  TraceStats stats;
+  const auto loaded = read_trace_file(path, &stats);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 200u);
+  EXPECT_EQ(stats.version, 2);
+  EXPECT_GT(stats.blocks_total, 1u);
+  for (const auto& s : *loaded) EXPECT_EQ(s.stage, stage);
+
+  // The spilled trace round-trips into training, closing the loop:
+  // record -> file -> train.
+  Monitor trainer(&registry, &clock);
+  trainer.set_model(OutlierModel::train(*loaded));
+  trainer.arm();
+  run_task(trainer, true, ms(5));
+  clock.advance(minutes(2));
+  EXPECT_FALSE(trainer.poll(clock.now()).empty());
+  std::filesystem::remove(path);
+}
+
+TEST_F(MonitorFixture, StopRecordingWithoutStartThrows) {
+  Monitor monitor(&registry, &clock);
+  EXPECT_THROW(monitor.stop_recording(), std::logic_error);
 }
 
 TEST_F(MonitorFixture, SetModelAllowsExternallyTrainedModel) {

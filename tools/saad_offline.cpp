@@ -1,12 +1,17 @@
 // saad_offline — command-line front end for the train-offline /
 // detect-offline workflow on synopsis trace files.
 //
-//   record  run a simulated cluster, write the synopsis trace + the log
-//           template dictionary (and optionally inject a fault)
+//   record  run a simulated cluster, stream the synopsis trace to disk
+//           (crash-safe v2 framing) + the log template dictionary (and
+//           optionally inject a fault)
 //   train   build an outlier model from a fault-free trace
 //   detect  replay a trace against a model; print anomalies, optionally
 //           write a self-contained HTML report
-//   info    summarize a trace file
+//   info    summarize a trace file, including per-block integrity
+//
+// train/detect/info stream the trace through TraceReader block by block
+// (v1 and v2), so damaged files degrade to a warning about skipped blocks
+// or a torn tail instead of a hard failure.
 //
 // Example session:
 //   saad_offline record --system=cassandra --minutes=6
@@ -17,6 +22,7 @@
 //   saad_offline detect --trace=faulty.trc --model=model.bin
 //       --registry=reg.bin --html=report.html
 // (each command is a single line; wrapped here for readability)
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -98,6 +104,23 @@ std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
                                    std::istreambuf_iterator<char>());
 }
 
+// One stderr line per kind of damage a read pass tolerated, so a recovered
+// trace never looks pristine.
+void warn_trace_damage(const char* cmd, const core::TraceStats& stats) {
+  if (stats.blocks_corrupt > 0) {
+    std::fprintf(stderr,
+                 "%s: warning: skipped %llu corrupt block(s) of %llu\n", cmd,
+                 static_cast<unsigned long long>(stats.blocks_corrupt),
+                 static_cast<unsigned long long>(stats.blocks_total));
+  }
+  if (stats.truncated_tail || stats.bytes_discarded > 0) {
+    std::fprintf(stderr,
+                 "%s: warning: discarded %llu unrecoverable byte(s)%s\n", cmd,
+                 static_cast<unsigned long long>(stats.bytes_discarded),
+                 stats.truncated_tail ? " (torn tail)" : "");
+  }
+}
+
 int cmd_record(const Args& args) {
   if (args.trace.empty()) {
     std::fprintf(stderr, "record: --trace=<out> required\n");
@@ -176,17 +199,32 @@ int cmd_record(const Args& args) {
   workload::YcsbDriver ycsb(&engine, service, wl, args.seed ^ 0x55AA);
   ycsb.start(minutes(2 + args.run_minutes));
 
-  engine.run_until(minutes(2));   // warm to steady state
-  monitor.start_training();       // capture from here
-  engine.run_until(minutes(2 + args.run_minutes));
-  monitor.poll(engine.now());
-
-  const auto& trace = monitor.training_trace();
-  if (!core::write_trace_file(args.trace, trace)) {
+  // Stream the capture: synopses spill to disk in checksummed blocks as the
+  // run progresses (O(block) memory), and a crash mid-run loses at most the
+  // synopses since the last sealed block. The file appears at --trace only
+  // on clean finalize; until then it streams to --trace.tmp.
+  core::TraceWriter writer(args.trace);
+  if (!writer.ok()) {
     std::fprintf(stderr, "record: cannot write %s\n", args.trace.c_str());
     return 1;
   }
-  std::printf("wrote %zu synopses to %s\n", trace.size(), args.trace.c_str());
+  engine.run_until(minutes(2));        // warm to steady state
+  monitor.start_recording(&writer);    // capture from here
+  const UsTime end = minutes(2 + args.run_minutes);
+  for (UsTime t = minutes(2); t < end;) {
+    t = std::min(end, t + sec(10));
+    engine.run_until(t);
+    monitor.poll(engine.now());        // hand the batch to the writer
+  }
+  if (!monitor.stop_recording() || !writer.finalize()) {
+    std::fprintf(stderr, "record: cannot write %s\n", args.trace.c_str());
+    return 1;
+  }
+  std::printf("wrote %llu synopses in %llu blocks (%.2f MB) to %s\n",
+              static_cast<unsigned long long>(writer.synopses_written()),
+              static_cast<unsigned long long>(writer.blocks_written()),
+              static_cast<double>(writer.bytes_written()) / 1e6,
+              args.trace.c_str());
   if (!args.registry.empty()) {
     std::vector<std::uint8_t> bytes;
     registry.save(bytes);
@@ -203,12 +241,18 @@ int cmd_record(const Args& args) {
 }
 
 int cmd_train(const Args& args) {
-  const auto trace = core::read_trace_file(args.trace);
-  if (!trace) {
+  // Stream the file through the recovering reader: a damaged trace trains
+  // on everything recoverable, with the damage reported loudly.
+  core::TraceReader reader(args.trace);
+  if (!reader.ok()) {
     std::fprintf(stderr, "train: cannot read --trace=%s\n", args.trace.c_str());
     return 1;
   }
-  const auto model = core::OutlierModel::train(*trace);
+  std::vector<core::Synopsis> trace;
+  core::Synopsis s;
+  while (reader.next(s)) trace.push_back(std::move(s));
+  warn_trace_damage("train", reader.stats());
+  const auto model = core::OutlierModel::train(trace);
   std::vector<std::uint8_t> bytes;
   model.save(bytes);
   if (args.model.empty() || !write_file(args.model, bytes)) {
@@ -223,8 +267,8 @@ int cmd_train(const Args& args) {
 }
 
 int cmd_detect(const Args& args) {
-  const auto trace = core::read_trace_file(args.trace);
-  if (!trace) {
+  core::TraceReader reader(args.trace);
+  if (!reader.ok()) {
     std::fprintf(stderr, "detect: cannot read --trace=%s\n",
                  args.trace.c_str());
     return 1;
@@ -256,11 +300,19 @@ int cmd_detect(const Args& args) {
   config.analyzer_threads =
       args.threads < 0 ? 1 : static_cast<std::size_t>(args.threads);
   core::AnalyzerPool analyzer(&*model, config);
-  for (const auto& s : *trace) analyzer.ingest(s);
+  // True streaming: synopses flow from disk block-by-block into the
+  // analyzer, so detection memory is O(block) + O(open windows), not
+  // O(trace).
+  std::size_t ingested = 0;
+  core::Synopsis s;
+  while (reader.next(s)) {
+    analyzer.ingest(s);
+    ++ingested;
+  }
+  warn_trace_damage("detect", reader.stats());
   const auto anomalies = analyzer.finish();
 
-  std::printf("%zu anomalies in %zu synopses:\n", anomalies.size(),
-              trace->size());
+  std::printf("%zu anomalies in %zu synopses:\n", anomalies.size(), ingested);
   for (const auto& a : anomalies)
     std::printf("  %s\n", core::describe(a, registry).c_str());
 
@@ -286,25 +338,40 @@ int cmd_detect(const Args& args) {
 }
 
 int cmd_info(const Args& args) {
-  const auto trace = core::read_trace_file(args.trace);
-  if (!trace) {
+  core::TraceReader reader(args.trace);
+  if (!reader.ok()) {
     std::fprintf(stderr, "info: cannot read --trace=%s\n", args.trace.c_str());
     return 1;
   }
   UsTime first = 0, last = 0;
   std::uint64_t bytes = 0;
   std::map<core::StageId, std::uint64_t> per_stage;
-  for (const auto& s : *trace) {
+  core::Synopsis s;
+  std::size_t count = 0;
+  while (reader.next(s)) {
     if (s.start < first || first == 0) first = s.start;
     last = std::max(last, s.start + s.duration);
     bytes += core::encoded_size(s);
     per_stage[s.stage]++;
+    ++count;
   }
-  std::printf("%zu synopses, %.2f MB encoded, spanning %.1f minutes, %zu "
-              "stages\n",
-              trace->size(), static_cast<double>(bytes) / 1e6,
+  const auto& stats = reader.stats();
+  std::printf("format v%d: %zu synopses, %.2f MB encoded, spanning %.1f "
+              "minutes, %zu stages\n",
+              stats.version, count, static_cast<double>(bytes) / 1e6,
               to_min(last - first), per_stage.size());
-  return 0;
+  if (stats.version == 2) {
+    std::printf("integrity: %llu blocks, %llu corrupt, %llu bytes "
+                "discarded%s\n",
+                static_cast<unsigned long long>(stats.blocks_total),
+                static_cast<unsigned long long>(stats.blocks_corrupt),
+                static_cast<unsigned long long>(stats.bytes_discarded),
+                stats.truncated_tail ? ", torn tail" : "");
+  } else if (stats.bytes_discarded > 0) {
+    std::printf("integrity: %llu trailing bytes discarded (torn v1 tail)\n",
+                static_cast<unsigned long long>(stats.bytes_discarded));
+  }
+  return stats.blocks_corrupt > 0 || stats.bytes_discarded > 0 ? 3 : 0;
 }
 
 }  // namespace
