@@ -8,6 +8,10 @@ namespace saad::core {
 
 namespace {
 
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
 std::string_view trim(std::string_view s) {
   while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
     s.remove_prefix(1);
@@ -16,74 +20,332 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
-/// Extracts the first double-quoted string literal after `from` in `line`
-/// (handling \" escapes). Empty when none.
-std::string first_string_literal(std::string_view line, std::size_t from) {
-  const auto open = line.find('"', from);
-  if (open == std::string_view::npos) return {};
-  std::string out;
-  for (std::size_t i = open + 1; i < line.size(); ++i) {
-    if (line[i] == '\\' && i + 1 < line.size()) {
-      out += line[i + 1];
-      ++i;
-      continue;
-    }
-    if (line[i] == '"') return out;
-    out += line[i];
-  }
-  return {};
-}
-
-/// Finds `needle` at a word-ish boundary (not preceded by an identifier
-/// character), case-insensitive on the first letter to catch LOG./log. use.
-std::size_t find_call(std::string_view line, std::string_view needle) {
-  for (std::size_t pos = 0; pos + needle.size() <= line.size(); ++pos) {
-    bool match = true;
-    for (std::size_t i = 0; i < needle.size(); ++i) {
-      const char a = static_cast<char>(
-          std::tolower(static_cast<unsigned char>(line[pos + i])));
-      if (a != needle[i]) {
-        match = false;
+// ---- Lexing pass ------------------------------------------------------------
+// `code` is the source with comment bytes and string/char-literal contents
+// blanked to '\x01' (newlines preserved, quote characters kept). Searching
+// `code` can therefore never match inside a comment or a literal, while the
+// original `source` still holds the literal text for template extraction.
+std::string mask_comments_and_strings(std::string_view source) {
+  std::string code(source);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code[i] = code[i + 1] = '\x01';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code[i] = code[i + 1] = '\x01';
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n')
+          state = State::kCode;
+        else
+          code[i] = '\x01';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          code[i] = code[i + 1] = '\x01';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          code[i] = '\x01';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char close = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < source.size()) {
+          code[i] = '\x01';
+          if (next != '\n') code[i + 1] = '\x01';
+          ++i;
+        } else if (c == close) {
+          state = State::kCode;
+        } else if (c == '\n') {
+          // Unterminated literal at end of line: bail back to code so one
+          // bad line cannot swallow the rest of the file.
+          state = State::kCode;
+        } else {
+          code[i] = '\x01';
+        }
         break;
       }
     }
-    if (!match) continue;
-    // Word boundary only matters when the needle begins with an identifier
-    // character (e.g. "saad_stage("); needles like ".info(" legitimately
-    // follow a receiver name.
-    const char first = needle.front();
-    if ((std::isalnum(static_cast<unsigned char>(first)) || first == '_') &&
-        pos > 0) {
-      const char prev = line[pos - 1];
-      if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_')
-        continue;
-    }
-    return pos;
+  }
+  return code;
+}
+
+/// 1-based (line, column) lookup built once per scan.
+class LineIndex {
+ public:
+  explicit LineIndex(std::string_view source) {
+    starts_.push_back(0);
+    for (std::size_t i = 0; i < source.size(); ++i)
+      if (source[i] == '\n') starts_.push_back(i + 1);
+  }
+  int line(std::size_t pos) const {
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+    return static_cast<int>(it - starts_.begin());
+  }
+  int column(std::size_t pos) const {
+    return static_cast<int>(pos - starts_[static_cast<std::size_t>(
+                                      line(pos) - 1)]) +
+           1;
+  }
+  std::string_view line_text(std::string_view source, int line_number) const {
+    const std::size_t begin =
+        starts_[static_cast<std::size_t>(line_number - 1)];
+    std::size_t end = source.find('\n', begin);
+    if (end == std::string_view::npos) end = source.size();
+    return source.substr(begin, end - begin);
+  }
+
+ private:
+  std::vector<std::size_t> starts_;
+};
+
+/// Case-insensitive match of `word` at `pos` in `code`, with identifier
+/// boundaries on both sides.
+bool word_at(std::string_view code, std::size_t pos, std::string_view word) {
+  if (pos + word.size() > code.size()) return false;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(code[pos + i])) != word[i])
+      return false;
+  }
+  if (pos > 0 && is_ident(code[pos - 1])) return false;
+  if (pos + word.size() < code.size() && is_ident(code[pos + word.size()]))
+    return false;
+  return true;
+}
+
+std::size_t skip_ws(std::string_view code, std::size_t pos) {
+  while (pos < code.size() &&
+         (std::isspace(static_cast<unsigned char>(code[pos])) ||
+          code[pos] == '\x01')) {
+    ++pos;
+  }
+  return pos;
+}
+
+/// Position just past the matching ')' for the '(' at `open`, or npos when
+/// unbalanced. Parens inside literals are masked, so plain counting works.
+std::size_t match_paren(std::string_view code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')' && --depth == 0) return i + 1;
   }
   return std::string_view::npos;
 }
 
-/// The enclosing class name from a `class Foo ...` line, if this is one.
-std::string class_name_of(std::string_view line) {
-  const auto trimmed = trim(line);
-  if (trimmed.rfind("class ", 0) != 0 &&
-      trimmed.find(" class ") == std::string_view::npos) {
-    return {};
+/// Unescapes the string literal opening at `open` (which must be a '"' in
+/// `source`); sets `end` past the closing quote.
+std::string read_literal(std::string_view source, std::size_t open,
+                         std::size_t* end) {
+  std::string out;
+  std::size_t i = open + 1;
+  for (; i < source.size(); ++i) {
+    if (source[i] == '\\' && i + 1 < source.size()) {
+      out += source[i + 1];
+      ++i;
+      continue;
+    }
+    if (source[i] == '"' || source[i] == '\n') break;
+    out += source[i];
   }
-  const auto kw = trimmed.find("class ");
-  auto rest = trim(trimmed.substr(kw + 6));
-  std::string name;
-  for (char c : rest) {
-    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') break;
-    name += c;
-  }
-  return name;
+  *end = i < source.size() ? i + 1 : source.size();
+  return out;
 }
 
-bool is_commented(std::string_view line, std::size_t pos) {
-  const auto comment = line.find("//");
-  return comment != std::string_view::npos && comment < pos;
+/// The static template of a call argument list: the first string literal
+/// plus any adjacent literals (C++/Java multi-line constant style
+/// `"a" "b"`). A `+ "tail"` after a dynamic chunk does not extend the
+/// static prefix — only the leading literal run counts.
+std::string static_template(std::string_view source, std::string_view code,
+                            std::size_t arg_begin, std::size_t arg_end) {
+  const auto open = code.find('"', arg_begin);
+  if (open == std::string_view::npos || open >= arg_end) return {};
+  std::string out;
+  std::size_t pos = open;
+  while (pos < arg_end && code[pos] == '"') {
+    std::size_t end = pos;
+    out += read_literal(source, pos, &end);
+    pos = skip_ws(code, end);
+  }
+  return out;
 }
+
+struct ClassScope {
+  std::string name;
+  int body_depth;  // brace depth inside the class body
+};
+
+}  // namespace
+
+ScanResult scan_source(std::string_view source, const std::string& file_name) {
+  ScanResult result;
+  const std::string code = mask_comments_and_strings(source);
+  const LineIndex lines(source);
+
+  static constexpr std::string_view kLevels[] = {"debug", "info", "warn",
+                                                 "error"};
+  static constexpr std::string_view kDequeues[] = {"take", "poll", "dequeue",
+                                                   "pop"};
+
+  std::vector<ClassScope> scopes;
+  std::string pending_class;  // `class Foo` seen, body brace not yet open
+  int depth = 0;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+
+    if (c == '{') {
+      ++depth;
+      if (!pending_class.empty()) {
+        scopes.push_back({std::move(pending_class), depth});
+        pending_class.clear();
+      }
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      if (!scopes.empty() && scopes.back().body_depth == depth)
+        scopes.pop_back();
+      if (depth > 0) --depth;
+      ++i;
+      continue;
+    }
+    if (c == ';' && !pending_class.empty()) {
+      pending_class.clear();  // forward declaration
+      ++i;
+      continue;
+    }
+
+    // `class Foo` — next '{' opens its body.
+    if (c == 'c' && word_at(code, i, "class")) {
+      std::size_t p = skip_ws(code, i + 5);
+      std::string name;
+      while (p < code.size() && is_ident(code[p])) name += code[p++];
+      if (!name.empty()) pending_class = std::move(name);
+      i = p;
+      continue;
+    }
+
+    // SAAD_STAGE ( "Name" ) — whitespace-tolerant, possibly multi-line.
+    if ((c == 's' || c == 'S') && word_at(code, i, "saad_stage")) {
+      const std::size_t paren = skip_ws(code, i + 10);
+      if (paren < code.size() && code[paren] == '(') {
+        const std::size_t close = match_paren(code, paren);
+        const std::size_t limit =
+            close == std::string_view::npos ? code.size() : close;
+        ScannedStage stage;
+        stage.file = file_name;
+        stage.line = lines.line(i);
+        stage.column = lines.column(i);
+        stage.name = static_template(source, code, paren + 1, limit);
+        stage.explicit_marker = true;
+        if (!stage.name.empty()) result.stages.push_back(std::move(stage));
+        i = limit;
+        continue;
+      }
+    }
+
+    // Runnable-style stage beginnings: `void run()` inside a class.
+    if (c == 'v' && word_at(code, i, "void")) {
+      std::size_t p = skip_ws(code, i + 4);
+      if (word_at(code, p, "run")) {
+        const std::size_t paren = skip_ws(code, p + 3);
+        if (paren < code.size() && code[paren] == '(' && !scopes.empty()) {
+          ScannedStage stage;
+          stage.file = file_name;
+          stage.line = lines.line(i);
+          stage.column = lines.column(i);
+          stage.name = scopes.back().name;
+          result.stages.push_back(std::move(stage));
+          i = paren;
+          continue;
+        }
+      }
+    }
+
+    // Logging statements and dequeue sites share the member-call shape
+    // `recv.name(` / `recv->name(`.
+    if (c == '.' || (c == '-' && i + 1 < code.size() && code[i + 1] == '>')) {
+      const std::size_t name_begin = c == '.' ? i + 1 : i + 2;
+
+      // log.<level>("...") — receiver must look like a logger.
+      for (const auto level : kLevels) {
+        if (!word_at(code, name_begin, level)) continue;
+        const std::size_t paren = skip_ws(code, name_begin + level.size());
+        if (paren >= code.size() || code[paren] != '(') break;
+        std::size_t recv_begin = i;
+        while (recv_begin > 0 && is_ident(code[recv_begin - 1])) --recv_begin;
+        std::string receiver(code.substr(recv_begin, i - recv_begin));
+        std::transform(receiver.begin(), receiver.end(), receiver.begin(),
+                       [](unsigned char ch) { return std::tolower(ch); });
+        if (receiver.find("log") == std::string::npos) break;
+
+        const std::size_t close = match_paren(code, paren);
+        const std::size_t limit =
+            close == std::string_view::npos ? code.size() : close;
+        ScannedLogPoint point;
+        point.file = file_name;
+        point.line = lines.line(recv_begin);
+        point.column = lines.column(recv_begin);
+        point.end_line = lines.line(limit > 0 ? limit - 1 : 0);
+        point.level = std::string(level);
+        point.template_text = static_template(source, code, paren + 1, limit);
+        point.stage = scopes.empty() ? std::string() : scopes.back().name;
+        point.dynamic_only = point.template_text.empty();
+        result.log_points.push_back(std::move(point));
+        i = limit;
+        break;
+      }
+      if (i != name_begin - (c == '.' ? 1 : 2)) continue;  // consumed above
+
+      // Dequeue sites: candidate consumer-stage beginnings.
+      for (const auto needle : kDequeues) {
+        if (!word_at(code, name_begin, needle)) continue;
+        const std::size_t paren = skip_ws(code, name_begin + needle.size());
+        if (paren >= code.size() || code[paren] != '(') break;
+        ScannedDequeueSite site;
+        site.file = file_name;
+        site.line = lines.line(i);
+        site.column = lines.column(i);
+        site.text = std::string(trim(lines.line_text(source, site.line)));
+        result.dequeue_sites.push_back(std::move(site));
+        i = paren;
+        break;
+      }
+    }
+
+    ++i;
+  }
+  return result;
+}
+
+void merge(ScanResult& into, ScanResult&& from) {
+  auto move_all = [](auto& dst, auto& src) {
+    dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+               std::make_move_iterator(src.end()));
+  };
+  move_all(into.stages, from.stages);
+  move_all(into.log_points, from.log_points);
+  move_all(into.dequeue_sites, from.dequeue_sites);
+}
+
+namespace {
 
 std::string sanitize_identifier(std::string_view text, std::size_t index) {
   std::string out;
@@ -112,107 +374,6 @@ std::string escape_literal(std::string_view text) {
 
 }  // namespace
 
-ScanResult scan_source(std::string_view source, const std::string& file_name) {
-  ScanResult result;
-  std::string current_class;
-
-  static constexpr std::string_view kLevels[] = {"debug", "info", "warn",
-                                                 "error"};
-  static constexpr std::string_view kDequeues[] = {".take(", ".poll(",
-                                                   ".dequeue(", ".pop("};
-
-  int line_number = 0;
-  std::size_t begin = 0;
-  while (begin <= source.size()) {
-    const auto end = source.find('\n', begin);
-    const std::string_view line =
-        source.substr(begin, end == std::string_view::npos ? std::string_view::npos
-                                                           : end - begin);
-    line_number++;
-
-    if (const auto name = class_name_of(line); !name.empty()) {
-      current_class = name;
-    }
-
-    // Explicit stage markers: SAAD_STAGE("Name") / setContext(stageId).
-    if (const auto pos = find_call(line, "saad_stage(");
-        pos != std::string_view::npos && !is_commented(line, pos)) {
-      ScannedStage stage;
-      stage.file = file_name;
-      stage.line = line_number;
-      stage.name = first_string_literal(line, pos);
-      stage.explicit_marker = true;
-      if (!stage.name.empty()) result.stages.push_back(std::move(stage));
-    }
-
-    // Runnable-style stage beginnings: `void run()` inside a class.
-    if (const auto pos = find_call(line, "void run(");
-        pos != std::string_view::npos && !is_commented(line, pos) &&
-        !current_class.empty()) {
-      ScannedStage stage;
-      stage.file = file_name;
-      stage.line = line_number;
-      stage.name = current_class;
-      result.stages.push_back(std::move(stage));
-    }
-
-    // Logging statements: log.<level>("...") / LOG.<level>("...").
-    for (const auto level : kLevels) {
-      const std::string call = std::string(".") + std::string(level) + "(";
-      const auto pos = find_call(line, call);
-      if (pos == std::string_view::npos || is_commented(line, pos)) continue;
-      // Require a log-ish receiver right before the call.
-      const auto recv_end = pos;
-      std::size_t recv_begin = recv_end;
-      while (recv_begin > 0 &&
-             (std::isalnum(static_cast<unsigned char>(line[recv_begin - 1])) ||
-              line[recv_begin - 1] == '_')) {
-        recv_begin--;
-      }
-      std::string receiver(line.substr(recv_begin, recv_end - recv_begin));
-      std::transform(receiver.begin(), receiver.end(), receiver.begin(),
-                     [](unsigned char c) { return std::tolower(c); });
-      if (receiver.find("log") == std::string::npos) continue;
-
-      const auto text = first_string_literal(line, pos);
-      if (text.empty()) continue;
-      ScannedLogPoint point;
-      point.file = file_name;
-      point.line = line_number;
-      point.level = std::string(level);
-      point.template_text = text;
-      point.stage = current_class;
-      result.log_points.push_back(std::move(point));
-    }
-
-    // Dequeue sites: candidate consumer-stage beginnings.
-    for (const auto needle : kDequeues) {
-      const auto pos = find_call(line, needle);
-      if (pos == std::string_view::npos || is_commented(line, pos)) continue;
-      ScannedDequeueSite site;
-      site.file = file_name;
-      site.line = line_number;
-      site.text = std::string(trim(line));
-      result.dequeue_sites.push_back(std::move(site));
-      break;
-    }
-
-    if (end == std::string_view::npos) break;
-    begin = end + 1;
-  }
-  return result;
-}
-
-void merge(ScanResult& into, ScanResult&& from) {
-  auto move_all = [](auto& dst, auto& src) {
-    dst.insert(dst.end(), std::make_move_iterator(src.begin()),
-               std::make_move_iterator(src.end()));
-  };
-  move_all(into.stages, from.stages);
-  move_all(into.log_points, from.log_points);
-  move_all(into.dequeue_sites, from.dequeue_sites);
-}
-
 std::string generate_registration(const ScanResult& result) {
   std::ostringstream out;
   out << "// Generated by saad_instrument — do not edit.\n"
@@ -224,6 +385,7 @@ std::string generate_registration(const ScanResult& result) {
   }
   out << "};\n\nstruct LogPoints {\n";
   for (std::size_t i = 0; i < result.log_points.size(); ++i) {
+    if (result.log_points[i].dynamic_only) continue;
     out << "  saad::core::LogPointId "
         << sanitize_identifier(result.log_points[i].template_text, i) << ";\n";
   }
@@ -238,6 +400,7 @@ std::string generate_registration(const ScanResult& result) {
   }
   for (std::size_t i = 0; i < result.log_points.size(); ++i) {
     const auto& point = result.log_points[i];
+    if (point.dynamic_only) continue;
     // Attribute the point to its enclosing stage when scanned, else stage 0.
     std::string stage_expr = "0";
     for (std::size_t s = 0; s < result.stages.size(); ++s) {

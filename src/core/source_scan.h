@@ -2,9 +2,11 @@
 // pre-processing pass (two ~50-line Ruby scripts in the original).
 //
 // Given server source text, the scanner finds
-//   * logging statements (log.debug/info/warn/error with a string literal):
-//     these become log points; their static text becomes the template
-//     dictionary entry;
+//   * logging statements (log.debug/info/warn/error): these become log
+//     points; their static text becomes the template dictionary entry.
+//     Statements may span lines; adjacent string literals concatenate;
+//     calls with no static literal at all are recorded as dynamic-only
+//     (the lint layer flags them — their dictionary entry would be empty);
 //   * stage beginnings: `void run()` methods of Runnable-style classes
 //     (covers dispatcher-worker and Executor-based producer-consumer
 //     stages) and explicit SAAD_STAGE("Name") markers;
@@ -12,8 +14,16 @@
 //     candidate non-Executor consumer-stage beginnings, "identified and
 //     presented for manual inspection" exactly as in the paper.
 //
+// The scan is span-aware: it lexes comments and string literals first, so
+// `log.info` inside a comment or a string never matches, and every finding
+// carries a (line, column, end_line) span for diagnostics. Stage
+// attribution tracks brace depth, so a log point after a class body closes
+// is not attributed to that class.
+//
 // From a scan the tool generates the registration code that builds the
 // LogRegistry at startup — the dense log-point ids the tracker needs.
+// The `src/lint` layer consumes the same ScanResult to judge the
+// instrumentation (duplicate templates, stages without log points, ...).
 #pragma once
 
 #include <string>
@@ -24,15 +34,19 @@ namespace saad::core {
 
 struct ScannedLogPoint {
   std::string file;
-  int line = 0;
+  int line = 0;      // 1-based line of the call
+  int column = 0;    // 1-based column of the receiver
+  int end_line = 0;  // last line of the (possibly multi-line) statement
   std::string level;          // "debug" | "info" | "warn" | "error"
   std::string template_text;  // static portion of the statement
   std::string stage;          // enclosing class, if known
+  bool dynamic_only = false;  // no string literal: template_text is empty
 };
 
 struct ScannedStage {
   std::string file;
   int line = 0;
+  int column = 0;
   std::string name;
   bool explicit_marker = false;  // SAAD_STAGE vs inferred from run()
 };
@@ -40,6 +54,7 @@ struct ScannedStage {
 struct ScannedDequeueSite {
   std::string file;
   int line = 0;
+  int column = 0;
   std::string text;  // the trimmed source line, for manual inspection
 };
 
@@ -50,7 +65,7 @@ struct ScanResult {
 };
 
 /// Scans one source file's text. Append results across files by scanning
-/// each and merging the vectors.
+/// each and merging the vectors. Findings are in source order.
 ScanResult scan_source(std::string_view source, const std::string& file_name);
 
 void merge(ScanResult& into, ScanResult&& from);
@@ -59,6 +74,8 @@ void merge(ScanResult& into, ScanResult&& from);
 ///   void register_instrumented(saad::core::LogRegistry& registry,
 ///                              Stages& stages, LogPoints& points);
 /// plus the Stages/LogPoints structs with one member per discovery.
+/// Dynamic-only log points (empty template) are skipped — they have no
+/// dictionary entry to register.
 std::string generate_registration(const ScanResult& result);
 
 }  // namespace saad::core

@@ -165,10 +165,12 @@ bool TraceReader::read_exact(std::uint8_t* dst, std::size_t n,
                              std::size_t* got_out) {
   std::size_t got = 0;
   const std::size_t from_carry = std::min(n, carry_.size());
-  std::memcpy(dst, carry_.data(), from_carry);
-  carry_.erase(carry_.begin(),
-               carry_.begin() + static_cast<std::ptrdiff_t>(from_carry));
-  got += from_carry;
+  if (from_carry > 0) {  // empty carry_ has a null data(): UB to memcpy from
+    std::memcpy(dst, carry_.data(), from_carry);
+    carry_.erase(carry_.begin(),
+                 carry_.begin() + static_cast<std::ptrdiff_t>(from_carry));
+    got += from_carry;
+  }
   if (got < n) {
     in_.read(reinterpret_cast<char*>(dst) + got,
              static_cast<std::streamsize>(n - got));

@@ -1,0 +1,119 @@
+#include "lint/baseline.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace saad::lint {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view field) {
+  for (char c : field) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '|':
+        out += "\\|";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+/// Splits a baseline line into its '|'-separated fields, unescaping each.
+std::vector<std::string> split_fields(std::string_view line) {
+  std::vector<std::string> fields(1);
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      const char next = line[i + 1];
+      fields.back() += next == 'n' ? '\n' : next;
+      ++i;
+    } else if (c == '|') {
+      fields.emplace_back();
+    } else {
+      fields.back() += c;
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::string fingerprint(const Diagnostic& diagnostic) {
+  std::string out;
+  append_escaped(out, diagnostic.rule_id);
+  out += '|';
+  append_escaped(out, diagnostic.file);
+  out += '|';
+  append_escaped(out, diagnostic.content_key);
+  return out;
+}
+
+Baseline make_baseline(const std::vector<Diagnostic>& diagnostics) {
+  Baseline baseline;
+  for (const auto& diagnostic : diagnostics)
+    baseline.counts[fingerprint(diagnostic)]++;
+  return baseline;
+}
+
+std::string serialize_baseline(const Baseline& baseline) {
+  std::ostringstream out;
+  out << "# saad_lint baseline v1 — grandfathered findings.\n"
+      << "# One `rule|file|content-key|count` per line; regenerate with\n"
+      << "#   saad_lint --write-baseline=<this file> <paths...>\n";
+  for (const auto& [fp, count] : baseline.counts)
+    out << fp << '|' << count << '\n';
+  return out.str();
+}
+
+bool parse_baseline(std::string_view text, Baseline& baseline) {
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty() || line.front() == '#') continue;
+    const auto fields = split_fields(line);
+    if (fields.size() != 4) return false;
+    int count = 0;
+    const auto& count_field = fields[3];
+    const auto [ptr, ec] = std::from_chars(
+        count_field.data(), count_field.data() + count_field.size(), count);
+    if (ec != std::errc() || ptr != count_field.data() + count_field.size() ||
+        count <= 0) {
+      return false;
+    }
+    std::string fp;
+    append_escaped(fp, fields[0]);
+    fp += '|';
+    append_escaped(fp, fields[1]);
+    fp += '|';
+    append_escaped(fp, fields[2]);
+    baseline.counts[fp] += count;
+  }
+  return true;
+}
+
+std::vector<Diagnostic> filter_new(const std::vector<Diagnostic>& diagnostics,
+                                   const Baseline& baseline) {
+  std::map<std::string, int> remaining = baseline.counts;
+  std::vector<Diagnostic> fresh;
+  for (const auto& diagnostic : diagnostics) {
+    const auto it = remaining.find(fingerprint(diagnostic));
+    if (it != remaining.end() && it->second > 0) {
+      it->second--;
+      continue;
+    }
+    fresh.push_back(diagnostic);
+  }
+  return fresh;
+}
+
+}  // namespace saad::lint

@@ -1,0 +1,44 @@
+// Lint baselines: grandfathering existing findings while new ones fail CI.
+//
+// A baseline is a multiset of diagnostic fingerprints. Fingerprints are
+// content-based — rule id, file, and the finding's content key (template
+// text, stage name, dequeue-site text) — deliberately excluding line
+// numbers, so unrelated edits that shift code do not churn the file. The
+// multiset semantics matter: a baseline entry with count 2 absorbs at most
+// two identical findings; a third is new.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace saad::lint {
+
+struct Baseline {
+  // fingerprint -> number of grandfathered occurrences
+  std::map<std::string, int> counts;
+};
+
+/// Stable identity of a finding: "rule|file|content_key" with '|', '\' and
+/// newlines escaped.
+std::string fingerprint(const Diagnostic& diagnostic);
+
+Baseline make_baseline(const std::vector<Diagnostic>& diagnostics);
+
+/// Serializes to the checked-in text format (one fingerprint + count per
+/// line, sorted, '#' comments).
+std::string serialize_baseline(const Baseline& baseline);
+
+/// Parses serialize_baseline() output. Returns false on a malformed line
+/// (baseline is left with everything parsed up to that point).
+bool parse_baseline(std::string_view text, Baseline& baseline);
+
+/// The findings NOT absorbed by the baseline, in input order. Each
+/// baselined fingerprint absorbs up to its count.
+std::vector<Diagnostic> filter_new(const std::vector<Diagnostic>& diagnostics,
+                                   const Baseline& baseline);
+
+}  // namespace saad::lint

@@ -1,0 +1,102 @@
+#include "lint/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/log_registry.h"
+
+namespace saad::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable_extension(const fs::path& path) {
+  static const std::set<std::string> kExtensions = {
+      ".c", ".cc", ".cpp", ".cxx", ".h", ".hh", ".hpp", ".java", ".scala"};
+  return kExtensions.count(path.extension().string()) > 0;
+}
+
+}  // namespace
+
+std::vector<std::string> collect_sources(const std::vector<std::string>& paths,
+                                         std::vector<std::string>* errors) {
+  std::vector<std::string> files;
+  for (const auto& raw : paths) {
+    std::error_code ec;
+    const fs::path path(raw);
+    if (fs::is_directory(path, ec)) {
+      std::vector<std::string> in_dir;
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && lintable_extension(it->path()))
+          in_dir.push_back(it->path().generic_string());
+      }
+      // Directory iteration order is filesystem-dependent; sort for
+      // deterministic diagnostics and baselines.
+      std::sort(in_dir.begin(), in_dir.end());
+      files.insert(files.end(), in_dir.begin(), in_dir.end());
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(path.generic_string());
+    } else if (errors != nullptr) {
+      errors->push_back(raw + ": not a file or directory");
+    }
+  }
+  return files;
+}
+
+LintRun run_lint(const std::vector<std::string>& paths,
+                 const core::LogRegistry* registry, const Baseline* baseline,
+                 const RuleOptions& options) {
+  LintRun run;
+  run.files = collect_sources(paths, &run.errors);
+  for (const auto& file : run.files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      run.errors.push_back(file + ": cannot read");
+      continue;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    merge(run.scan, core::scan_source(text.str(), file));
+  }
+  run.findings = run_rules(run.scan, registry, options);
+  run.fresh = baseline != nullptr ? filter_new(run.findings, *baseline)
+                                  : run.findings;
+  return run;
+}
+
+std::string render_text(const LintRun& run, bool show_fixits) {
+  std::ostringstream out;
+  std::size_t errors = 0, warnings = 0, notes = 0;
+  for (const auto& d : run.fresh) {
+    out << d.file << ":" << d.line;
+    if (d.column > 0) out << ":" << d.column;
+    out << ": " << severity_name(d.severity) << ": " << d.message << " ["
+        << d.rule_id << "]\n";
+    if (show_fixits && !d.fixit.empty()) out << "    fix-it: " << d.fixit << "\n";
+    switch (d.severity) {
+      case Severity::kError:
+        errors++;
+        break;
+      case Severity::kWarning:
+        warnings++;
+        break;
+      case Severity::kNote:
+        notes++;
+        break;
+    }
+  }
+  for (const auto& error : run.errors) out << "saad_lint: error: " << error << "\n";
+  const std::size_t baselined = run.findings.size() - run.fresh.size();
+  out << run.files.size() << " file(s) scanned: " << errors << " error(s), "
+      << warnings << " warning(s), " << notes << " note(s)";
+  if (baselined > 0) out << ", " << baselined << " baselined";
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace saad::lint

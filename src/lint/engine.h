@@ -1,0 +1,49 @@
+// The lint engine: files in, ordered diagnostics out.
+//
+// Ties the layers together — walks the requested files/directories, runs
+// the span-aware source scan over each, evaluates the rule catalog (plus
+// SAAD-RG006 when a registry is supplied), applies the baseline, and
+// renders the result. The CLI in tools/saad_lint.cpp is a thin shell over
+// this so tests can drive the whole pipeline in-process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/source_scan.h"
+#include "lint/baseline.h"
+#include "lint/rules.h"
+
+namespace saad::core {
+class LogRegistry;
+}
+
+namespace saad::lint {
+
+struct LintRun {
+  core::ScanResult scan;              // merged over every scanned file
+  std::vector<Diagnostic> findings;   // all diagnostics, sorted
+  std::vector<Diagnostic> fresh;      // findings not absorbed by baseline
+  std::vector<std::string> files;     // what was scanned, in scan order
+  std::vector<std::string> errors;    // unreadable paths
+};
+
+/// Expands files and directories (recursively) into lintable sources:
+/// .c/.cc/.cpp/.cxx/.h/.hh/.hpp/.java/.scala. Explicitly named files are
+/// taken as-is regardless of extension. Missing paths land in `errors`.
+std::vector<std::string> collect_sources(const std::vector<std::string>& paths,
+                                         std::vector<std::string>* errors);
+
+/// Scans and lints `paths`. `registry` (nullable) enables SAAD-RG006;
+/// `baseline` (nullable) splits findings into grandfathered vs fresh —
+/// with no baseline every finding is fresh.
+LintRun run_lint(const std::vector<std::string>& paths,
+                 const core::LogRegistry* registry, const Baseline* baseline,
+                 const RuleOptions& options = {});
+
+/// Human-readable report: `file:line:col: severity: message [rule]` lines,
+/// fix-it hints indented beneath, and a summary. Baselined findings are
+/// omitted; the summary counts them.
+std::string render_text(const LintRun& run, bool show_fixits = true);
+
+}  // namespace saad::lint

@@ -1,0 +1,233 @@
+#include "lint/rules.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "core/log_registry.h"
+
+namespace saad::lint {
+
+namespace {
+
+constexpr RuleInfo kCatalog[] = {
+    {kRuleDuplicateTemplate, "duplicate-template",
+     "Two log points share one template: the dictionary aliases them and "
+     "their signatures merge.",
+     Severity::kError},
+    {kRuleStageWithoutLogPoints, "stage-without-log-points",
+     "A stage declares no log points, so every execution of it has an "
+     "empty signature.",
+     Severity::kWarning},
+    {kRuleDynamicOnlyTemplate, "dynamic-only-template",
+     "A log statement with no static text has an empty, unstable template "
+     "dictionary entry.",
+     Severity::kError},
+    {kRuleLogPointOutsideStage, "log-point-outside-stage",
+     "A log statement outside any stage scope is attributed to stage 0.",
+     Severity::kWarning},
+    {kRuleUnmarkedDequeueSite, "unmarked-dequeue-site",
+     "A queue-dequeue call with no nearby SAAD_STAGE marker is a candidate "
+     "consumer stage the tracker never sees.",
+     Severity::kNote},
+    {kRuleRegistrySourceDrift, "registry-source-drift",
+     "The log template dictionary and the scanned sources disagree.",
+     Severity::kError},
+};
+
+Diagnostic make(std::string_view rule_id, const std::string& file, int line,
+                int column, std::string message, std::string fixit,
+                std::string content_key) {
+  Diagnostic d;
+  d.rule_id = std::string(rule_id);
+  d.severity = find_rule(rule_id)->severity;
+  d.file = file;
+  d.line = line;
+  d.column = column;
+  d.message = std::move(message);
+  d.fixit = std::move(fixit);
+  d.content_key = std::move(content_key);
+  return d;
+}
+
+std::string quoted(std::string_view text) {
+  std::string out = "\"";
+  out += text;
+  out += '"';
+  return out;
+}
+
+void check_duplicate_templates(const core::ScanResult& scan,
+                               std::vector<Diagnostic>& out) {
+  std::map<std::string, const core::ScannedLogPoint*> first;
+  for (const auto& point : scan.log_points) {
+    if (point.dynamic_only) continue;
+    auto [it, inserted] = first.emplace(point.template_text, &point);
+    if (inserted) continue;
+    const auto* original = it->second;
+    out.push_back(make(
+        kRuleDuplicateTemplate, point.file, point.line, point.column,
+        "duplicate log template " + quoted(point.template_text) +
+            " (first seen at " + original->file + ":" +
+            std::to_string(original->line) +
+            "); both statements alias one dictionary entry",
+        "make the static text unique, e.g. prefix it with the stage or "
+        "operation name",
+        point.template_text));
+  }
+}
+
+void check_stages_without_log_points(const core::ScanResult& scan,
+                                     std::vector<Diagnostic>& out) {
+  std::set<std::string> stages_with_points;
+  for (const auto& point : scan.log_points)
+    if (!point.stage.empty()) stages_with_points.insert(point.stage);
+  std::set<std::string> reported;
+  for (const auto& stage : scan.stages) {
+    if (stages_with_points.count(stage.name)) continue;
+    if (!reported.insert(stage.name).second) continue;
+    out.push_back(make(
+        kRuleStageWithoutLogPoints, stage.file, stage.line, stage.column,
+        "stage " + quoted(stage.name) +
+            " has no log points; its per-execution signature is always "
+            "empty and anomalies in it are invisible",
+        "add at least one log statement inside the stage, or drop the "
+        "marker if it is not a real stage",
+        stage.name));
+  }
+}
+
+void check_dynamic_only_templates(const core::ScanResult& scan,
+                                  std::vector<Diagnostic>& out) {
+  for (const auto& point : scan.log_points) {
+    if (!point.dynamic_only) continue;
+    out.push_back(make(
+        kRuleDynamicOnlyTemplate, point.file, point.line, point.column,
+        "log." + point.level +
+            " call has no static string literal; its template dictionary "
+            "entry would be empty and the log point unstable",
+        "start the message with a static literal describing the event",
+        point.stage + ":" + point.level));
+  }
+}
+
+void check_log_points_outside_stages(const core::ScanResult& scan,
+                                     std::vector<Diagnostic>& out) {
+  for (const auto& point : scan.log_points) {
+    if (!point.stage.empty() || point.dynamic_only) continue;
+    out.push_back(make(
+        kRuleLogPointOutsideStage, point.file, point.line, point.column,
+        "log statement " + quoted(point.template_text) +
+            " is outside any stage scope; its events fall into stage 0",
+        "move the statement inside a Runnable class or mark the enclosing "
+        "code with SAAD_STAGE(\"...\")",
+        point.template_text));
+  }
+}
+
+void check_unmarked_dequeue_sites(const core::ScanResult& scan,
+                                  const RuleOptions& options,
+                                  std::vector<Diagnostic>& out) {
+  for (const auto& site : scan.dequeue_sites) {
+    bool marked = false;
+    for (const auto& stage : scan.stages) {
+      if (!stage.explicit_marker || stage.file != site.file) continue;
+      if (std::abs(stage.line - site.line) <= options.dequeue_marker_window) {
+        marked = true;
+        break;
+      }
+    }
+    if (marked) continue;
+    out.push_back(make(
+        kRuleUnmarkedDequeueSite, site.file, site.line, site.column,
+        "dequeue call `" + site.text +
+            "` has no SAAD_STAGE marker nearby; if this begins a consumer "
+            "stage, the tracker will not see it",
+        "confirm by inspection; mark a real consumer-stage beginning with "
+        "SAAD_STAGE(\"...\")",
+        site.text));
+  }
+}
+
+void check_registry_drift(const core::ScanResult& scan,
+                          const core::LogRegistry& registry,
+                          std::vector<Diagnostic>& out) {
+  std::set<std::string> scanned;
+  for (const auto& point : scan.log_points)
+    if (!point.dynamic_only) scanned.insert(point.template_text);
+
+  std::set<std::string> registered;
+  for (std::size_t i = 0; i < registry.num_log_points(); ++i) {
+    const auto& info =
+        registry.log_point(static_cast<core::LogPointId>(i));
+    registered.insert(info.template_text);
+    if (scanned.count(info.template_text)) continue;
+    out.push_back(make(
+        kRuleRegistrySourceDrift, info.file, info.line, 0,
+        "registry template " + quoted(info.template_text) +
+            " does not appear in the scanned sources; the dictionary entry "
+            "is stale",
+        "re-run the instrumentation pass to rebuild the registry",
+        "registry:" + info.template_text));
+  }
+  for (const auto& point : scan.log_points) {
+    if (point.dynamic_only || registered.count(point.template_text)) continue;
+    out.push_back(make(
+        kRuleRegistrySourceDrift, point.file, point.line, point.column,
+        "log template " + quoted(point.template_text) +
+            " is not registered; events from it cannot be decoded against "
+            "this dictionary",
+        "re-run the instrumentation pass to rebuild the registry",
+        "source:" + point.template_text));
+  }
+}
+
+}  // namespace
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "warning";
+}
+
+std::span<const RuleInfo> rule_catalog() { return kCatalog; }
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const auto& rule : kCatalog)
+    if (rule.id == id) return &rule;
+  return nullptr;
+}
+
+std::vector<Diagnostic> run_rules(const core::ScanResult& scan,
+                                  const core::LogRegistry* registry,
+                                  const RuleOptions& options) {
+  std::vector<Diagnostic> out;
+  check_duplicate_templates(scan, out);
+  check_stages_without_log_points(scan, out);
+  check_dynamic_only_templates(scan, out);
+  check_log_points_outside_stages(scan, out);
+  check_unmarked_dequeue_sites(scan, options, out);
+  if (registry != nullptr) check_registry_drift(scan, *registry, out);
+  sort_diagnostics(out);
+  return out;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics) {
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.column, a.rule_id,
+                              a.content_key) <
+                     std::tie(b.file, b.line, b.column, b.rule_id,
+                              b.content_key);
+            });
+}
+
+}  // namespace saad::lint

@@ -1,0 +1,81 @@
+// Instrumentation lint: the rule catalog and diagnostics model.
+//
+// SAAD's detection quality is bounded by its instrumentation (§4.1.1): a
+// duplicate template aliases two log points into one dictionary entry, a
+// log statement outside any stage is attributed to stage 0, a dynamic-only
+// statement has an empty (unstable) template, and an unmarked dequeue site
+// is a consumer stage the tracker never sees. Each of those silently
+// corrupts signatures and the flow/performance tests downstream. The rules
+// here judge a ScanResult (and optionally the live LogRegistry) statically,
+// before a trace is ever recorded.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/source_scan.h"
+
+namespace saad::core {
+class LogRegistry;
+}
+
+namespace saad::lint {
+
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+
+std::string_view severity_name(Severity severity);  // "note" | "warning" | ...
+
+/// Stable rule identity. Ids never change once shipped — baselines and CI
+/// gates key on them.
+struct RuleInfo {
+  std::string_view id;     // e.g. "SAAD-LP001"
+  std::string_view name;   // e.g. "duplicate-template"
+  std::string_view short_description;
+  Severity severity;
+};
+
+inline constexpr std::string_view kRuleDuplicateTemplate = "SAAD-LP001";
+inline constexpr std::string_view kRuleStageWithoutLogPoints = "SAAD-ST002";
+inline constexpr std::string_view kRuleDynamicOnlyTemplate = "SAAD-LP003";
+inline constexpr std::string_view kRuleLogPointOutsideStage = "SAAD-LP004";
+inline constexpr std::string_view kRuleUnmarkedDequeueSite = "SAAD-DQ005";
+inline constexpr std::string_view kRuleRegistrySourceDrift = "SAAD-RG006";
+
+/// The full catalog, in rule-id order. SARIF output embeds this as the
+/// tool's rule metadata.
+std::span<const RuleInfo> rule_catalog();
+
+/// Catalog lookup; nullptr for an unknown id.
+const RuleInfo* find_rule(std::string_view id);
+
+struct Diagnostic {
+  std::string rule_id;
+  Severity severity = Severity::kWarning;
+  std::string file;
+  int line = 0;
+  int column = 0;
+  std::string message;
+  std::string fixit;  // empty when no hint applies
+  // Content-based key (template text, stage name, site text): stable across
+  // unrelated edits that move lines, so baselines do not churn.
+  std::string content_key;
+};
+
+struct RuleOptions {
+  // SAAD-DQ005: a dequeue site is "marked" when an explicit SAAD_STAGE
+  // marker sits within this many lines of it in the same file.
+  int dequeue_marker_window = 3;
+};
+
+/// Runs every rule over the scan (and the registry when non-null, which
+/// enables SAAD-RG006). Diagnostics come back sorted by
+/// (file, line, column, rule id).
+std::vector<Diagnostic> run_rules(const core::ScanResult& scan,
+                                  const core::LogRegistry* registry,
+                                  const RuleOptions& options = {});
+
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics);
+
+}  // namespace saad::lint

@@ -1,0 +1,24 @@
+// Machine-readable diagnostic output: plain JSON and SARIF 2.1.0.
+//
+// SARIF (Static Analysis Results Interchange Format) is what CI systems
+// (GitHub code scanning among them) ingest: the emitted document carries
+// the full rule catalog as tool metadata, one result per diagnostic with a
+// physical location, and a content-based partial fingerprint so viewers
+// can track findings across commits the same way our baseline does.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+
+namespace saad::lint {
+
+/// A flat JSON array of diagnostic objects, for scripting.
+std::string to_json(const std::vector<Diagnostic>& diagnostics);
+
+/// A SARIF 2.1.0 document with the rule catalog embedded in
+/// runs[0].tool.driver.rules and one result per diagnostic.
+std::string to_sarif(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace saad::lint

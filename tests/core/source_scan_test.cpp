@@ -122,5 +122,119 @@ TEST(SourceScan, EmptySourceYieldsNothing) {
   EXPECT_TRUE(result.dequeue_sites.empty());
 }
 
+// ---- Span-aware scanning edge cases ----------------------------------------
+
+TEST(SourceScan, MultiLineLogStatement) {
+  const auto result = scan_source(
+      "class W implements Runnable {\n"
+      "  public void run() {\n"
+      "    LOG.info(\n"
+      "        \"spread over lines\",\n"
+      "        details);\n"
+      "  }\n"
+      "}\n",
+      "w.java");
+  ASSERT_EQ(result.log_points.size(), 1u);
+  EXPECT_EQ(result.log_points[0].template_text, "spread over lines");
+  EXPECT_EQ(result.log_points[0].line, 3);
+  EXPECT_EQ(result.log_points[0].end_line, 5);
+  EXPECT_EQ(result.log_points[0].stage, "W");
+}
+
+TEST(SourceScan, AdjacentStringLiteralsConcatenate) {
+  const auto result = scan_source(
+      "log.warn(\"part one \"\n"
+      "         \"part two\");",
+      "x.cc");
+  ASSERT_EQ(result.log_points.size(), 1u);
+  EXPECT_EQ(result.log_points[0].template_text, "part one part two");
+}
+
+TEST(SourceScan, DynamicSuffixDoesNotExtendTemplate) {
+  const auto result =
+      scan_source("log.info(\"prefix \" + count + \" suffix\");", "x.cc");
+  ASSERT_EQ(result.log_points.size(), 1u);
+  EXPECT_EQ(result.log_points[0].template_text, "prefix ");
+}
+
+TEST(SourceScan, DynamicOnlyCallIsRecordedAndFlagged) {
+  const auto result = scan_source("log.info(status());", "x.cc");
+  ASSERT_EQ(result.log_points.size(), 1u);
+  EXPECT_TRUE(result.log_points[0].dynamic_only);
+  EXPECT_TRUE(result.log_points[0].template_text.empty());
+}
+
+TEST(SourceScan, IgnoresMatchesInsideComments) {
+  const auto result = scan_source(
+      "// log.info(\"line comment\");\n"
+      "/* log.warn(\"block comment\");\n"
+      "   SAAD_STAGE(\"CommentedStage\")\n"
+      "   queue.take(); */\n"
+      "/** log.error(\"javadoc\"); */\n",
+      "c.cc");
+  EXPECT_TRUE(result.log_points.empty());
+  EXPECT_TRUE(result.stages.empty());
+  EXPECT_TRUE(result.dequeue_sites.empty());
+}
+
+TEST(SourceScan, IgnoresMatchesInsideStringLiterals) {
+  const auto result = scan_source(
+      "String s = \"log.info(\\\"fake\\\") and queue.take()\";\n"
+      "String t = \"SAAD_STAGE(\\\"NotReal\\\")\";\n",
+      "s.java");
+  EXPECT_TRUE(result.log_points.empty());
+  EXPECT_TRUE(result.stages.empty());
+  EXPECT_TRUE(result.dequeue_sites.empty());
+}
+
+TEST(SourceScan, StageMarkerWithUnusualWhitespace) {
+  const auto result = scan_source(
+      "void a() { SAAD_STAGE   (   \"Spaced\"   ); }\n"
+      "void b() { SAAD_STAGE(\n"
+      "    \"Wrapped\"); }\n"
+      "void c() { saad_stage(\"lowercase\"); }\n",
+      "x.cc");
+  ASSERT_EQ(result.stages.size(), 3u);
+  EXPECT_EQ(result.stages[0].name, "Spaced");
+  EXPECT_EQ(result.stages[1].name, "Wrapped");
+  EXPECT_EQ(result.stages[2].name, "lowercase");
+  for (const auto& stage : result.stages) EXPECT_TRUE(stage.explicit_marker);
+}
+
+TEST(SourceScan, ArrowReceiverAndColumns) {
+  const auto result = scan_source("  logger->error(\"disk failed\");", "a.cc");
+  ASSERT_EQ(result.log_points.size(), 1u);
+  EXPECT_EQ(result.log_points[0].level, "error");
+  EXPECT_EQ(result.log_points[0].line, 1);
+  EXPECT_EQ(result.log_points[0].column, 3);  // "logger" starts at column 3
+}
+
+TEST(SourceScan, StageAttributionEndsWithClassBody) {
+  const auto result = scan_source(
+      "class Inner implements Runnable {\n"
+      "  public void run() { LOG.info(\"inside\"); }\n"
+      "}\n"
+      "void free() { LOG.info(\"outside\"); }\n",
+      "x.java");
+  ASSERT_EQ(result.log_points.size(), 2u);
+  EXPECT_EQ(result.log_points[0].stage, "Inner");
+  EXPECT_EQ(result.log_points[1].stage, "");  // class scope closed
+}
+
+TEST(SourceScan, ForwardDeclarationDoesNotOpenScope) {
+  const auto result = scan_source(
+      "class Fwd;\n"
+      "void f() { log.info(\"not in Fwd\"); }\n",
+      "x.cc");
+  ASSERT_EQ(result.log_points.size(), 1u);
+  EXPECT_EQ(result.log_points[0].stage, "");
+}
+
+TEST(SourceScan, DequeueSiteWithWhitespaceBeforeParen) {
+  const auto result = scan_source("Call c = queue.take ();", "x.java");
+  ASSERT_EQ(result.dequeue_sites.size(), 1u);
+  EXPECT_EQ(result.dequeue_sites[0].column, 15);  // the '.' before take
+}
+
 }  // namespace
 }  // namespace saad::core

@@ -210,7 +210,9 @@ TEST(TraceV2, CorruptBlockIsSkippedAndCounted) {
     for (std::size_t i = 0; i < trace.size(); ++i) {
       block_starts.push_back(writer.bytes_written());
       ASSERT_TRUE(writer.append(trace[i]));
-      if ((i + 1) % 10 == 0) ASSERT_TRUE(writer.flush());
+      if ((i + 1) % 10 == 0) {
+        ASSERT_TRUE(writer.flush());
+      }
     }
     ASSERT_TRUE(writer.finalize());
   }
@@ -244,7 +246,9 @@ TEST(TraceV2, ResyncsAfterCorruptLengthField) {
     for (std::size_t i = 0; i < trace.size(); ++i) {
       block_starts.push_back(writer.bytes_written());
       ASSERT_TRUE(writer.append(trace[i]));
-      if ((i + 1) % 10 == 0) ASSERT_TRUE(writer.flush());
+      if ((i + 1) % 10 == 0) {
+        ASSERT_TRUE(writer.flush());
+      }
     }
     ASSERT_TRUE(writer.finalize());
   }

@@ -45,7 +45,9 @@ TEST_P(TrackerRandomized, SynopsisIsTheExactHitMultiset) {
     bool first = true;
     for (const auto& lp : s.log_points) {
       // Sorted strictly ascending, counts exact.
-      if (!first) ASSERT_GT(lp.point, prev);
+      if (!first) {
+        ASSERT_GT(lp.point, prev);
+      }
       prev = lp.point;
       first = false;
       ASSERT_EQ(lp.count, expected.at(lp.point));

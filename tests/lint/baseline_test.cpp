@@ -1,0 +1,98 @@
+#include "lint/baseline.h"
+
+#include <gtest/gtest.h>
+
+namespace saad::lint {
+namespace {
+
+Diagnostic diag(std::string rule, std::string file, std::string key,
+                int line = 1) {
+  Diagnostic d;
+  d.rule_id = std::move(rule);
+  d.file = std::move(file);
+  d.content_key = std::move(key);
+  d.line = line;
+  d.message = "m";
+  return d;
+}
+
+TEST(LintBaseline, FingerprintIgnoresLineNumbers) {
+  EXPECT_EQ(fingerprint(diag("SAAD-LP001", "a.cc", "tmpl", 10)),
+            fingerprint(diag("SAAD-LP001", "a.cc", "tmpl", 99)));
+  EXPECT_NE(fingerprint(diag("SAAD-LP001", "a.cc", "tmpl")),
+            fingerprint(diag("SAAD-LP003", "a.cc", "tmpl")));
+  EXPECT_NE(fingerprint(diag("SAAD-LP001", "a.cc", "tmpl")),
+            fingerprint(diag("SAAD-LP001", "b.cc", "tmpl")));
+}
+
+TEST(LintBaseline, FingerprintEscapesDelimiters) {
+  const auto tricky = fingerprint(diag("R", "a|b.cc", "x\\y|z\nw"));
+  // Exactly two unescaped field separators survive.
+  std::size_t separators = 0;
+  for (std::size_t i = 0; i < tricky.size(); ++i) {
+    if (tricky[i] == '\\') {
+      ++i;  // escaped char
+      continue;
+    }
+    if (tricky[i] == '|') ++separators;
+  }
+  EXPECT_EQ(separators, 2u);
+  EXPECT_EQ(tricky.find('\n'), std::string::npos);
+}
+
+TEST(LintBaseline, RoundTripThroughText) {
+  std::vector<Diagnostic> diags = {
+      diag("SAAD-LP001", "a.cc", "dup template"),
+      diag("SAAD-LP001", "a.cc", "dup template"),  // same fingerprint, x2
+      diag("SAAD-DQ005", "b|weird.cc", "q.take(); // pipe | in line"),
+  };
+  const auto baseline = make_baseline(diags);
+  EXPECT_EQ(baseline.counts.size(), 2u);
+
+  const auto text = serialize_baseline(baseline);
+  Baseline reparsed;
+  ASSERT_TRUE(parse_baseline(text, reparsed));
+  EXPECT_EQ(reparsed.counts, baseline.counts);
+}
+
+TEST(LintBaseline, ParseRejectsMalformedLines) {
+  Baseline b;
+  EXPECT_FALSE(parse_baseline("not enough fields\n", b));
+  EXPECT_FALSE(parse_baseline("a|b|c|not_a_number\n", b));
+  EXPECT_FALSE(parse_baseline("a|b|c|0\n", b));   // counts are positive
+  EXPECT_FALSE(parse_baseline("a|b|c|3x\n", b));  // trailing garbage
+  Baseline ok;
+  EXPECT_TRUE(parse_baseline("# comment only\n\n", ok));
+  EXPECT_TRUE(ok.counts.empty());
+}
+
+TEST(LintBaseline, FilterAbsorbsUpToCount) {
+  std::vector<Diagnostic> diags = {
+      diag("SAAD-LP001", "a.cc", "k"),
+      diag("SAAD-LP001", "a.cc", "k"),
+      diag("SAAD-LP001", "a.cc", "k"),
+      diag("SAAD-ST002", "a.cc", "stage"),
+  };
+  Baseline baseline;
+  baseline.counts[fingerprint(diags[0])] = 2;
+
+  const auto fresh = filter_new(diags, baseline);
+  ASSERT_EQ(fresh.size(), 2u);  // third duplicate + the unbaselined stage
+  EXPECT_EQ(fresh[0].rule_id, "SAAD-LP001");
+  EXPECT_EQ(fresh[1].rule_id, "SAAD-ST002");
+}
+
+TEST(LintBaseline, EmptyBaselinePassesEverythingThrough) {
+  const std::vector<Diagnostic> diags = {diag("SAAD-LP001", "a.cc", "k")};
+  EXPECT_EQ(filter_new(diags, Baseline{}).size(), 1u);
+}
+
+TEST(LintBaseline, StaleEntriesAreHarmless) {
+  Baseline baseline;
+  baseline.counts["SAAD-LP001|gone.cc|old"] = 5;
+  const std::vector<Diagnostic> diags = {diag("SAAD-LP001", "a.cc", "new")};
+  EXPECT_EQ(filter_new(diags, baseline).size(), 1u);
+}
+
+}  // namespace
+}  // namespace saad::lint

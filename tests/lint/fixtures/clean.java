@@ -1,0 +1,12 @@
+// Fully compliant instrumentation: unique static templates, every log
+// point inside a stage, the dequeue site covered by a SAAD_STAGE marker
+// within the inspection window. saad_lint must report nothing here.
+class Archiver implements Runnable {
+  public void run() {
+    LOG.info("archiver woke up");
+    SAAD_STAGE("Archiver");
+    Batch b = inbox.poll();
+    LOG.debug("archiving one batch");
+    LOG.warn("archive volume nearly full");
+  }
+}

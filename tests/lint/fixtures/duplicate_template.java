@@ -1,0 +1,10 @@
+// Seeded violation: SAAD-LP001 duplicate-template (error).
+// Both statements share the static text "starting request", so the
+// dictionary aliases two distinct log points into one entry.
+class Worker implements Runnable {
+  public void run() {
+    LOG.info("starting request");
+    doWork();
+    LOG.debug("starting request");
+  }
+}

@@ -1,0 +1,9 @@
+// Seeded violation: SAAD-LP003 dynamic-only-template (error).
+// The statement has no static literal at all; its template dictionary
+// entry would be empty and unstable across runs.
+class Mailbox implements Runnable {
+  public void run() {
+    log.warn(formatStatus());
+    log.info("mailbox drained");
+  }
+}

@@ -1,0 +1,5 @@
+// Seeded violation: SAAD-LP004 log-point-outside-stage (warning).
+// A log statement in free code: its events are attributed to stage 0.
+static void helper() {
+  log.error("checkpoint failed");
+}

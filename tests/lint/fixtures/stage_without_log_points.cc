@@ -1,0 +1,7 @@
+// Seeded violation: SAAD-ST002 stage-without-log-points (warning).
+// The IdleSweeper stage is declared but nothing logs inside it, so its
+// per-execution signature is always empty.
+void setup_sweeper() {
+  SAAD_STAGE("IdleSweeper");
+  sweep();
+}

@@ -1,0 +1,17 @@
+// Seeded violation: SAAD-DQ005 unmarked-dequeue-site (note) — the take()
+// in Dispatcher has no SAAD_STAGE marker nearby. MarkedDispatcher shows
+// the compliant form: a marker within the window suppresses the note.
+class Dispatcher {
+  void serve() {
+    Request r = queue.take();
+    handle(r);
+  }
+}
+
+class MarkedDispatcher {
+  void serve() {
+    SAAD_STAGE("MarkedDispatcher");
+    Request r = queue.take();
+    log.info("dispatching marked request");
+  }
+}

@@ -1,0 +1,233 @@
+#include "lint/rules.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/log_registry.h"
+#include "lint/engine.h"
+
+namespace saad::lint {
+namespace {
+
+core::ScanResult scan(std::string_view source, const std::string& file = "t.java") {
+  return core::scan_source(source, file);
+}
+
+std::vector<Diagnostic> lint(std::string_view source) {
+  return run_rules(scan(source), nullptr);
+}
+
+std::size_t count_rule(const std::vector<Diagnostic>& diags,
+                       std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&](const Diagnostic& d) { return d.rule_id == rule; }));
+}
+
+const Diagnostic* find_diag(const std::vector<Diagnostic>& diags,
+                            std::string_view rule) {
+  for (const auto& d : diags)
+    if (d.rule_id == rule) return &d;
+  return nullptr;
+}
+
+TEST(LintRules, CatalogIsCompleteAndStable) {
+  const auto catalog = rule_catalog();
+  ASSERT_EQ(catalog.size(), 6u);
+  for (const auto& rule : catalog) {
+    EXPECT_EQ(find_rule(rule.id), &rule);
+    EXPECT_FALSE(rule.name.empty());
+    EXPECT_FALSE(rule.short_description.empty());
+  }
+  EXPECT_EQ(find_rule("SAAD-XX999"), nullptr);
+}
+
+TEST(LintRules, DuplicateTemplateFlagsSecondOccurrence) {
+  const auto diags = lint(R"(
+class A implements Runnable {
+  public void run() {
+    LOG.info("same text");
+    LOG.warn("same text");
+  }
+}
+)");
+  ASSERT_EQ(count_rule(diags, kRuleDuplicateTemplate), 1u);
+  const auto* d = find_diag(diags, kRuleDuplicateTemplate);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 5);  // the second statement is the finding
+  EXPECT_NE(d->message.find("same text"), std::string::npos);
+  EXPECT_NE(d->message.find("t.java:4"), std::string::npos);
+  EXPECT_FALSE(d->fixit.empty());
+}
+
+TEST(LintRules, DuplicateTemplateAcrossFiles) {
+  core::ScanResult merged = scan("class A { void run() { LOG.info(\"x\"); } }", "a.java");
+  core::merge(merged, scan("class B { void run() { LOG.info(\"x\"); } }", "b.java"));
+  const auto diags = run_rules(merged, nullptr);
+  EXPECT_EQ(count_rule(diags, kRuleDuplicateTemplate), 1u);
+}
+
+TEST(LintRules, StageWithoutLogPoints) {
+  const auto diags = lint("void f() { SAAD_STAGE(\"Empty\"); }");
+  ASSERT_EQ(count_rule(diags, kRuleStageWithoutLogPoints), 1u);
+  const auto* d = find_diag(diags, kRuleStageWithoutLogPoints);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(d->message.find("Empty"), std::string::npos);
+}
+
+TEST(LintRules, StageWithLogPointsIsClean) {
+  const auto diags = lint(R"(
+class Busy implements Runnable {
+  public void run() { LOG.info("busy working"); }
+}
+)");
+  EXPECT_EQ(count_rule(diags, kRuleStageWithoutLogPoints), 0u);
+}
+
+TEST(LintRules, DynamicOnlyTemplate) {
+  const auto diags = lint(R"(
+class A implements Runnable {
+  public void run() { log.info(status()); }
+}
+)");
+  ASSERT_EQ(count_rule(diags, kRuleDynamicOnlyTemplate), 1u);
+  EXPECT_EQ(find_diag(diags, kRuleDynamicOnlyTemplate)->severity,
+            Severity::kError);
+}
+
+TEST(LintRules, LogPointOutsideStage) {
+  const auto diags = lint("void free() { log.error(\"orphaned\"); }");
+  ASSERT_EQ(count_rule(diags, kRuleLogPointOutsideStage), 1u);
+  const auto* d = find_diag(diags, kRuleLogPointOutsideStage);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_NE(d->message.find("orphaned"), std::string::npos);
+}
+
+TEST(LintRules, UnmarkedDequeueSiteRespectsWindow) {
+  const auto unmarked = lint("void f() { Call c = queue.take(); }");
+  ASSERT_EQ(count_rule(unmarked, kRuleUnmarkedDequeueSite), 1u);
+  EXPECT_EQ(find_diag(unmarked, kRuleUnmarkedDequeueSite)->severity,
+            Severity::kNote);
+
+  const auto marked = lint(R"(
+void f() {
+  SAAD_STAGE("Consumer");
+  Call c = queue.take();
+  log.info("consumer dequeued one call");
+}
+)");
+  EXPECT_EQ(count_rule(marked, kRuleUnmarkedDequeueSite), 0u);
+
+  // A marker further away than the window does not cover the site.
+  RuleOptions tight;
+  tight.dequeue_marker_window = 0;
+  const auto far_marker = run_rules(
+      scan("void f() {\n  SAAD_STAGE(\"C\");\n  q.take();\n}"), nullptr,
+      tight);
+  EXPECT_EQ(count_rule(far_marker, kRuleUnmarkedDequeueSite), 1u);
+}
+
+TEST(LintRules, RegistryDriftBothDirections) {
+  core::LogRegistry registry;
+  const auto stage = registry.register_stage("Worker");
+  registry.register_log_point(stage, core::Level::kInfo, "in registry only",
+                              "old.java", 12);
+  registry.register_log_point(stage, core::Level::kInfo, "in both");
+
+  const auto result = scan(R"(
+class Worker implements Runnable {
+  public void run() {
+    LOG.info("in both");
+    LOG.info("in source only");
+  }
+}
+)");
+  const auto diags = run_rules(result, &registry);
+  ASSERT_EQ(count_rule(diags, kRuleRegistrySourceDrift), 2u);
+  bool saw_stale = false, saw_unregistered = false;
+  for (const auto& d : diags) {
+    if (d.rule_id != kRuleRegistrySourceDrift) continue;
+    EXPECT_EQ(d.severity, Severity::kError);
+    if (d.message.find("in registry only") != std::string::npos) {
+      saw_stale = true;
+      EXPECT_EQ(d.file, "old.java");
+      EXPECT_EQ(d.line, 12);
+    }
+    if (d.message.find("in source only") != std::string::npos)
+      saw_unregistered = true;
+  }
+  EXPECT_TRUE(saw_stale);
+  EXPECT_TRUE(saw_unregistered);
+}
+
+TEST(LintRules, NoRegistryMeansNoDriftRule) {
+  const auto diags = lint("class A { void run() { LOG.info(\"x\"); } }");
+  EXPECT_EQ(count_rule(diags, kRuleRegistrySourceDrift), 0u);
+}
+
+TEST(LintRules, DiagnosticsAreSorted) {
+  auto diags = lint(R"(
+void z() { log.error("later orphan"); }
+void a() { log.error("early orphan"); }
+)");
+  for (std::size_t i = 1; i < diags.size(); ++i) {
+    EXPECT_LE(std::tie(diags[i - 1].file, diags[i - 1].line),
+              std::tie(diags[i].file, diags[i].line));
+  }
+}
+
+// ---- Fixture suite: every seeded violation flagged with the expected rule
+// id and severity, and the clean fixture stays clean. ------------------------
+
+struct FixtureExpectation {
+  const char* file;
+  std::string_view rule;
+  Severity severity;
+};
+
+TEST(LintFixtures, SeededViolationsAreFlagged) {
+  const FixtureExpectation expectations[] = {
+      {"duplicate_template.java", kRuleDuplicateTemplate, Severity::kError},
+      {"stage_without_log_points.cc", kRuleStageWithoutLogPoints,
+       Severity::kWarning},
+      {"dynamic_only.java", kRuleDynamicOnlyTemplate, Severity::kError},
+      {"outside_stage.cc", kRuleLogPointOutsideStage, Severity::kWarning},
+      {"unmarked_dequeue.java", kRuleUnmarkedDequeueSite, Severity::kNote},
+  };
+  for (const auto& expect : expectations) {
+    const std::string path =
+        std::string(SAAD_LINT_FIXTURE_DIR "/") + expect.file;
+    const auto run = run_lint({path}, nullptr, nullptr);
+    ASSERT_TRUE(run.errors.empty()) << path;
+    const auto* d = find_diag(run.fresh, expect.rule);
+    ASSERT_NE(d, nullptr) << path << " should trigger " << expect.rule;
+    EXPECT_EQ(d->severity, expect.severity) << path;
+    EXPECT_EQ(d->file, path);
+    EXPECT_GT(d->line, 0) << path;
+  }
+}
+
+TEST(LintFixtures, CleanFixtureHasNoFindings) {
+  const auto run =
+      run_lint({SAAD_LINT_FIXTURE_DIR "/clean.java"}, nullptr, nullptr);
+  ASSERT_TRUE(run.errors.empty());
+  EXPECT_TRUE(run.fresh.empty())
+      << render_text(run) << "clean.java must stay clean";
+}
+
+TEST(LintFixtures, DirectoryScanFindsEveryRuleOnce) {
+  const auto run = run_lint({SAAD_LINT_FIXTURE_DIR}, nullptr, nullptr);
+  ASSERT_TRUE(run.errors.empty());
+  EXPECT_EQ(run.files.size(), 6u);
+  EXPECT_EQ(count_rule(run.fresh, kRuleDuplicateTemplate), 1u);
+  EXPECT_EQ(count_rule(run.fresh, kRuleDynamicOnlyTemplate), 1u);
+  EXPECT_EQ(count_rule(run.fresh, kRuleLogPointOutsideStage), 1u);
+  EXPECT_EQ(count_rule(run.fresh, kRuleUnmarkedDequeueSite), 1u);
+  // Two stages lack log points: IdleSweeper and the far-file duplicate-free
+  // stage names stay independent per fixture.
+  EXPECT_GE(count_rule(run.fresh, kRuleStageWithoutLogPoints), 1u);
+}
+
+}  // namespace
+}  // namespace saad::lint

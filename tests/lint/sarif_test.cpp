@@ -1,0 +1,232 @@
+#include "lint/sarif.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string_view>
+
+namespace saad::lint {
+namespace {
+
+// ---- Minimal strict JSON well-formedness parser ----------------------------
+// Enough of RFC 8259 to reject anything structurally broken the emitters
+// could plausibly produce (unbalanced braces, bad escapes, trailing commas,
+// unquoted keys). Returns true iff `text` is exactly one valid JSON value.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') return ++pos_, true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<std::size_t>(i) >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(
+                    text_[pos_ + static_cast<std::size_t>(i)]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<Diagnostic> sample_diagnostics() {
+  Diagnostic a;
+  a.rule_id = std::string(kRuleDuplicateTemplate);
+  a.severity = Severity::kError;
+  a.file = "src/x.java";
+  a.line = 12;
+  a.column = 5;
+  a.message = "duplicate log template \"weird \\ chars\n and tabs\t\"";
+  a.fixit = "rename it";
+  a.content_key = "weird \\ chars\n and tabs\t";
+
+  Diagnostic b;
+  b.rule_id = std::string(kRuleUnmarkedDequeueSite);
+  b.severity = Severity::kNote;
+  b.file = "src/y.cc";
+  b.line = 3;
+  b.message = "dequeue";
+  b.content_key = "q.take()";
+  return {a, b};
+}
+
+TEST(JsonChecker, SanityOnHandWrittenCases) {
+  EXPECT_TRUE(JsonChecker(R"({"a": [1, 2.5, -3e4], "b": {"c": null}})").valid());
+  EXPECT_TRUE(JsonChecker(R"(["é", "\n", true, false])").valid());
+  EXPECT_FALSE(JsonChecker(R"({"a": 1,})").valid());   // trailing comma
+  EXPECT_FALSE(JsonChecker(R"({"a" 1})").valid());     // missing colon
+  EXPECT_FALSE(JsonChecker(R"({"a": "unterminated})").valid());
+  EXPECT_FALSE(JsonChecker(R"([1, 2)").valid());       // unbalanced
+  EXPECT_FALSE(JsonChecker("{\"a\": \"bad \\x escape\"}").valid());
+  EXPECT_FALSE(JsonChecker(R"({"a": 1} trailing)").valid());
+}
+
+TEST(Sarif, JsonOutputIsWellFormed) {
+  EXPECT_TRUE(JsonChecker(to_json(sample_diagnostics())).valid());
+  EXPECT_TRUE(JsonChecker(to_json({})).valid());
+}
+
+TEST(Sarif, JsonCarriesEveryField) {
+  const auto json = to_json(sample_diagnostics());
+  EXPECT_NE(json.find("\"rule\":\"SAAD-LP001\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"fixit\":\"rename it\""), std::string::npos);
+}
+
+TEST(Sarif, SarifOutputIsWellFormedJson) {
+  EXPECT_TRUE(JsonChecker(to_sarif(sample_diagnostics())).valid());
+  EXPECT_TRUE(JsonChecker(to_sarif({})).valid());
+}
+
+TEST(Sarif, SarifHasRequiredSchemaElements) {
+  const auto sarif = to_sarif(sample_diagnostics());
+  // Top-level sarifLog requirements (§3.13): version + runs.
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"runs\""), std::string::npos);
+  // run.tool.driver with the full rule catalog.
+  EXPECT_NE(sarif.find("\"name\": \"saad_lint\""), std::string::npos);
+  for (const auto& rule : rule_catalog())
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(rule.id) + "\""),
+              std::string::npos)
+        << rule.id;
+  // results with level, message.text and a physical location.
+  EXPECT_NE(sarif.find("\"ruleId\": \"SAAD-LP001\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"error\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 12"), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/x.java\""), std::string::npos);
+  EXPECT_NE(sarif.find("partialFingerprints"), std::string::npos);
+}
+
+TEST(Sarif, ControlCharactersAreEscaped) {
+  Diagnostic d;
+  d.rule_id = "SAAD-LP001";
+  d.file = "f.cc";
+  d.line = 1;
+  d.message = std::string("ctl:\x01 done", 10);
+  const auto json = to_json({d});
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saad::lint

@@ -191,7 +191,9 @@ TEST_F(LsmFixture, CompactionKeepsNewestValue) {
     (void)co_await store->major_compact();
     const auto r = co_await store->get("dup");
     EXPECT_TRUE(r.value.has_value());
-    if (r.value) EXPECT_EQ(*r.value, "new");
+    if (r.value) {
+      EXPECT_EQ(*r.value, "new");
+    }
   };
   proc();
   engine.run_all();

@@ -1,0 +1,175 @@
+// saad_lint — instrumentation static analysis for SAAD-instrumented
+// sources: judges what saad_instrument extracts. Runs the rule catalog
+// (duplicate templates, stages without log points, dynamic-only templates,
+// log points outside stages, unmarked dequeue sites, registry/source
+// drift) and reports with fix-it hints, machine-readable JSON, or SARIF
+// 2.1.0 for CI ingestion. A checked-in baseline grandfathers existing
+// findings so only new ones fail the build.
+//
+//   saad_lint [options] <files-or-directories...>
+//     --format=text|json|sarif   report format on stdout (default text)
+//     --output=FILE              write the report to FILE instead of stdout
+//     --baseline=FILE            suppress findings recorded in FILE
+//     --write-baseline=FILE      write all current findings to FILE, exit 0
+//     --registry=FILE            log-template dictionary (from
+//                                `saad_offline record --registry=...`);
+//                                enables SAAD-RG006 drift checks
+//     --dequeue-window=N         SAAD-DQ005 marker distance (default 3)
+//     --no-fixits                omit fix-it hints from text output
+//
+// Exit status: 0 no findings beyond the baseline; 1 new findings; 2 usage
+// or I/O error.
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/log_registry.h"
+#include "lint/baseline.h"
+#include "lint/engine.h"
+#include "lint/sarif.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: saad_lint [--format=text|json|sarif] [--output=FILE]\n"
+      "                 [--baseline=FILE] [--write-baseline=FILE]\n"
+      "                 [--registry=FILE] [--dequeue-window=N] "
+      "[--no-fixits]\n"
+      "                 <files-or-directories...>\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  *out = text.str();
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace saad::lint;
+
+  std::string format = "text";
+  std::string output_path, baseline_path, write_baseline_path, registry_path;
+  bool show_fixits = true;
+  RuleOptions options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif")
+        return usage();
+    } else if (arg.rfind("--output=", 0) == 0) {
+      output_path = arg.substr(9);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
+    } else if (arg.rfind("--registry=", 0) == 0) {
+      registry_path = arg.substr(11);
+    } else if (arg.rfind("--dequeue-window=", 0) == 0) {
+      options.dequeue_marker_window = std::atoi(arg.c_str() + 17);
+    } else if (arg == "--no-fixits") {
+      show_fixits = false;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "saad_lint: unknown option %s\n", arg.c_str());
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage();
+
+  saad::core::LogRegistry registry;
+  bool have_registry = false;
+  if (!registry_path.empty()) {
+    std::string bytes;
+    if (!read_file(registry_path, &bytes)) {
+      std::fprintf(stderr, "saad_lint: cannot read registry %s\n",
+                   registry_path.c_str());
+      return 2;
+    }
+    const auto* data = reinterpret_cast<const std::uint8_t*>(bytes.data());
+    if (!registry.load({data, bytes.size()})) {
+      std::fprintf(stderr, "saad_lint: malformed registry %s\n",
+                   registry_path.c_str());
+      return 2;
+    }
+    have_registry = true;
+  }
+
+  std::optional<Baseline> baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, &text)) {
+      std::fprintf(stderr, "saad_lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    Baseline parsed;
+    if (!parse_baseline(text, parsed)) {
+      std::fprintf(stderr, "saad_lint: malformed baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    baseline = std::move(parsed);
+  }
+
+  const LintRun run =
+      run_lint(paths, have_registry ? &registry : nullptr,
+               baseline ? &*baseline : nullptr, options);
+
+  if (!write_baseline_path.empty()) {
+    const auto serialized = serialize_baseline(make_baseline(run.findings));
+    if (!write_file(write_baseline_path, serialized)) {
+      std::fprintf(stderr, "saad_lint: cannot write baseline %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    std::printf("wrote baseline (%zu finding(s)) to %s\n",
+                run.findings.size(), write_baseline_path.c_str());
+    return 0;
+  }
+
+  std::string report;
+  if (format == "json") {
+    report = to_json(run.fresh);
+  } else if (format == "sarif") {
+    report = to_sarif(run.fresh);
+  } else {
+    report = render_text(run, show_fixits);
+  }
+
+  if (!output_path.empty()) {
+    if (!write_file(output_path, report)) {
+      std::fprintf(stderr, "saad_lint: cannot write %s\n",
+                   output_path.c_str());
+      return 2;
+    }
+    // Keep the human summary on stdout even when the report goes to a file.
+    if (format != "text") std::fputs(render_text(run, false).c_str(), stdout);
+  } else {
+    std::fputs(report.c_str(), stdout);
+  }
+
+  if (!run.errors.empty()) return 2;
+  return run.fresh.empty() ? 0 : 1;
+}
