@@ -24,6 +24,7 @@
 
 #include "core/analyzer_pool.h"
 #include "harness.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -179,6 +180,11 @@ int main(int argc, char** argv) {
   const bool live = flags.get_int("live", 0) != 0;
 
   std::printf("=== Parallel analyzer pipeline throughput ===\n\n");
+  // The synopses/sec here double as the SAAD_METRICS overhead experiment:
+  // run once from a default build and once from -DSAAD_METRICS=OFF and
+  // compare (the acceptance bar is <= 3% difference).
+  std::printf("self-telemetry: SAAD_METRICS=%s\n",
+              saad::obs::kMetricsEnabled ? "ON" : "OFF");
   std::printf("hardware threads: %u, producers: %zu, stream: %zu synopses, "
               "window: %llds, mode: %s\n\n",
               std::thread::hardware_concurrency(), producers, detection,

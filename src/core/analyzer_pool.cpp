@@ -2,11 +2,57 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <tuple>
+
+#include "core/telemetry.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 
 namespace saad::core {
 
 namespace {
+
+// Pool-level metrics; per-worker series live on the Worker structs.
+struct PoolMetrics {
+  obs::Counter& ingested;
+  obs::Counter& dispatch_batches;
+  obs::Histogram& dispatch_batch_size;
+  obs::Histogram& merge_us;
+  obs::Gauge& workers;
+
+  PoolMetrics()
+      : ingested(obs::MetricsRegistry::global().counter(
+            "saad_analyzer_ingested_total",
+            "Synopses routed into the analyzer pool.")),
+        dispatch_batches(obs::MetricsRegistry::global().counter(
+            "saad_analyzer_dispatch_batches_total",
+            "Ingest batches handed to worker queues.")),
+        dispatch_batch_size(obs::MetricsRegistry::global().histogram(
+            "saad_analyzer_dispatch_batch_size",
+            "Synopses per dispatched worker batch.", obs::size_bounds())),
+        merge_us(obs::MetricsRegistry::global().histogram(
+            "saad_analyzer_merge_us",
+            "Window-close barrier latency: flush + worker close + "
+            "deterministic merge, microseconds.",
+            obs::latency_bounds_us())),
+        workers(obs::MetricsRegistry::global().gauge(
+            "saad_analyzer_workers",
+            "Worker threads of the most recently constructed pool (1 = "
+            "inline serial path).")) {}
+
+  static PoolMetrics& get() {
+    static PoolMetrics* metrics = new PoolMetrics();
+    return *metrics;
+  }
+};
+
+obs::Counter& worker_counter(const char* name, const char* help,
+                             std::size_t index) {
+  return obs::MetricsRegistry::global().counter(
+      name, help,
+      {{"worker", std::to_string(index % obs::kMaxIndexedLabels)}});
+}
 
 std::uint64_t mix64(std::uint64_t x) {
   // SplitMix64 finalizer: full avalanche, so consecutive host/stage ids
@@ -20,6 +66,20 @@ std::uint64_t mix64(std::uint64_t x) {
 }
 
 }  // namespace
+
+void detail::register_analyzer_pool_metrics() {
+  PoolMetrics::get();
+  // The per-worker families register one series per constructed worker;
+  // force index 0 so the families exist even for serial-path commands.
+  worker_counter("saad_analyzer_worker_busy_us_total",
+                 "Microseconds each worker spent processing jobs (worker "
+                 "label is the worker index mod 16).",
+                 0);
+  worker_counter("saad_analyzer_worker_jobs_total",
+                 "Jobs (ingest batches and window closes) each worker "
+                 "completed.",
+                 0);
+}
 
 std::size_t AnalyzerPool::partition(HostId host, StageId stage,
                                     std::size_t n) {
@@ -38,6 +98,7 @@ AnalyzerPool::AnalyzerPool(const OutlierModel* model, DetectorConfig config)
   if (config_.bonferroni) n = 1;
   if (n <= 1) {
     serial_ = std::make_unique<AnomalyDetector>(model_, config_);
+    if constexpr (obs::kMetricsEnabled) PoolMetrics::get().workers.set(1);
     return;
   }
   workers_.reserve(n);
@@ -45,10 +106,26 @@ AnalyzerPool::AnalyzerPool(const OutlierModel* model, DetectorConfig config)
     auto worker = std::make_unique<Worker>();
     worker->detector = std::make_unique<AnomalyDetector>(model_, config_);
     worker->pending.reserve(kDispatchBatch);
+    if constexpr (obs::kMetricsEnabled) {
+      worker->busy_us = &worker_counter(
+          "saad_analyzer_worker_busy_us_total",
+          "Microseconds each worker spent processing jobs (worker label is "
+          "the worker index mod 16).",
+          i);
+      worker->jobs_done = &worker_counter(
+          "saad_analyzer_worker_jobs_total",
+          "Jobs (ingest batches and window closes) each worker completed.",
+          i);
+    }
     workers_.push_back(std::move(worker));
   }
   for (auto& worker : workers_)
     worker->thread = std::thread([this, w = worker.get()] { worker_loop(*w); });
+  if constexpr (obs::kMetricsEnabled) {
+    PoolMetrics::get().workers.set(static_cast<std::int64_t>(n));
+  }
+  obs::FlightRecorder::global().record(
+      obs::EventKind::kWorkerStart, "analyzer pool: %zu workers started", n);
 }
 
 AnalyzerPool::~AnalyzerPool() {
@@ -61,6 +138,11 @@ AnalyzerPool::~AnalyzerPool() {
   }
   for (auto& worker : workers_)
     if (worker->thread.joinable()) worker->thread.join();
+  if (!workers_.empty()) {
+    obs::FlightRecorder::global().record(
+        obs::EventKind::kWorkerStop, "analyzer pool: %zu workers joined",
+        workers_.size());
+  }
 }
 
 void AnalyzerPool::worker_loop(Worker& worker) {
@@ -74,10 +156,22 @@ void AnalyzerPool::worker_loop(Worker& worker) {
       job = std::move(worker.jobs.front());
       worker.jobs.pop_front();
     }
+    std::chrono::steady_clock::time_point job_begin;
+    if constexpr (obs::kMetricsEnabled)
+      job_begin = std::chrono::steady_clock::now();
     for (const auto& s : job.batch) worker.detector->ingest(s);
     if (job.close) {
       *job.out = job.close_all ? worker.detector->finish()
                                : worker.detector->advance_to(job.now);
+    }
+    if constexpr (obs::kMetricsEnabled) {
+      worker.busy_us->inc(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - job_begin)
+              .count()));
+      worker.jobs_done->inc();
+    }
+    if (job.close) {
       {
         std::lock_guard lock(done_mu_);
         outstanding_--;
@@ -97,6 +191,12 @@ void AnalyzerPool::enqueue(Worker& worker, Job job) {
 
 void AnalyzerPool::flush_pending(Worker& worker) {
   if (worker.pending.empty()) return;
+  if constexpr (obs::kMetricsEnabled) {
+    auto& metrics = PoolMetrics::get();
+    metrics.dispatch_batches.inc();
+    metrics.dispatch_batch_size.observe(
+        static_cast<std::int64_t>(worker.pending.size()));
+  }
   Job job;
   job.batch.swap(worker.pending);
   worker.pending.reserve(kDispatchBatch);
@@ -105,6 +205,7 @@ void AnalyzerPool::flush_pending(Worker& worker) {
 
 void AnalyzerPool::ingest(const Synopsis& synopsis) {
   ingested_++;
+  if constexpr (obs::kMetricsEnabled) PoolMetrics::get().ingested.inc();
   if (serial_ != nullptr) {
     serial_->ingest(synopsis);
     return;
@@ -118,6 +219,10 @@ void AnalyzerPool::ingest(const Synopsis& synopsis) {
 std::vector<Anomaly> AnalyzerPool::close_windows(UsTime now, bool close_all) {
   if (serial_ != nullptr)
     return close_all ? serial_->finish() : serial_->advance_to(now);
+
+  std::chrono::steady_clock::time_point merge_begin;
+  if constexpr (obs::kMetricsEnabled)
+    merge_begin = std::chrono::steady_clock::now();
 
   std::vector<std::vector<Anomaly>> slots(workers_.size());
   {
@@ -151,6 +256,12 @@ std::vector<Anomaly> AnalyzerPool::close_windows(UsTime now, bool close_all) {
     return std::tie(a.window, a.host, a.stage, a.kind) <
            std::tie(b.window, b.host, b.stage, b.kind);
   });
+  if constexpr (obs::kMetricsEnabled) {
+    PoolMetrics::get().merge_us.observe(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - merge_begin)
+            .count());
+  }
   return out;
 }
 

@@ -40,6 +40,10 @@
 
 #include "core/detector.h"
 
+namespace saad::obs {
+class Counter;
+}
+
 namespace saad::core {
 
 class AnalyzerPool {
@@ -88,6 +92,10 @@ class AnalyzerPool {
     std::deque<Job> jobs;
     bool stop = false;
     std::thread thread;
+    // Self-telemetry (worker="i" series in the global registry); null when
+    // running inline.
+    obs::Counter* busy_us = nullptr;   // time spent processing jobs
+    obs::Counter* jobs_done = nullptr; // jobs (ingest batches + closes)
   };
 
   static std::size_t partition(HostId host, StageId stage, std::size_t n);

@@ -2,7 +2,64 @@
 
 #include <thread>
 
+#include "core/telemetry.h"
+#include "obs/metrics.h"
+
 namespace saad::core {
+
+namespace {
+
+// Process-wide channel metrics (all SynopsisChannel instances accumulate into
+// the same families — the Prometheus model). Built once, on first use, from
+// the global registry; the references stay valid for the process lifetime.
+struct ChannelMetrics {
+  obs::Counter& enqueued;
+  obs::Counter& dequeued;
+  obs::Counter& bytes;
+  obs::Counter& drains;
+  obs::Histogram& batch_size;
+  std::vector<obs::Gauge*> shard_depth;  // label shard="i", i mod cap
+
+  ChannelMetrics()
+      : enqueued(obs::MetricsRegistry::global().counter(
+            "saad_channel_enqueued_total",
+            "Synopses made visible to drain() (direct push or producer "
+            "flush).")),
+        dequeued(obs::MetricsRegistry::global().counter(
+            "saad_channel_dequeued_total",
+            "Synopses handed to the consumer by drain().")),
+        bytes(obs::MetricsRegistry::global().counter(
+            "saad_channel_bytes_total",
+            "Wire volume (encoded bytes) of enqueued synopses.")),
+        drains(obs::MetricsRegistry::global().counter(
+            "saad_channel_drains_total", "Consumer drain() calls.")),
+        batch_size(obs::MetricsRegistry::global().histogram(
+            "saad_channel_producer_batch_size",
+            "Synopses per producer flush (batched path).",
+            obs::size_bounds())) {
+    shard_depth.reserve(obs::kMaxIndexedLabels);
+    for (std::size_t i = 0; i < obs::kMaxIndexedLabels; ++i) {
+      shard_depth.push_back(&obs::MetricsRegistry::global().gauge(
+          "saad_channel_depth",
+          "Synopses currently queued, per shard (shard label is the shard "
+          "index mod 16).",
+          {{"shard", std::to_string(i)}}));
+    }
+  }
+
+  obs::Gauge& depth(std::size_t shard) {
+    return *shard_depth[shard % shard_depth.size()];
+  }
+
+  static ChannelMetrics& get() {
+    static ChannelMetrics* metrics = new ChannelMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+void detail::register_channel_metrics() { ChannelMetrics::get(); }
 
 SynopsisChannel::SynopsisChannel(std::size_t shards) {
   if (shards == 0) shards = 1;
@@ -23,13 +80,20 @@ std::size_t SynopsisChannel::shard_for_this_thread() const {
 
 void SynopsisChannel::push(const Synopsis& s) {
   const std::size_t wire = encoded_size(s);  // compute outside the lock
-  Shard& shard = *shards_[shard_for_this_thread()];
+  const std::size_t shard_index = shard_for_this_thread();
+  Shard& shard = *shards_[shard_index];
   {
     std::lock_guard lock(shard.mu);
     shard.items.push_back(s);
   }
   pushed_.fetch_add(1, std::memory_order_relaxed);
   encoded_bytes_.fetch_add(wire, std::memory_order_relaxed);
+  if constexpr (obs::kMetricsEnabled) {
+    auto& metrics = ChannelMetrics::get();
+    metrics.enqueued.inc();
+    metrics.bytes.inc(wire);
+    metrics.depth(shard_index).add(1);
+  }
 }
 
 void SynopsisChannel::push_batch(std::size_t shard_index,
@@ -46,6 +110,13 @@ void SynopsisChannel::push_batch(std::size_t shard_index,
   }
   pushed_.fetch_add(batch.size(), std::memory_order_relaxed);
   encoded_bytes_.fetch_add(wire, std::memory_order_relaxed);
+  if constexpr (obs::kMetricsEnabled) {
+    auto& metrics = ChannelMetrics::get();
+    metrics.enqueued.inc(batch.size());
+    metrics.bytes.inc(wire);
+    metrics.batch_size.observe(static_cast<std::int64_t>(batch.size()));
+    metrics.depth(shard_index).add(static_cast<std::int64_t>(batch.size()));
+  }
   batch.clear();
 }
 
@@ -56,15 +127,23 @@ void SynopsisChannel::drain(std::vector<Synopsis>& out) {
     queued += shard->items.size();
   }
   out.reserve(out.size() + queued);
-  for (auto& shard : shards_) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
     std::vector<Synopsis> items;
     {
-      std::lock_guard lock(shard->mu);
-      items.swap(shard->items);
+      std::lock_guard lock(shards_[i]->mu);
+      items.swap(shards_[i]->items);
+    }
+    if constexpr (obs::kMetricsEnabled) {
+      if (!items.empty()) {
+        auto& metrics = ChannelMetrics::get();
+        metrics.dequeued.inc(items.size());
+        metrics.depth(i).sub(static_cast<std::int64_t>(items.size()));
+      }
     }
     out.insert(out.end(), std::make_move_iterator(items.begin()),
                std::make_move_iterator(items.end()));
   }
+  if constexpr (obs::kMetricsEnabled) ChannelMetrics::get().drains.inc();
 }
 
 std::uint64_t SynopsisChannel::pushed() const {

@@ -2,8 +2,60 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+
+#include "core/telemetry.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 
 namespace saad::core {
+
+namespace {
+
+struct DetectorMetrics {
+  obs::Counter& synopses;
+  obs::Counter& windows_closed;
+  obs::Counter& flow_anomalies;
+  obs::Counter& perf_anomalies;
+  obs::Counter& tests_run;
+  obs::Counter& tests_rejected;
+  obs::Histogram& window_close_us;
+
+  DetectorMetrics()
+      : synopses(obs::MetricsRegistry::global().counter(
+            "saad_detector_synopses_total",
+            "Synopses classified and bucketed into windows.")),
+        windows_closed(obs::MetricsRegistry::global().counter(
+            "saad_detector_windows_closed_total",
+            "Detection windows closed (summed across pool workers).")),
+        flow_anomalies(obs::MetricsRegistry::global().counter(
+            "saad_detector_anomalies_total", "Anomaly verdicts raised.",
+            {{"kind", "flow"}})),
+        perf_anomalies(obs::MetricsRegistry::global().counter(
+            "saad_detector_anomalies_total", "Anomaly verdicts raised.",
+            {{"kind", "performance"}})),
+        tests_run(obs::MetricsRegistry::global().counter(
+            "saad_detector_tests_total",
+            "Proportion hypothesis tests executed at window close.")),
+        tests_rejected(obs::MetricsRegistry::global().counter(
+            "saad_detector_test_rejections_total",
+            "Hypothesis tests that rejected the null (raised or contributed "
+            "to an anomaly).")),
+        window_close_us(obs::MetricsRegistry::global().histogram(
+            "saad_detector_window_close_us",
+            "Latency of closing one detection window (all tests for all "
+            "(host, stage) keys), microseconds.",
+            obs::latency_bounds_us())) {}
+
+  static DetectorMetrics& get() {
+    static DetectorMetrics* metrics = new DetectorMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+void detail::register_detector_metrics() { DetectorMetrics::get(); }
 
 AnomalyDetector::AnomalyDetector(const OutlierModel* model,
                                  DetectorConfig config)
@@ -20,7 +72,13 @@ void AnomalyDetector::ingest(const Synopsis& synopsis) {
   // open window rather than dropped: anomalies should not escape detection
   // because a long task finished after its start window closed.
   const std::size_t effective = std::max(window, next_window_to_close_);
-  auto& stage_stats = open_windows_[effective][{f.host, f.stage}];
+  auto [win_it, opened] = open_windows_.try_emplace(effective);
+  if (opened) {
+    obs::FlightRecorder::global().record(obs::EventKind::kWindowOpen,
+                                         "window %zu opened", effective);
+  }
+  auto& stage_stats = win_it->second[{f.host, f.stage}];
+  if constexpr (obs::kMetricsEnabled) DetectorMetrics::get().synopses.inc();
 
   const Classification c = model_->classify(f);
   stage_stats.n++;
@@ -70,6 +128,9 @@ std::vector<Anomaly> AnomalyDetector::finish() {
 std::vector<Anomaly> AnomalyDetector::close_window(std::size_t index,
                                                    WindowStats& stats) {
   std::vector<Anomaly> out;
+  std::chrono::steady_clock::time_point close_begin;
+  if constexpr (obs::kMetricsEnabled)
+    close_begin = std::chrono::steady_clock::now();
 
   double alpha = config_.alpha;
   if (config_.bonferroni) {
@@ -119,6 +180,11 @@ std::vector<Anomaly> AnomalyDetector::close_window(std::size_t index,
           config_.test_kind, config_.min_n);
       flow.p_value = result.p_value;
       flow_anomalous = result.reject;
+      if constexpr (obs::kMetricsEnabled) {
+        auto& metrics = DetectorMetrics::get();
+        metrics.tests_run.inc();
+        if (result.reject) metrics.tests_rejected.inc();
+      }
     }
     if (flow_anomalous) out.push_back(flow);
 
@@ -142,6 +208,11 @@ std::vector<Anomaly> AnomalyDetector::close_window(std::size_t index,
             sig_stats.perf_outliers, sig_stats.n,
             trained->second.train_perf_outlier_rate, alpha,
             config_.test_kind, config_.min_n);
+        if constexpr (obs::kMetricsEnabled) {
+          auto& metrics = DetectorMetrics::get();
+          metrics.tests_run.inc();
+          if (result.reject) metrics.tests_rejected.inc();
+        }
         if (result.reject && result.p_value <= perf.p_value) {
           perf_anomalous = true;
           perf.p_value = result.p_value;
@@ -155,6 +226,25 @@ std::vector<Anomaly> AnomalyDetector::close_window(std::size_t index,
       }
     }
     if (perf_anomalous) out.push_back(perf);
+  }
+
+  if constexpr (obs::kMetricsEnabled) {
+    auto& metrics = DetectorMetrics::get();
+    metrics.windows_closed.inc();
+    metrics.window_close_us.observe(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - close_begin)
+            .count());
+    for (const auto& anomaly : out) {
+      (anomaly.kind == AnomalyKind::kFlow ? metrics.flow_anomalies
+                                          : metrics.perf_anomalies)
+          .inc();
+    }
+  }
+  if (!out.empty()) {
+    obs::FlightRecorder::global().record(
+        obs::EventKind::kWindowClose, "window %zu closed: %zu anomalies over %zu (host, stage) keys",
+        index, out.size(), stats.size());
   }
   return out;
 }

@@ -4,9 +4,36 @@
 #include <stdexcept>
 
 #include "core/log_registry.h"
+#include "core/telemetry.h"
 #include "core/trace_io.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 
 namespace saad::core {
+
+namespace {
+
+struct MonitorMetrics {
+  obs::Counter& polls;
+  obs::Counter& discarded;
+
+  MonitorMetrics()
+      : polls(obs::MetricsRegistry::global().counter(
+            "saad_monitor_polls_total", "Monitor::poll() calls.")),
+        discarded(obs::MetricsRegistry::global().counter(
+            "saad_monitor_discarded_total",
+            "Synopses drained while idle (between training, recording, and "
+            "arming) and discarded by policy.")) {}
+
+  static MonitorMetrics& get() {
+    static MonitorMetrics* metrics = new MonitorMetrics();
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+void detail::register_monitor_metrics() { MonitorMetrics::get(); }
 
 Monitor::Monitor(const LogRegistry* registry, const Clock* clock)
     : registry_(registry), clock_(clock) {
@@ -28,6 +55,8 @@ void Monitor::start_training() {
   channel_.drain(scratch);
   training_trace_.clear();
   mode_ = Mode::kTraining;
+  obs::FlightRecorder::global().record(obs::EventKind::kModeChange,
+                                       "monitor: training started");
 }
 
 void Monitor::start_recording(TraceWriter* writer) {
@@ -37,6 +66,9 @@ void Monitor::start_recording(TraceWriter* writer) {
   channel_.drain(scratch);
   trace_writer_ = writer;
   mode_ = Mode::kRecording;
+  obs::FlightRecorder::global().record(obs::EventKind::kModeChange,
+                                       "monitor: recording to %s",
+                                       writer->path().c_str());
 }
 
 bool Monitor::stop_recording() {
@@ -46,6 +78,11 @@ bool Monitor::stop_recording() {
   TraceWriter* writer = trace_writer_;
   trace_writer_ = nullptr;
   mode_ = Mode::kIdle;
+  obs::FlightRecorder::global().record(
+      obs::EventKind::kModeChange,
+      "monitor: recording stopped (%llu synopses, %llu blocks)",
+      static_cast<unsigned long long>(writer->synopses_written()),
+      static_cast<unsigned long long>(writer->blocks_written()));
   return writer->flush();
 }
 
@@ -56,10 +93,17 @@ void Monitor::train(const TrainingConfig& config) {
   model_ = std::make_unique<OutlierModel>(
       OutlierModel::train(training_trace_, config));
   mode_ = Mode::kIdle;
+  obs::FlightRecorder::global().record(
+      obs::EventKind::kModelReload,
+      "monitor: trained model on %zu synopses (%zu stages)",
+      training_trace_.size(), model_->num_stages());
 }
 
 void Monitor::set_model(OutlierModel model) {
   model_ = std::make_unique<OutlierModel>(std::move(model));
+  obs::FlightRecorder::global().record(
+      obs::EventKind::kModelReload,
+      "monitor: external model loaded (%zu stages)", model_->num_stages());
 }
 
 void Monitor::arm(const DetectorConfig& config) {
@@ -70,9 +114,13 @@ void Monitor::arm(const DetectorConfig& config) {
   channel_.drain(scratch);
   analyzer_ = std::make_unique<AnalyzerPool>(model_.get(), config);
   mode_ = Mode::kDetecting;
+  obs::FlightRecorder::global().record(
+      obs::EventKind::kModeChange, "monitor: armed (%zu analyzer threads)",
+      analyzer_->threads());
 }
 
 std::vector<Anomaly> Monitor::poll(UsTime now) {
+  if constexpr (obs::kMetricsEnabled) MonitorMetrics::get().polls.inc();
   std::vector<Synopsis> batch;
   channel_.drain(batch);
   if (mode_ == Mode::kTraining) {
@@ -83,7 +131,13 @@ std::vector<Anomaly> Monitor::poll(UsTime now) {
     for (const auto& s : batch) trace_writer_->append(s);
     return {};
   }
-  if (mode_ != Mode::kDetecting) return {};  // idle: batch is discarded
+  if (mode_ != Mode::kDetecting) {  // idle: batch is discarded
+    if constexpr (obs::kMetricsEnabled) {
+      if (!batch.empty())
+        MonitorMetrics::get().discarded.inc(batch.size());
+    }
+    return {};
+  }
   for (const auto& s : batch) analyzer_->ingest(s);
   return analyzer_->advance_to(now);
 }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/report.h"
+#include "obs/exposition.h"
 
 namespace saad::core {
 
@@ -90,19 +91,24 @@ std::string to_json(const Anomaly& anomaly, const LogRegistry& registry) {
 }
 
 std::string to_json(const std::vector<Anomaly>& anomalies,
-                    const LogRegistry& registry) {
+                    const LogRegistry& registry,
+                    const JsonReportOptions& options) {
   std::ostringstream out;
   out << "{\"anomalies\":[";
   for (std::size_t i = 0; i < anomalies.size(); ++i) {
     if (i) out << ',';
     out << to_json(anomalies[i], registry);
   }
-  out << "]}";
+  out << ']';
+  if (options.telemetry != nullptr)
+    out << ",\"telemetry\":" << obs::render_json(*options.telemetry);
+  out << '}';
   return out.str();
 }
 
 std::string to_json(const std::vector<Incident>& incidents,
-                    const LogRegistry& registry) {
+                    const LogRegistry& registry,
+                    const JsonReportOptions& options) {
   std::ostringstream out;
   out << "{\"incidents\":[";
   for (std::size_t i = 0; i < incidents.size(); ++i) {
@@ -124,7 +130,10 @@ std::string to_json(const std::vector<Incident>& incidents,
     append_signature(out, incident.example_signature, registry);
     out << '}';
   }
-  out << "]}";
+  out << ']';
+  if (options.telemetry != nullptr)
+    out << ",\"telemetry\":" << obs::render_json(*options.telemetry);
+  out << '}';
   return out.str();
 }
 

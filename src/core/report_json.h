@@ -11,7 +11,19 @@
 #include "core/incidents.h"
 #include "core/log_registry.h"
 
+namespace saad::obs {
+class MetricsRegistry;
+}
+
 namespace saad::core {
+
+/// Options for the batch report overloads.
+struct JsonReportOptions {
+  /// When set, the report gains a "telemetry" member holding the
+  /// schema-versioned obs::render_json() snapshot of this registry, so an
+  /// alerting consumer sees the pipeline's own health next to the verdicts.
+  const obs::MetricsRegistry* telemetry = nullptr;
+};
 
 /// One JSON object per anomaly, e.g.
 /// {"window":31,"window_start_us":1860000000,"host":4,"stage":"Table",
@@ -19,13 +31,17 @@ namespace saad::core {
 ///  "signature":[8],"templates":["MemTable is already frozen; ..."]}
 std::string to_json(const Anomaly& anomaly, const LogRegistry& registry);
 
-/// {"anomalies":[...]} for a whole batch.
+/// {"anomalies":[...]} for a whole batch; with options.telemetry,
+/// {"anomalies":[...],"telemetry":{...}}.
 std::string to_json(const std::vector<Anomaly>& anomalies,
-                    const LogRegistry& registry);
+                    const LogRegistry& registry,
+                    const JsonReportOptions& options = {});
 
-/// {"incidents":[...]} — grouped bands (see core/incidents.h).
+/// {"incidents":[...]} — grouped bands (see core/incidents.h); with
+/// options.telemetry, {"incidents":[...],"telemetry":{...}}.
 std::string to_json(const std::vector<Incident>& incidents,
-                    const LogRegistry& registry);
+                    const LogRegistry& registry,
+                    const JsonReportOptions& options = {});
 
 /// RFC 8259 string escaping (quotes, backslashes, control characters).
 std::string json_escape(std::string_view text);

@@ -1,0 +1,13 @@
+#include "core/telemetry.h"
+
+namespace saad::core {
+
+void register_pipeline_metrics() {
+  detail::register_channel_metrics();
+  detail::register_analyzer_pool_metrics();
+  detail::register_detector_metrics();
+  detail::register_trace_io_metrics();
+  detail::register_monitor_metrics();
+}
+
+}  // namespace saad::core

@@ -1,0 +1,24 @@
+// Eager registration of the core pipeline's telemetry families.
+//
+// Instrumented components register their metric families lazily, on first
+// use — a command that exercises only part of the pipeline (e.g. `detect`,
+// which reads a trace straight into the analyzer pool and never builds a
+// SynopsisChannel) would therefore expose an incomplete family set. Tools
+// that scrape or snapshot the registry call register_pipeline_metrics()
+// once at startup so every family is present (zero-valued if unused), in
+// both SAAD_METRICS modes.
+#pragma once
+
+namespace saad::core {
+
+void register_pipeline_metrics();
+
+namespace detail {
+void register_channel_metrics();
+void register_analyzer_pool_metrics();
+void register_detector_metrics();
+void register_trace_io_metrics();
+void register_monitor_metrics();
+}  // namespace detail
+
+}  // namespace saad::core

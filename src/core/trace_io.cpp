@@ -5,10 +5,61 @@
 #include <filesystem>
 
 #include "common/crc32c.h"
+#include "core/telemetry.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 
 namespace saad::core {
 
 namespace {
+
+struct TraceIoMetrics {
+  obs::Counter& writer_synopses;
+  obs::Counter& writer_blocks;
+  obs::Counter& writer_bytes;
+  obs::Counter& writer_flushes;
+  obs::Counter& reader_records;
+  obs::Counter& reader_blocks;
+  obs::Counter& reader_crc_failures;
+  obs::Counter& reader_bytes_discarded;
+  obs::Counter& reader_torn_tails;
+
+  TraceIoMetrics()
+      : writer_synopses(obs::MetricsRegistry::global().counter(
+            "saad_trace_writer_synopses_total",
+            "Synopses appended to trace writers.")),
+        writer_blocks(obs::MetricsRegistry::global().counter(
+            "saad_trace_writer_blocks_total",
+            "Sealed v2 blocks written to disk.")),
+        writer_bytes(obs::MetricsRegistry::global().counter(
+            "saad_trace_writer_bytes_total",
+            "Framed bytes written (headers + payloads).")),
+        writer_flushes(obs::MetricsRegistry::global().counter(
+            "saad_trace_writer_flushes_total",
+            "Explicit flush() calls that pushed data to the OS.")),
+        reader_records(obs::MetricsRegistry::global().counter(
+            "saad_trace_reader_records_total",
+            "Synopses decoded from trace files (v1 + v2).")),
+        reader_blocks(obs::MetricsRegistry::global().counter(
+            "saad_trace_reader_blocks_total",
+            "v2 block headers seen, including corrupt blocks.")),
+        reader_crc_failures(obs::MetricsRegistry::global().counter(
+            "saad_trace_reader_crc_failures_total",
+            "Blocks skipped for CRC mismatch, bad framing, or undecodable "
+            "payload.")),
+        reader_bytes_discarded(obs::MetricsRegistry::global().counter(
+            "saad_trace_reader_bytes_discarded_total",
+            "Bytes of damage skipped while recovering trace files.")),
+        reader_torn_tails(obs::MetricsRegistry::global().counter(
+            "saad_trace_reader_torn_tails_total",
+            "Files that ended mid-record or mid-block (crash tails "
+            "recovered up to the last sealed block).")) {}
+
+  static TraceIoMetrics& get() {
+    static TraceIoMetrics* metrics = new TraceIoMetrics();
+    return *metrics;
+  }
+};
 
 constexpr char kMagicV1[8] = {'S', 'A', 'A', 'D', 'T', 'R', 'C', '1'};
 constexpr char kMagicV2[8] = {'S', 'A', 'A', 'D', 'T', 'R', 'C', '2'};
@@ -18,6 +69,50 @@ constexpr std::size_t kBlockHeaderSize = 16;
 // block (the writer seals at Options::block_bytes, default 64 KB).
 constexpr std::uint32_t kMaxBlockPayload = 64u * 1024 * 1024;
 constexpr std::size_t kV1Chunk = 64 * 1024;
+
+// Publishes the TraceStats deltas accrued during one reader step (a v2 block
+// refill or a v1 decode step) into the global metrics and flight recorder,
+// whatever exit path the step takes. Keeps the recovery logic free of
+// per-site instrumentation.
+class ReaderDamageScope {
+ public:
+  explicit ReaderDamageScope(const TraceStats& stats)
+      : stats_(stats), before_(stats) {}
+  ReaderDamageScope(const ReaderDamageScope&) = delete;
+  ReaderDamageScope& operator=(const ReaderDamageScope&) = delete;
+
+  ~ReaderDamageScope() {
+    if constexpr (obs::kMetricsEnabled) {
+      auto& metrics = TraceIoMetrics::get();
+      metrics.reader_blocks.inc(stats_.blocks_total - before_.blocks_total);
+      metrics.reader_crc_failures.inc(stats_.blocks_corrupt -
+                                      before_.blocks_corrupt);
+      metrics.reader_bytes_discarded.inc(stats_.bytes_discarded -
+                                         before_.bytes_discarded);
+      if (stats_.truncated_tail && !before_.truncated_tail)
+        metrics.reader_torn_tails.inc();
+    }
+    if (stats_.blocks_corrupt > before_.blocks_corrupt) {
+      obs::FlightRecorder::global().record(
+          obs::EventKind::kCorruptBlock,
+          "skipped %llu corrupt block(s), %llu byte(s) discarded",
+          static_cast<unsigned long long>(stats_.blocks_corrupt -
+                                          before_.blocks_corrupt),
+          static_cast<unsigned long long>(stats_.bytes_discarded -
+                                          before_.bytes_discarded));
+    }
+    if (stats_.truncated_tail && !before_.truncated_tail) {
+      obs::FlightRecorder::global().record(
+          obs::EventKind::kTornTail, "torn tail: %llu byte(s) discarded",
+          static_cast<unsigned long long>(stats_.bytes_discarded -
+                                          before_.bytes_discarded));
+    }
+  }
+
+ private:
+  const TraceStats& stats_;
+  TraceStats before_;
+};
 
 void put_u32le(std::uint32_t v, std::uint8_t* dst) {
   for (int i = 0; i < 4; ++i) dst[i] = static_cast<std::uint8_t>(v >> (8 * i));
@@ -31,12 +126,18 @@ std::uint32_t get_u32le(const std::uint8_t* src) {
 
 }  // namespace
 
+void detail::register_trace_io_metrics() { TraceIoMetrics::get(); }
+
 // ---- v1 buffer codec -------------------------------------------------------
 
 std::vector<std::uint8_t> encode_trace(std::span<const Synopsis> trace) {
   std::vector<std::uint8_t> out;
   out.reserve(trace.size() * 32 + sizeof(kMagicV1));
-  out.insert(out.end(), kMagicV1, kMagicV1 + sizeof(kMagicV1));
+  // resize + memcpy rather than insert-from-array: GCC 12's stringop-overflow
+  // pass misattributes the 8-byte magic copy to the reserve'd allocation and
+  // warns under -Werror.
+  out.resize(sizeof(kMagicV1));
+  std::memcpy(out.data(), kMagicV1, sizeof(kMagicV1));
   for (const auto& s : trace) encode_synopsis(s, out);
   return out;
 }
@@ -106,6 +207,11 @@ bool TraceWriter::write_block() {
     ok_ = false;
     return false;
   }
+  if constexpr (obs::kMetricsEnabled) {
+    auto& metrics = TraceIoMetrics::get();
+    metrics.writer_blocks.inc();
+    metrics.writer_bytes.inc(sizeof(header) + payload_.size());
+  }
   bytes_ += sizeof(header) + payload_.size();
   ++blocks_;
   payload_.clear();
@@ -118,12 +224,16 @@ bool TraceWriter::append(const Synopsis& s) {
   encode_synopsis(s, payload_);
   ++payload_records_;
   ++synopses_;
+  if constexpr (obs::kMetricsEnabled)
+    TraceIoMetrics::get().writer_synopses.inc();
   if (payload_.size() >= options_.block_bytes) return write_block();
   return true;
 }
 
 bool TraceWriter::flush() {
   if (!ok_ || finalized_) return false;
+  if constexpr (obs::kMetricsEnabled)
+    TraceIoMetrics::get().writer_flushes.inc();
   if (!payload_.empty()) return write_block();
   out_.flush();
   ok_ = static_cast<bool>(out_);
@@ -186,10 +296,13 @@ bool TraceReader::next(Synopsis& out) {
   if (block_pos_ >= block_records_.size() && !refill_block_v2()) return false;
   out = std::move(block_records_[block_pos_++]);
   ++stats_.synopses;
+  if constexpr (obs::kMetricsEnabled)
+    TraceIoMetrics::get().reader_records.inc();
   return true;
 }
 
 bool TraceReader::refill_block_v2() {
+  ReaderDamageScope damage(stats_);
   block_records_.clear();
   block_pos_ = 0;
 
@@ -287,6 +400,7 @@ bool TraceReader::refill_block_v2() {
 }
 
 bool TraceReader::next_v1(Synopsis& out) {
+  ReaderDamageScope damage(stats_);
   for (;;) {
     std::span<const std::uint8_t> rest(v1_buf_.data() + v1_pos_,
                                        v1_buf_.size() - v1_pos_);
@@ -295,6 +409,8 @@ bool TraceReader::next_v1(Synopsis& out) {
       if (decode_synopsis(attempt, out)) {
         v1_pos_ = v1_buf_.size() - attempt.size();
         ++stats_.synopses;
+        if constexpr (obs::kMetricsEnabled)
+          TraceIoMetrics::get().reader_records.inc();
         return true;
       }
     }

@@ -1,0 +1,34 @@
+// Exposition surfaces for the self-telemetry registry:
+//
+//  * render_prometheus(): Prometheus text format v0.0.4 — # HELP / # TYPE
+//    per family, `name{label="value"} value` samples, histograms as the
+//    conventional cumulative `_bucket{le=...}` + `_sum` + `_count` triple.
+//    HELP text escapes `\` and newline; label values escape `\`, `"` and
+//    newline, exactly as the format specifies.
+//  * render_json(): a schema-versioned JSON snapshot of the same data,
+//    embeddable into detection reports (see core/report_json.h):
+//    {"schema_version":1,"families":[{"name":...,"type":...,"help":...,
+//     "series":[{"labels":{...},"value":N}|{...,"count":N,"sum":N,
+//     "buckets":[{"le":...,"count":N},...]}]}]}
+//
+// Both render from MetricsRegistry::snapshot(), so a scrape never blocks a
+// hot-path increment for longer than the registry's registration mutex.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace saad::obs {
+
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+std::string render_prometheus(const MetricsRegistry& registry);
+std::string render_json(const MetricsRegistry& registry);
+
+/// Writes render_prometheus(registry) to `path` (truncating). False on I/O
+/// failure.
+bool write_prometheus_file(const MetricsRegistry& registry,
+                           const std::string& path);
+
+}  // namespace saad::obs

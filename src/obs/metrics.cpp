@@ -1,0 +1,165 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+#include <cctype>
+#include <stdexcept>
+
+namespace saad::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_'))
+    return false;
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_'))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  assert(!bounds_.empty());
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    assert(bounds_[i - 1] < bounds_[i]);
+  for (auto& shard : shards_)
+    shard = std::make_unique<Shard>(bounds_.size() + 1);
+}
+
+std::vector<std::int64_t> latency_bounds_us() {
+  return {50,     100,    250,    500,     1000,    2500,    5000,
+          10000,  25000,  50000,  100000,  250000,  500000,  1000000,
+          2500000, 10000000};
+}
+
+std::vector<std::int64_t> size_bounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: instrumentation structs hold references from static
+  // storage, and destruction order at exit must never invalidate them.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_for(const std::string& name,
+                                                     const std::string& help,
+                                                     MetricType type) {
+  if (!valid_metric_name(name))
+    throw std::logic_error("invalid metric name '" + name + "'");
+  for (auto& family : families_) {
+    if (family.name != name) continue;
+    if (family.type != type) {
+      throw std::logic_error("metric '" + name + "' already registered as " +
+                             to_string(family.type));
+    }
+    return family;
+  }
+  families_.push_back(Family{name, help, type, {}, {}});
+  return families_.back();
+}
+
+MetricsRegistry::Series& MetricsRegistry::series_for(Family& family,
+                                                     const Labels& labels) {
+  for (auto& series : family.series)
+    if (series.labels == labels) return series;
+  family.series.push_back(Series{labels, nullptr, nullptr, nullptr});
+  return family.series.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  std::lock_guard lock(mu_);
+  Series& series = series_for(family_for(name, help, MetricType::kCounter),
+                              labels);
+  if (series.counter == nullptr)
+    series.counter = std::unique_ptr<Counter>(new Counter());
+  return *series.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  std::lock_guard lock(mu_);
+  Series& series =
+      series_for(family_for(name, help, MetricType::kGauge), labels);
+  if (series.gauge == nullptr)
+    series.gauge = std::unique_ptr<Gauge>(new Gauge());
+  return *series.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<std::int64_t> bounds,
+                                      const Labels& labels) {
+  std::lock_guard lock(mu_);
+  Family& family = family_for(name, help, MetricType::kHistogram);
+  if (family.bounds.empty()) family.bounds = bounds;
+  Series& series = series_for(family, labels);
+  if (series.histogram == nullptr) {
+    // All series of one family share the family's bounds (the first
+    // registration wins), so the exposition's per-family bucket layout holds.
+    series.histogram =
+        std::unique_ptr<Histogram>(new Histogram(family.bounds));
+  }
+  return *series.histogram;
+}
+
+std::vector<MetricsRegistry::FamilySnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<FamilySnapshot> out;
+  out.reserve(families_.size());
+  for (const auto& family : families_) {
+    FamilySnapshot fs;
+    fs.name = family.name;
+    fs.help = family.help;
+    fs.type = family.type;
+    fs.bounds = family.bounds;
+    fs.series.reserve(family.series.size());
+    for (const auto& series : family.series) {
+      SeriesSnapshot ss;
+      ss.labels = series.labels;
+      if (series.counter) ss.counter_value = series.counter->value();
+      if (series.gauge) ss.gauge_value = series.gauge->value();
+      if (series.histogram) ss.histogram = series.histogram->snapshot();
+      fs.series.push_back(std::move(ss));
+    }
+    out.push_back(std::move(fs));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mu_);
+  for (auto& family : families_) {
+    for (auto& series : family.series) {
+      if (series.counter) series.counter->reset();
+      if (series.gauge) series.gauge->reset();
+      if (series.histogram) series.histogram->reset();
+    }
+  }
+}
+
+std::size_t MetricsRegistry::num_families() const {
+  std::lock_guard lock(mu_);
+  return families_.size();
+}
+
+}  // namespace saad::obs

@@ -4,7 +4,9 @@
 // error (or skip, for framed traces) — never crash, never OOM, never
 // fabricate records. Runs under the asan preset in CI (ctest -L corruption).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -184,7 +186,14 @@ TEST(TraceCorruption, V1MutationsNeverCrashAndNeverReject) {
 class TraceV2Corruption : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = (fs::temp_directory_path() / "saad_fuzz_v2.trc").string();
+    // ctest -j runs each TEST_F as its own process against the shared temp
+    // dir, so the file name must be unique per test or the two fixtures
+    // race on it.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = (fs::temp_directory_path() /
+             (std::string("saad_fuzz_v2_") + info->name() + "_" +
+              std::to_string(static_cast<long long>(::getpid())) + ".trc"))
+                .string();
     trace_ = sample_trace(120, 25);
     TraceWriter::Options options;
     options.block_bytes = 512;
@@ -300,9 +309,11 @@ TEST(ModelCorruption, MutationsNeverCrash) {
 // Hand-built minimal model image following the documented layout, so a
 // single field can be poisoned precisely.
 std::vector<std::uint8_t> craft_model(std::int64_t duration_threshold) {
-  std::vector<std::uint8_t> out;
+  // resize+memcpy instead of insert(): GCC 12's -Wstringop-overflow
+  // false-positives on range-insert into an empty vector.
   const char magic[8] = {'S', 'A', 'A', 'D', 'M', 'D', 'L', '1'};
-  out.insert(out.end(), magic, magic + 8);
+  std::vector<std::uint8_t> out(sizeof(magic));
+  std::memcpy(out.data(), magic, sizeof(magic));
   put_double(0.01, out);   // flow_share_threshold
   put_double(0.99, out);   // duration_quantile
   put_varint(5, out);      // kfold_k

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "../obs/json_checker.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
 namespace saad::core {
 namespace {
 
@@ -93,6 +97,45 @@ TEST_F(JsonFixture, StructurallyBalanced) {
   EXPECT_EQ(braces, 0);
   EXPECT_EQ(brackets, 0);
   EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST_F(JsonFixture, TelemetryEmbeddingGolden) {
+  obs::MetricsRegistry telemetry;
+  obs::Counter& c = telemetry.counter("saad_test_report_total", "Report ops.");
+  c.inc(5);
+
+  JsonReportOptions options;
+  options.telemetry = &telemetry;
+  const std::vector<Anomaly> batch = {anomaly()};
+  const auto json = to_json(batch, registry, options);
+
+  EXPECT_TRUE(saad::testing::JsonChecker(json).valid()) << json;
+  // Schema-versioned snapshot rides next to the verdicts.
+  EXPECT_NE(json.find("\"telemetry\":{\"schema_version\":1,"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"saad_test_report_total\""),
+            std::string::npos);
+  if (obs::kMetricsEnabled) {
+    EXPECT_NE(json.find("\"value\":5"), std::string::npos);
+  }
+  // The embedded object is exactly render_json()'s output.
+  const auto pos = json.find("\"telemetry\":");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string embedded = json.substr(pos + 12, json.size() - pos - 13);
+  EXPECT_EQ(embedded, obs::render_json(telemetry));
+
+  const auto incidents_json =
+      to_json(group_incidents(batch), registry, options);
+  EXPECT_TRUE(saad::testing::JsonChecker(incidents_json).valid())
+      << incidents_json;
+  EXPECT_NE(incidents_json.find("\"telemetry\":"), std::string::npos);
+}
+
+TEST_F(JsonFixture, TelemetryAbsentByDefault) {
+  const auto json = to_json(std::vector<Anomaly>{anomaly()}, registry);
+  EXPECT_EQ(json.find("\"telemetry\""), std::string::npos);
+  EXPECT_TRUE(saad::testing::JsonChecker(json).valid()) << json;
 }
 
 }  // namespace

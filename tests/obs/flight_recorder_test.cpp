@@ -1,0 +1,106 @@
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+
+namespace saad::obs {
+namespace {
+
+TEST(FlightRecorder, RecordsInOrderWithDetails) {
+  FlightRecorder recorder(8);
+  recorder.record(EventKind::kWindowOpen, "window %d opened", 3);
+  recorder.record(EventKind::kCorruptBlock, "block %d bad crc", 7);
+  const auto events = recorder.dump();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[0].kind, EventKind::kWindowOpen);
+  EXPECT_STREQ(events[0].detail, "window 3 opened");
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[1].kind, EventKind::kCorruptBlock);
+  EXPECT_STREQ(events[1].detail, "block 7 bad crc");
+  EXPECT_LE(events[0].wall_us, events[1].wall_us);
+}
+
+TEST(FlightRecorder, RingKeepsNewestEvents) {
+  FlightRecorder recorder(4);
+  for (int i = 0; i < 10; ++i)
+    recorder.record(EventKind::kCustom, "event %d", i);
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  const auto events = recorder.dump();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first among the retained tail: 6, 7, 8, 9.
+  EXPECT_STREQ(events[0].detail, "event 6");
+  EXPECT_STREQ(events[3].detail, "event 9");
+  EXPECT_EQ(events[0].seq, 7u);  // 1-based
+  EXPECT_EQ(events[3].seq, 10u);
+}
+
+TEST(FlightRecorder, LongDetailsTruncateSafely) {
+  FlightRecorder recorder(2);
+  const std::string big(4 * FlightRecorder::kDetailBytes, 'x');
+  recorder.record(EventKind::kCustom, "%s", big.c_str());
+  const auto events = recorder.dump();
+  ASSERT_EQ(events.size(), 1u);
+  const std::string detail = events[0].detail;
+  EXPECT_EQ(detail.size(), FlightRecorder::kDetailBytes - 1);
+  EXPECT_EQ(detail, big.substr(0, FlightRecorder::kDetailBytes - 1));
+}
+
+TEST(FlightRecorder, DumpTextFormat) {
+  FlightRecorder recorder(8);
+  recorder.record(EventKind::kModeChange, "armed");
+  recorder.record(EventKind::kTornTail, "lost 12 bytes");
+  const std::string text = recorder.dump_text();
+  // "#seq +offset kind: detail" lines, oldest first.
+  EXPECT_NE(text.find("#1 +0.000000s mode-change: armed"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("torn-tail: lost 12 bytes"), std::string::npos) << text;
+  EXPECT_LT(text.find("mode-change"), text.find("torn-tail"));
+}
+
+TEST(FlightRecorder, ClearResetsRetainedNotLifetime) {
+  FlightRecorder recorder(8);
+  recorder.record(EventKind::kCustom, "one");
+  recorder.record(EventKind::kCustom, "two");
+  recorder.clear();
+  EXPECT_TRUE(recorder.dump().empty());
+  EXPECT_EQ(recorder.recorded(), 2u);
+  recorder.record(EventKind::kCustom, "three");
+  const auto events = recorder.dump();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 3u);  // sequence numbers keep counting
+}
+
+TEST(FlightRecorder, GlobalIsSameInstance) {
+  EXPECT_EQ(&FlightRecorder::global(), &FlightRecorder::global());
+}
+
+TEST(FlightRecorder, DumpToFdWritesCrashSafeText) {
+  FlightRecorder recorder(4);
+  recorder.record(EventKind::kIoError, "disk full on %s", "trace.tmp");
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  recorder.dump_to_fd(fds[1]);
+  close(fds[1]);
+  std::string text;
+  char buf[512];
+  for (;;) {
+    const ssize_t n = read(fds[0], buf, sizeof(buf));
+    if (n <= 0) break;
+    text.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fds[0]);
+  EXPECT_NE(text.find("saad flight recorder (1 of 1 events)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("#1 io-error: disk full on trace.tmp"),
+            std::string::npos)
+      << text;
+}
+
+}  // namespace
+}  // namespace saad::obs

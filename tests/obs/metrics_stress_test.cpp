@@ -1,0 +1,128 @@
+// Concurrency stress for the self-telemetry registry, meant for the tsan
+// preset (labeled "stress" in CMake): writer threads hammer counters,
+// gauges, and histograms while a scraper thread snapshots and renders
+// concurrently. Totals must be exact once the writers join — relaxed
+// ordering may tear a mid-run scrape but never lose an increment.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace saad::obs {
+namespace {
+
+TEST(MetricsStress, ConcurrentWritersExactTotals) {
+  if (!kMetricsEnabled)
+    GTEST_SKIP() << "mutations compiled out (SAAD_METRICS=OFF)";
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("saad_stress_ops_total", "ops");
+  Gauge& gauge = registry.gauge("saad_stress_depth", "depth");
+  Histogram& histogram =
+      registry.histogram("saad_stress_us", "us", latency_bounds_us());
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 50'000;
+  std::atomic<bool> stop_scraping{false};
+
+  // Scraper runs concurrently with the writers: snapshots must stay
+  // internally consistent (no crash, bucket sums <= running totals) and the
+  // renderers must never produce torn structures.
+  std::thread scraper([&] {
+    while (!stop_scraping.load(std::memory_order_acquire)) {
+      const auto families = registry.snapshot();
+      ASSERT_EQ(families.size(), 3u);
+      const std::string text = render_prometheus(registry);
+      ASSERT_NE(text.find("saad_stress_ops_total"), std::string::npos);
+      (void)render_json(registry);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        counter.inc();
+        if ((i & 1) == 0)
+          gauge.add(1);
+        else
+          gauge.sub(1);
+        histogram.observe(static_cast<std::int64_t>((t * 1000 + i) % 100000));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop_scraping.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kOpsPerThread);
+  EXPECT_EQ(gauge.value(), 0);  // adds and subs balanced per thread
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kOpsPerThread);
+  std::uint64_t bucket_sum = 0;
+  for (auto c : snap.counts) bucket_sum += c;
+  EXPECT_EQ(bucket_sum, snap.count);
+}
+
+TEST(MetricsStress, ConcurrentRegistrationIsRaceFree) {
+  MetricsRegistry registry;
+  constexpr std::size_t kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  // All threads get-or-create the same family and distinct per-thread
+  // series; the same (name, labels) must resolve to one instance.
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 100; ++round) {
+        Counter& shared =
+            registry.counter("saad_stress_shared_total", "shared");
+        Counter& mine = registry.counter(
+            "saad_stress_sharded_total", "sharded",
+            {{"worker", std::to_string(t % kMaxIndexedLabels)}});
+        mine.inc();
+        if (round == 0) seen[t] = &shared;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::size_t t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(registry.num_families(), 2u);
+}
+
+TEST(MetricsStress, FlightRecorderConcurrentRecordAndDump) {
+  FlightRecorder recorder(64);
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kEvents = 2'000;
+  std::atomic<bool> stop_dumping{false};
+  std::thread dumper([&] {
+    while (!stop_dumping.load(std::memory_order_acquire)) {
+      const auto events = recorder.dump();
+      // Retained tail is contiguous and ordered.
+      for (std::size_t i = 1; i < events.size(); ++i)
+        ASSERT_EQ(events[i].seq, events[i - 1].seq + 1);
+      (void)recorder.dump_text();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kEvents; ++i)
+        recorder.record(EventKind::kCustom, "thread %zu event %zu", t, i);
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop_dumping.store(true, std::memory_order_release);
+  dumper.join();
+  EXPECT_EQ(recorder.recorded(), kThreads * kEvents);
+  EXPECT_EQ(recorder.dump().size(), 64u);
+}
+
+}  // namespace
+}  // namespace saad::obs

@@ -1,0 +1,230 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "json_checker.h"
+#include "obs/exposition.h"
+
+namespace saad::obs {
+namespace {
+
+// Value-assertion tests are meaningless in a -DSAAD_METRICS=OFF build, where
+// inc()/observe() compile to no-ops; registration, identity, and exposition
+// shape still hold and stay tested there.
+#define SKIP_IF_METRICS_DISABLED()                                     \
+  if (!kMetricsEnabled)                                                \
+  GTEST_SKIP() << "mutations compiled out (SAAD_METRICS=OFF)"
+
+TEST(MetricsRegistry, CounterAccumulates) {
+  SKIP_IF_METRICS_DISABLED();
+  MetricsRegistry registry;
+  Counter& c = registry.counter("saad_test_ops_total", "ops");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsRegistry, GaugeSetAddSub) {
+  SKIP_IF_METRICS_DISABLED();
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("saad_test_depth", "depth");
+  g.set(10);
+  g.add(5);
+  g.sub(7);
+  EXPECT_EQ(g.value(), 8);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("saad_test_ops_total", "ops");
+  Counter& b = registry.counter("saad_test_ops_total", "ops");
+  EXPECT_EQ(&a, &b);
+
+  // Distinct label sets are distinct series in the same family.
+  Counter& s0 = registry.counter("saad_test_lbl_total", "x", {{"shard", "0"}});
+  Counter& s1 = registry.counter("saad_test_lbl_total", "x", {{"shard", "1"}});
+  Counter& s0again =
+      registry.counter("saad_test_lbl_total", "x", {{"shard", "0"}});
+  EXPECT_NE(&s0, &s1);
+  EXPECT_EQ(&s0, &s0again);
+  EXPECT_EQ(registry.num_families(), 2u);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("saad_test_ops_total", "ops");
+  EXPECT_THROW(registry.gauge("saad_test_ops_total", "ops"),
+               std::logic_error);
+  EXPECT_THROW(
+      registry.histogram("saad_test_ops_total", "ops", size_bounds()),
+      std::logic_error);
+}
+
+TEST(MetricsRegistry, InvalidNameThrows) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter("", "x"), std::logic_error);
+  EXPECT_THROW(registry.counter("9starts_with_digit", "x"), std::logic_error);
+  EXPECT_THROW(registry.counter("has space", "x"), std::logic_error);
+  EXPECT_THROW(registry.counter("has-dash", "x"), std::logic_error);
+}
+
+TEST(MetricsRegistry, HistogramBucketsBoundariesInclusive) {
+  SKIP_IF_METRICS_DISABLED();
+  MetricsRegistry registry;
+  Histogram& h =
+      registry.histogram("saad_test_us", "us", {10, 100, 1000});
+  h.observe(5);     // -> bucket le=10
+  h.observe(10);    // boundary is inclusive -> le=10
+  h.observe(11);    // -> le=100
+  h.observe(1001);  // -> +Inf
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + Inf
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 0u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 5 + 10 + 11 + 1001);
+}
+
+TEST(MetricsRegistry, SnapshotReflectsRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.counter("saad_test_first_total", "1st");
+  registry.gauge("saad_test_second", "2nd");
+  registry.histogram("saad_test_third_us", "3rd", {1, 2});
+  const auto families = registry.snapshot();
+  ASSERT_EQ(families.size(), 3u);
+  EXPECT_EQ(families[0].name, "saad_test_first_total");
+  EXPECT_EQ(families[0].type, MetricType::kCounter);
+  EXPECT_EQ(families[1].name, "saad_test_second");
+  EXPECT_EQ(families[1].type, MetricType::kGauge);
+  EXPECT_EQ(families[2].name, "saad_test_third_us");
+  EXPECT_EQ(families[2].type, MetricType::kHistogram);
+  EXPECT_EQ(families[2].bounds, (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
+  SKIP_IF_METRICS_DISABLED();
+  MetricsRegistry registry;
+  Counter& c = registry.counter("saad_test_ops_total", "ops");
+  Histogram& h = registry.histogram("saad_test_us", "us", {10});
+  c.inc(7);
+  h.observe(3);
+  registry.reset_values();
+  EXPECT_EQ(registry.num_families(), 2u);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+// ---- Prometheus exposition golden tests ------------------------------------
+
+TEST(Exposition, PrometheusGoldenCounterAndGauge) {
+  SKIP_IF_METRICS_DISABLED();
+  MetricsRegistry registry;
+  Counter& c =
+      registry.counter("saad_test_ops_total", "Operations.", {{"shard", "3"}});
+  c.inc(12);
+  registry.gauge("saad_test_depth", "Queue depth.").set(-4);
+  const std::string text = render_prometheus(registry);
+  EXPECT_EQ(text,
+            "# HELP saad_test_ops_total Operations.\n"
+            "# TYPE saad_test_ops_total counter\n"
+            "saad_test_ops_total{shard=\"3\"} 12\n"
+            "# HELP saad_test_depth Queue depth.\n"
+            "# TYPE saad_test_depth gauge\n"
+            "saad_test_depth -4\n");
+}
+
+TEST(Exposition, PrometheusEscapesHelpAndLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("saad_test_esc_total", "line\none \\ two",
+                   {{"path", "a\\b\"c\nd"}});
+  const std::string text = render_prometheus(registry);
+  EXPECT_NE(text.find("# HELP saad_test_esc_total line\\none \\\\ two\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("saad_test_esc_total{path=\"a\\\\b\\\"c\\nd\"} 0\n"),
+            std::string::npos);
+}
+
+TEST(Exposition, PrometheusHistogramIsCumulativeWithInf) {
+  SKIP_IF_METRICS_DISABLED();
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("saad_test_us", "Latency.", {10, 100});
+  h.observe(5);
+  h.observe(7);
+  h.observe(50);
+  h.observe(500);
+  const std::string text = render_prometheus(registry);
+  EXPECT_NE(text.find("# TYPE saad_test_us histogram"), std::string::npos);
+  // Buckets must be cumulative: 2, 2+1, 2+1+1; _count equals the +Inf count.
+  EXPECT_NE(text.find("saad_test_us_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("saad_test_us_bucket{le=\"100\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("saad_test_us_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("saad_test_us_sum 562\n"), std::string::npos);
+  EXPECT_NE(text.find("saad_test_us_count 4\n"), std::string::npos);
+}
+
+TEST(Exposition, PrometheusHistogramBucketsKeepExtraLabels) {
+  MetricsRegistry registry;
+  registry.histogram("saad_test_us", "Latency.", {10}, {{"worker", "2"}});
+  const std::string text = render_prometheus(registry);
+  EXPECT_NE(text.find("saad_test_us_bucket{worker=\"2\",le=\"10\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("saad_test_us_count{worker=\"2\"} 0\n"),
+            std::string::npos);
+}
+
+// ---- JSON exposition -------------------------------------------------------
+
+TEST(Exposition, JsonIsWellFormedAndSchemaVersioned) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("saad_test_ops_total", "Ops with \"quotes\".",
+                                {{"shard", "0"}});
+  c.inc(3);
+  Histogram& h = registry.histogram("saad_test_us", "Latency.", {10, 100});
+  h.observe(42);
+  registry.gauge("saad_test_depth", "Depth.").set(9);
+
+  const std::string json = render_json(registry);
+  EXPECT_TRUE(saad::testing::JsonChecker(json).valid()) << json;
+  EXPECT_EQ(json.rfind("{\"schema_version\":1,", 0), 0u) << json;
+  EXPECT_NE(json.find("\"name\":\"saad_test_ops_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  if (kMetricsEnabled) {
+    EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"sum\":42"), std::string::npos);
+    // Cumulative buckets in JSON too: le 10 -> 0, le 100 -> 1, +Inf -> 1.
+    EXPECT_NE(json.find("\"le\":100,\"count\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"le\":\"+Inf\",\"count\":1"), std::string::npos);
+  }
+}
+
+TEST(Exposition, JsonEscapesHelpText) {
+  MetricsRegistry registry;
+  registry.counter("saad_test_esc_total", "line\nwith \"quotes\" \\ slash");
+  const std::string json = render_json(registry);
+  EXPECT_TRUE(saad::testing::JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("line\\nwith \\\"quotes\\\" \\\\ slash"),
+            std::string::npos);
+}
+
+TEST(Exposition, EmptyRegistryRendersEmptyShells) {
+  MetricsRegistry registry;
+  EXPECT_EQ(render_prometheus(registry), "");
+  const std::string json = render_json(registry);
+  EXPECT_TRUE(saad::testing::JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"families\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saad::obs

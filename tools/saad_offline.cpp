@@ -28,10 +28,15 @@
 #include <map>
 #include <string>
 
+#include "common/table.h"
 #include "core/analyzer_pool.h"
 #include "core/report_html.h"
 #include "core/saad.h"
+#include "core/telemetry.h"
 #include "core/trace_io.h"
+#include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "systems/cassandra/cassandra.h"
 #include "systems/hbase/hbase.h"
 #include "workload/ycsb.h"
@@ -44,6 +49,8 @@ struct Args {
   std::string command;
   std::string trace, model, registry, html, system = "cassandra";
   std::string fault;
+  std::string metrics_out;  // Prometheus text snapshot written on exit
+  bool stats = false;       // detect: live per-window one-line summaries
   long long run_minutes = 6;
   long long window_sec = 60;
   long long threads = 1;  // analyzer threads for detect (0 = all cores)
@@ -78,6 +85,8 @@ Args parse(int argc, char** argv) {
     if (auto v = value("html"); !v.empty()) args.html = v;
     if (auto v = value("system"); !v.empty()) args.system = v;
     if (auto v = value("fault"); !v.empty()) args.fault = v;
+    if (auto v = value("metrics-out"); !v.empty()) args.metrics_out = v;
+    if (arg == "--stats") args.stats = true;
     if (auto v = value("minutes"); !v.empty())
       args.run_minutes = parse_int(v, "minutes");
     if (auto v = value("window-sec"); !v.empty())
@@ -103,6 +112,84 @@ std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
   return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(file)),
                                    std::istreambuf_iterator<char>());
 }
+
+// Live per-window summary for `detect --stats`: one line per closed window,
+// printed while the trace is still streaming. Windows close at a watermark
+// two windows behind the newest synopsis end time, so ordinary out-of-order
+// arrivals (long tasks finishing late) still land in their own window rather
+// than being reattributed to the oldest open one.
+class LiveStats {
+ public:
+  explicit LiveStats(UsTime window) : window_(window) {}
+
+  void note(const core::Synopsis& s) {
+    watermark_ = std::max(watermark_, s.start + s.duration);
+    const auto w =
+        static_cast<std::size_t>(std::max<UsTime>(s.start, 0) / window_);
+    synopses_[std::max(w, next_window_)]++;
+  }
+
+  void absorb(const std::vector<core::Anomaly>& batch) {
+    for (const auto& a : batch) {
+      auto& [flow, perf] = anomalies_[a.window];
+      (a.kind == core::AnomalyKind::kFlow ? flow : perf)++;
+    }
+  }
+
+  /// Watermark the analyzer can safely advance to (0 while warming up).
+  UsTime safe_now() const {
+    return watermark_ > 2 * window_ ? watermark_ - 2 * window_ : 0;
+  }
+
+  /// True once `safe` closes a window not yet reported. Gates advance_to():
+  /// in the threaded pool it is a full flush + merge barrier, so it should
+  /// run once per window, not once per synopsis.
+  bool window_ready(UsTime safe) const {
+    return static_cast<UsTime>(next_window_ + 1) * window_ <= safe;
+  }
+
+  /// Prints a line for every window whose end is <= `now`.
+  void report_until(UsTime now) {
+    while (static_cast<UsTime>(next_window_ + 1) * window_ <= now) {
+      print_window(next_window_);
+      ++next_window_;
+    }
+  }
+
+  /// Prints every window still pending (after analyzer.finish()).
+  void report_rest() {
+    std::size_t last = next_window_;
+    if (!synopses_.empty()) last = std::max(last, synopses_.rbegin()->first);
+    if (!anomalies_.empty()) last = std::max(last, anomalies_.rbegin()->first);
+    for (; next_window_ <= last; ++next_window_) print_window(next_window_);
+  }
+
+ private:
+  void print_window(std::size_t w) {
+    std::size_t n = 0, flow = 0, perf = 0;
+    if (auto it = synopses_.find(w); it != synopses_.end()) {
+      n = it->second;
+      synopses_.erase(it);
+    }
+    if (auto it = anomalies_.find(w); it != anomalies_.end()) {
+      flow = it->second.first;
+      perf = it->second.second;
+      anomalies_.erase(it);
+    }
+    std::printf("[stats] window %3zu [%5.1f, %5.1f min): %6zu synopses, "
+                "%zu anomalies (%zu flow, %zu performance)\n",
+                w, to_min(static_cast<UsTime>(w) * window_),
+                to_min(static_cast<UsTime>(w + 1) * window_), n, flow + perf,
+                flow, perf);
+    std::fflush(stdout);
+  }
+
+  UsTime window_;
+  UsTime watermark_ = 0;
+  std::size_t next_window_ = 0;
+  std::map<std::size_t, std::size_t> synopses_;
+  std::map<std::size_t, std::pair<std::size_t, std::size_t>> anomalies_;
+};
 
 // One stderr line per kind of damage a read pass tolerated, so a recovered
 // trace never looks pristine.
@@ -303,14 +390,34 @@ int cmd_detect(const Args& args) {
   // True streaming: synopses flow from disk block-by-block into the
   // analyzer, so detection memory is O(block) + O(open windows), not
   // O(trace).
+  LiveStats live(config.window);
+  std::vector<core::Anomaly> anomalies;
   std::size_t ingested = 0;
   core::Synopsis s;
   while (reader.next(s)) {
     analyzer.ingest(s);
     ++ingested;
+    if (args.stats) {
+      live.note(s);
+      const UsTime safe = live.safe_now();
+      if (live.window_ready(safe)) {
+        auto closed = analyzer.advance_to(safe);
+        live.absorb(closed);
+        anomalies.insert(anomalies.end(),
+                         std::make_move_iterator(closed.begin()),
+                         std::make_move_iterator(closed.end()));
+        live.report_until(safe);
+      }
+    }
   }
   warn_trace_damage("detect", reader.stats());
-  const auto anomalies = analyzer.finish();
+  auto tail = analyzer.finish();
+  if (args.stats) {
+    live.absorb(tail);
+    live.report_rest();
+  }
+  anomalies.insert(anomalies.end(), std::make_move_iterator(tail.begin()),
+                   std::make_move_iterator(tail.end()));
 
   std::printf("%zu anomalies in %zu synopses:\n", anomalies.size(), ingested);
   for (const auto& a : anomalies)
@@ -371,6 +478,17 @@ int cmd_info(const Args& args) {
     std::printf("integrity: %llu trailing bytes discarded (torn v1 tail)\n",
                 static_cast<unsigned long long>(stats.bytes_discarded));
   }
+  TextTable table({"reader metric", "value"});
+  table.add_row({"records decoded",
+                 TextTable::num(static_cast<std::int64_t>(count))});
+  table.add_row({"blocks read",
+                 TextTable::num(static_cast<std::int64_t>(stats.blocks_total))});
+  table.add_row({"blocks corrupt (CRC)",
+                 TextTable::num(static_cast<std::int64_t>(stats.blocks_corrupt))});
+  table.add_row({"bytes discarded",
+                 TextTable::num(static_cast<std::int64_t>(stats.bytes_discarded))});
+  table.add_row({"torn tail recovered", stats.truncated_tail ? "yes" : "no"});
+  std::printf("%s", table.to_string().c_str());
   return stats.blocks_corrupt > 0 || stats.bytes_discarded > 0 ? 3 : 0;
 }
 
@@ -378,14 +496,41 @@ int cmd_info(const Args& args) {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
-  if (args.command == "record") return cmd_record(args);
-  if (args.command == "train") return cmd_train(args);
-  if (args.command == "detect") return cmd_detect(args);
-  if (args.command == "info") return cmd_info(args);
-  std::fprintf(stderr,
-               "usage: saad_offline <record|train|detect|info> [--trace=] "
-               "[--model=] [--registry=] [--html=] [--system=cassandra|hbase] "
-               "[--fault=error-wal|delay-wal|error-flush|delay-flush] "
-               "[--minutes=N] [--window-sec=N] [--threads=N] [--seed=N]\n");
-  return 2;
+  saad::obs::install_crash_handler();
+  // Register every pipeline family up front so --metrics-out snapshots are
+  // complete (zero-valued families included) regardless of the command.
+  saad::core::register_pipeline_metrics();
+  int rc;
+  if (args.command == "record") {
+    rc = cmd_record(args);
+  } else if (args.command == "train") {
+    rc = cmd_train(args);
+  } else if (args.command == "detect") {
+    rc = cmd_detect(args);
+  } else if (args.command == "info") {
+    rc = cmd_info(args);
+  } else {
+    std::fprintf(
+        stderr,
+        "usage: saad_offline <record|train|detect|info> [--trace=] "
+        "[--model=] [--registry=] [--html=] [--system=cassandra|hbase] "
+        "[--fault=error-wal|delay-wal|error-flush|delay-flush] "
+        "[--minutes=N] [--window-sec=N] [--threads=N] [--seed=N] "
+        "[--metrics-out=<file>] [--stats]\n");
+    return 2;
+  }
+  // Telemetry snapshot last, after the command ran to completion (success or
+  // failure — a failed run's metrics are the interesting ones).
+  if (!args.metrics_out.empty()) {
+    if (saad::obs::write_prometheus_file(saad::obs::MetricsRegistry::global(),
+                                         args.metrics_out)) {
+      std::fprintf(stderr, "wrote metrics snapshot to %s\n",
+                   args.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write --metrics-out=%s\n",
+                   args.metrics_out.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }

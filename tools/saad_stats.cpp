@@ -1,0 +1,518 @@
+// saad_stats — terminal viewer and validator for SAAD telemetry snapshots
+// (the Prometheus text files written by `saad_offline --metrics-out=` or
+// obs::write_prometheus_file).
+//
+//   saad_stats metrics.prom                render a metric table
+//   saad_stats metrics.prom --check        strict format validation: sample
+//                                          grammar, metric-name charset,
+//                                          TYPE presence, histogram bucket
+//                                          cumulativity and +Inf terminals
+//   saad_stats metrics.prom --require=F    fail unless family F is present
+//                                          (repeatable)
+//   saad_stats metrics.prom --follow[=ms]  re-render whenever the file
+//                                          changes (poll interval, default
+//                                          1000 ms)
+//
+// Exit codes: 0 ok, 1 cannot read input, 2 usage, 3 validation or
+// --require failure. `-` reads stdin (single shot only).
+#include <sys/stat.h>
+
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.h"
+
+namespace {
+
+struct Sample {
+  std::string name;  // full sample name, e.g. saad_detector_window_close_us_bucket
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0.0;
+  std::size_t line = 0;  // 1-based source line, for diagnostics
+};
+
+struct Family {
+  std::string name;
+  std::string help;
+  std::string type;  // counter | gauge | histogram | untyped | ...
+  std::vector<Sample> samples;
+};
+
+struct Exposition {
+  std::vector<Family> families;  // in file order
+  std::vector<std::string> errors;
+
+  Family* find(const std::string& name) {
+    for (auto& family : families)
+      if (family.name == name) return &family;
+    return nullptr;
+  }
+};
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_' &&
+      name[0] != ':')
+    return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':')
+      return false;
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_')
+    return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+/// The family a sample belongs to: histogram samples drop the _bucket /
+/// _sum / _count suffix when such a family exists.
+std::string base_name(const Exposition& exposition, const std::string& name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (name.size() > s.size() &&
+        name.compare(name.size() - s.size(), s.size(), s) == 0) {
+      const std::string base = name.substr(0, name.size() - s.size());
+      for (const auto& family : exposition.families) {
+        if (family.name == base && family.type == "histogram") return base;
+      }
+    }
+  }
+  return name;
+}
+
+std::optional<double> parse_value(const std::string& text) {
+  if (text == "+Inf" || text == "Inf") return HUGE_VAL;
+  if (text == "-Inf") return -HUGE_VAL;
+  if (text == "NaN") return NAN;
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used == text.size()) return v;
+  } catch (const std::exception&) {
+  }
+  return std::nullopt;
+}
+
+/// Parses `name{label="value",...} value` after the name has been consumed.
+/// Returns false (with a message) on any grammar violation.
+bool parse_labels(const std::string& body, std::size_t& pos, Sample& sample,
+                  std::string& error) {
+  ++pos;  // consume '{'
+  for (;;) {
+    while (pos < body.size() && body[pos] == ' ') ++pos;
+    if (pos < body.size() && body[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    std::size_t eq = body.find('=', pos);
+    if (eq == std::string::npos) {
+      error = "unterminated label list";
+      return false;
+    }
+    std::string label_name = body.substr(pos, eq - pos);
+    if (!valid_label_name(label_name)) {
+      error = "invalid label name '" + label_name + "'";
+      return false;
+    }
+    pos = eq + 1;
+    if (pos >= body.size() || body[pos] != '"') {
+      error = "label value for '" + label_name + "' is not quoted";
+      return false;
+    }
+    ++pos;
+    std::string value;
+    for (;;) {
+      if (pos >= body.size()) {
+        error = "unterminated label value for '" + label_name + "'";
+        return false;
+      }
+      const char c = body[pos++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos >= body.size()) {
+          error = "dangling escape in label value for '" + label_name + "'";
+          return false;
+        }
+        const char esc = body[pos++];
+        if (esc == 'n')
+          value.push_back('\n');
+        else if (esc == '\\' || esc == '"')
+          value.push_back(esc);
+        else {
+          error = std::string("invalid escape '\\") + esc +
+                  "' in label value for '" + label_name + "'";
+          return false;
+        }
+      } else {
+        value.push_back(c);
+      }
+    }
+    sample.labels.emplace_back(std::move(label_name), std::move(value));
+    if (pos < body.size() && body[pos] == ',') ++pos;
+  }
+}
+
+Exposition parse_exposition(std::istream& in) {
+  Exposition out;
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& message) {
+    out.errors.push_back("line " + std::to_string(line_no) + ": " + message);
+  };
+  // Families announced by # TYPE; samples attach by base name. A sample
+  // before any TYPE still parses (Prometheus allows untyped), but --check
+  // flags it below.
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream meta(line);
+      std::string hash, keyword, name;
+      meta >> hash >> keyword >> name;
+      if (keyword != "HELP" && keyword != "TYPE") continue;  // comment
+      if (!valid_metric_name(name)) {
+        fail("invalid metric name '" + name + "' in # " + keyword);
+        continue;
+      }
+      std::string rest;
+      std::getline(meta, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      Family* family = out.find(name);
+      if (family == nullptr) {
+        out.families.push_back(Family{name, "", "", {}});
+        family = &out.families.back();
+      }
+      if (keyword == "HELP") {
+        family->help = rest;
+      } else {
+        if (!family->type.empty())
+          fail("duplicate # TYPE for '" + name + "'");
+        family->type = rest;
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value
+    std::size_t pos = 0;
+    while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') ++pos;
+    Sample sample;
+    sample.name = line.substr(0, pos);
+    sample.line = line_no;
+    if (!valid_metric_name(sample.name)) {
+      fail("invalid sample name '" + sample.name + "'");
+      continue;
+    }
+    if (pos < line.size() && line[pos] == '{') {
+      std::string error;
+      if (!parse_labels(line, pos, sample, error)) {
+        fail(sample.name + ": " + error);
+        continue;
+      }
+    }
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    // Value runs to the next space (an optional timestamp may follow).
+    std::size_t value_end = line.find(' ', pos);
+    if (value_end == std::string::npos) value_end = line.size();
+    const auto value = parse_value(line.substr(pos, value_end - pos));
+    if (!value) {
+      fail(sample.name + ": unparseable value '" +
+           line.substr(pos, value_end - pos) + "'");
+      continue;
+    }
+    sample.value = *value;
+
+    const std::string base = base_name(out, sample.name);
+    Family* family = out.find(base);
+    if (family == nullptr) {
+      out.families.push_back(Family{base, "", "", {}});
+      family = &out.families.back();
+    }
+    family->samples.push_back(std::move(sample));
+  }
+  return out;
+}
+
+// ---- Validation (--check) --------------------------------------------------
+
+std::string label_key_without_le(const Sample& sample) {
+  std::string key;
+  for (const auto& [name, value] : sample.labels) {
+    if (name == "le") continue;
+    key += name + "=" + value + ",";
+  }
+  return key;
+}
+
+/// Histogram invariants per series: buckets cumulative and non-decreasing in
+/// file order, terminated by le="+Inf", and _count equal to the +Inf bucket.
+void check_histogram(const Family& family, std::vector<std::string>& errors) {
+  struct SeriesState {
+    double last_bucket = -1.0;
+    double last_le = -HUGE_VAL;
+    bool saw_inf = false;
+    double inf_count = 0.0;
+    std::optional<double> count;
+  };
+  std::map<std::string, SeriesState> series;
+  for (const auto& sample : family.samples) {
+    auto& state = series[label_key_without_le(sample)];
+    if (sample.name == family.name + "_bucket") {
+      std::optional<double> le;
+      for (const auto& [name, value] : sample.labels)
+        if (name == "le") le = parse_value(value);
+      if (!le) {
+        errors.push_back(family.name + ": _bucket sample at line " +
+                         std::to_string(sample.line) +
+                         " lacks a numeric 'le' label");
+        continue;
+      }
+      if (*le <= state.last_le) {
+        errors.push_back(family.name + ": bucket le=" + std::to_string(*le) +
+                         " out of order at line " + std::to_string(sample.line));
+      }
+      if (sample.value + 1e-9 < state.last_bucket) {
+        errors.push_back(family.name +
+                         ": bucket counts not cumulative at line " +
+                         std::to_string(sample.line));
+      }
+      state.last_le = *le;
+      state.last_bucket = sample.value;
+      if (std::isinf(*le) && *le > 0) {
+        state.saw_inf = true;
+        state.inf_count = sample.value;
+      }
+    } else if (sample.name == family.name + "_count") {
+      state.count = sample.value;
+    }
+  }
+  for (const auto& [key, state] : series) {
+    const std::string where =
+        key.empty() ? family.name : family.name + "{" + key + "}";
+    if (!state.saw_inf)
+      errors.push_back(where + ": histogram series lacks an le=\"+Inf\" bucket");
+    if (state.count && state.saw_inf && *state.count != state.inf_count)
+      errors.push_back(where + ": _count does not equal the +Inf bucket");
+  }
+}
+
+std::vector<std::string> check_exposition(const Exposition& exposition) {
+  std::vector<std::string> errors = exposition.errors;
+  for (const auto& family : exposition.families) {
+    if (family.type.empty()) {
+      errors.push_back(family.name + ": no # TYPE line");
+      continue;
+    }
+    if (family.type != "counter" && family.type != "gauge" &&
+        family.type != "histogram" && family.type != "summary" &&
+        family.type != "untyped") {
+      errors.push_back(family.name + ": unknown type '" + family.type + "'");
+      continue;
+    }
+    if (family.type == "histogram") check_histogram(family, errors);
+  }
+  return errors;
+}
+
+// ---- Rendering -------------------------------------------------------------
+
+std::string format_labels(const Sample& sample) {
+  std::string out;
+  for (const auto& [name, value] : sample.labels) {
+    if (name == "le") continue;
+    if (!out.empty()) out += ",";
+    out += name + "=" + value;
+  }
+  return out;
+}
+
+std::string format_value(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    return saad::TextTable::num(static_cast<std::int64_t>(v));
+  }
+  return saad::TextTable::num(v, 3);
+}
+
+/// Estimated quantile from cumulative buckets (linear within a bucket, the
+/// standard Prometheus histogram_quantile estimate).
+std::optional<double> histogram_quantile(
+    const std::vector<std::pair<double, double>>& buckets, double q) {
+  if (buckets.empty()) return std::nullopt;
+  const double total = buckets.back().second;
+  if (total <= 0) return std::nullopt;
+  const double rank = q * total;
+  double lower = 0.0, lower_count = 0.0;
+  for (const auto& [le, count] : buckets) {
+    if (count >= rank) {
+      if (std::isinf(le)) return lower;  // open-ended: report lower bound
+      if (count == lower_count) return le;
+      return lower + (le - lower) * (rank - lower_count) / (count - lower_count);
+    }
+    lower = le;
+    lower_count = count;
+  }
+  return buckets.back().first;
+}
+
+std::string render_table(const Exposition& exposition) {
+  saad::TextTable table({"metric", "labels", "value"});
+  for (const auto& family : exposition.families) {
+    if (family.type == "histogram") {
+      // One row per series: count, sum, and a p50/p99 estimate.
+      std::map<std::string, std::vector<std::pair<double, double>>> buckets;
+      std::map<std::string, double> counts, sums;
+      for (const auto& sample : family.samples) {
+        const std::string key = format_labels(sample);
+        if (sample.name == family.name + "_bucket") {
+          double le = 0;
+          for (const auto& [name, value] : sample.labels)
+            if (name == "le") le = parse_value(value).value_or(0);
+          buckets[key].emplace_back(le, sample.value);
+        } else if (sample.name == family.name + "_count") {
+          counts[key] = sample.value;
+        } else if (sample.name == family.name + "_sum") {
+          sums[key] = sample.value;
+        }
+      }
+      for (const auto& [key, series_buckets] : buckets) {
+        const double count = counts.count(key) ? counts[key] : 0;
+        std::string value = "count " + format_value(count) + ", sum " +
+                            format_value(sums.count(key) ? sums[key] : 0);
+        if (const auto p50 = histogram_quantile(series_buckets, 0.5))
+          value += ", p50 ~" + format_value(*p50);
+        if (const auto p99 = histogram_quantile(series_buckets, 0.99))
+          value += ", p99 ~" + format_value(*p99);
+        table.add_row({family.name, key, value});
+      }
+    } else {
+      for (const auto& sample : family.samples)
+        table.add_row(
+            {sample.name, format_labels(sample), format_value(sample.value)});
+    }
+  }
+  return table.to_string();
+}
+
+// ---- Driver ----------------------------------------------------------------
+
+struct Args {
+  std::string path;
+  bool check = false;
+  bool follow = false;
+  long long follow_ms = 1000;
+  std::vector<std::string> require;
+  bool usage_error = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      args.check = true;
+    } else if (arg == "--follow") {
+      args.follow = true;
+    } else if (arg.rfind("--follow=", 0) == 0) {
+      args.follow = true;
+      try {
+        args.follow_ms = std::stoll(arg.substr(9));
+      } catch (const std::exception&) {
+        args.usage_error = true;
+      }
+      if (args.follow_ms < 10) args.follow_ms = 10;
+    } else if (arg.rfind("--require=", 0) == 0) {
+      args.require.push_back(arg.substr(10));
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      args.usage_error = true;
+    } else if (args.path.empty()) {
+      args.path = arg;
+    } else {
+      args.usage_error = true;
+    }
+  }
+  if (args.path.empty()) args.usage_error = true;
+  return args;
+}
+
+int run_once(const Args& args) {
+  Exposition exposition;
+  if (args.path == "-") {
+    exposition = parse_exposition(std::cin);
+  } else {
+    std::ifstream file(args.path);
+    if (!file) {
+      std::fprintf(stderr, "saad_stats: cannot read %s\n", args.path.c_str());
+      return 1;
+    }
+    exposition = parse_exposition(file);
+  }
+
+  int rc = 0;
+  if (args.check) {
+    const auto errors = check_exposition(exposition);
+    for (const auto& error : errors)
+      std::fprintf(stderr, "saad_stats: check: %s\n", error.c_str());
+    if (!errors.empty()) rc = 3;
+  } else {
+    for (const auto& error : exposition.errors)
+      std::fprintf(stderr, "saad_stats: %s\n", error.c_str());
+    if (!exposition.errors.empty()) rc = 3;
+  }
+  for (const auto& name : args.require) {
+    if (exposition.find(name) == nullptr) {
+      std::fprintf(stderr, "saad_stats: required family '%s' is missing\n",
+                   name.c_str());
+      rc = 3;
+    }
+  }
+  std::printf("%s", render_table(exposition).c_str());
+  if (rc == 0 && args.check)
+    std::printf("check: OK (%zu families)\n", exposition.families.size());
+  std::fflush(stdout);
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.usage_error) {
+    std::fprintf(stderr,
+                 "usage: saad_stats <metrics.prom|-> [--check] "
+                 "[--require=<family>]... [--follow[=ms]]\n");
+    return 2;
+  }
+  if (!args.follow || args.path == "-") return run_once(args);
+
+  // Tail mode: re-render whenever the snapshot file's mtime or size moves.
+  struct stat last {};
+  for (;;) {
+    struct stat now {};
+    const bool changed = stat(args.path.c_str(), &now) == 0 &&
+                         (now.st_mtime != last.st_mtime ||
+                          now.st_size != last.st_size);
+    if (changed) {
+      last = now;
+      std::printf("\n=== %s ===\n", args.path.c_str());
+      run_once(args);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.follow_ms));
+  }
+}
