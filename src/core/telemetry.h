@@ -9,6 +9,13 @@
 // both SAAD_METRICS modes.
 #pragma once
 
+namespace saad::net {
+/// The network ingestion layer's saad_net_* families, declared here so tools
+/// can register them alongside the core set; defined in saad_net
+/// (net/wire.cpp) — only call it from binaries that link saad_net.
+void register_net_metrics();
+}  // namespace saad::net
+
 namespace saad::core {
 
 void register_pipeline_metrics();

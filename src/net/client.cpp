@@ -1,0 +1,276 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace saad::net {
+
+namespace {
+
+// Process-wide client-side metrics (every SynopsisClient accumulates into
+// the same families, matching the server side in server.cpp).
+struct ClientMetrics {
+  obs::Counter& connects;
+  obs::Counter& reconnects;
+  obs::Counter& connect_failures;
+  obs::Counter& backoffs;
+  obs::Counter& sent_synopses;
+  obs::Counter& sent_frames;
+  obs::Counter& send_errors;
+  obs::Counter& spilled;
+  obs::Counter& dropped;
+  obs::Gauge& spool_depth;
+
+  ClientMetrics()
+      : connects(obs::MetricsRegistry::global().counter(
+            "saad_net_client_connects_total",
+            "Successful connections to a synopsis server.")),
+        reconnects(obs::MetricsRegistry::global().counter(
+            "saad_net_client_reconnects_total",
+            "Successful connections after the first (recoveries).")),
+        connect_failures(obs::MetricsRegistry::global().counter(
+            "saad_net_client_connect_failures_total",
+            "Connection attempts that failed.")),
+        backoffs(obs::MetricsRegistry::global().counter(
+            "saad_net_client_backoffs_total",
+            "Backoff waits taken before reconnect attempts.")),
+        sent_synopses(obs::MetricsRegistry::global().counter(
+            "saad_net_client_sent_synopses_total",
+            "Synopses fully handed to the kernel in batch frames.")),
+        sent_frames(obs::MetricsRegistry::global().counter(
+            "saad_net_client_sent_frames_total",
+            "Frames written (hello, batch, heartbeat, goodbye).")),
+        send_errors(obs::MetricsRegistry::global().counter(
+            "saad_net_client_send_errors_total",
+            "Failed or partial writes that dropped the connection.")),
+        spilled(obs::MetricsRegistry::global().counter(
+            "saad_net_client_spilled_synopses_total",
+            "Synopses degraded to the crash-safe spill trace on spool "
+            "overflow.")),
+        dropped(obs::MetricsRegistry::global().counter(
+            "saad_net_client_dropped_synopses_total",
+            "Synopses dropped on spool overflow with no spill path "
+            "configured.")),
+        spool_depth(obs::MetricsRegistry::global().gauge(
+            "saad_net_client_spool_depth",
+            "Synopses currently spooled awaiting delivery.")) {}
+
+  static ClientMetrics& get() {
+    static ClientMetrics* metrics = new ClientMetrics();
+    return *metrics;
+  }
+};
+
+void default_sleep(UsTime us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+void detail::register_client_metrics() { ClientMetrics::get(); }
+
+SynopsisClient::SynopsisClient(Options options)
+    : options_(std::move(options)), jitter_(options_.seed) {
+  ClientMetrics::get();
+  if (!options_.sleep_fn) options_.sleep_fn = default_sleep;
+}
+
+SynopsisClient::~SynopsisClient() {
+  // No goodbye: destruction without close() models a crash, and the spool
+  // (if a spill path exists) degrades to disk rather than vanishing.
+  if (!spool_.empty() && !options_.spill_trace_path.empty() &&
+      ensure_spill_writer()) {
+    auto& metrics = ClientMetrics::get();
+    while (!spool_.empty()) {
+      if (!spill_->append(spool_.front())) break;
+      spool_.pop_front();
+      ++stats_.spilled;
+      metrics.spilled.inc();
+    }
+  }
+  if (spill_) spill_->finalize();
+  disconnect();
+  ClientMetrics::get().spool_depth.set(0);
+}
+
+UsTime SynopsisClient::current_backoff() const {
+  if (consecutive_failures_ == 0) return 0;
+  UsTime delay = options_.backoff_initial;
+  for (std::size_t i = 1; i < consecutive_failures_ && delay < options_.backoff_max;
+       ++i)
+    delay *= 2;
+  return std::min(delay, options_.backoff_max);
+}
+
+bool SynopsisClient::connect() {
+  if (connected()) return true;
+  auto& metrics = ClientMetrics::get();
+
+  // Retry: wait out the jittered exponential backoff before dialing.
+  if (const UsTime base = current_backoff(); base > 0) {
+    const double factor =
+        1.0 + options_.backoff_jitter * (2.0 * jitter_.next_double() - 1.0);
+    const auto delay = static_cast<UsTime>(static_cast<double>(base) * factor);
+    ++stats_.backoffs;
+    metrics.backoffs.inc();
+    options_.sleep_fn(std::max<UsTime>(delay, 0));
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    ++consecutive_failures_;
+    ++stats_.connect_failures;
+    metrics.connect_failures.inc();
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    ++consecutive_failures_;
+    ++stats_.connect_failures;
+    metrics.connect_failures.inc();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+
+  // Prologue + versioned hello open every connection.
+  std::vector<std::uint8_t> bytes(std::begin(kStreamMagic),
+                                  std::end(kStreamMagic));
+  std::vector<std::uint8_t> payload;
+  encode_hello(Hello{kProtocolVersion, options_.host_id, 0}, payload);
+  encode_frame(FrameType::kHello, payload, bytes);
+  if (!send_all(bytes.data(), bytes.size())) return false;  // disconnects
+  ++stats_.sent_frames;
+  metrics.sent_frames.inc();
+
+  const bool first = stats_.connects == 0;
+  ++stats_.connects;
+  metrics.connects.inc();
+  if (!first) {
+    ++stats_.reconnects;
+    metrics.reconnects.inc();
+  }
+  consecutive_failures_ = 0;
+  return true;
+}
+
+void SynopsisClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool SynopsisClient::send_all(const std::uint8_t* data, std::size_t n) {
+  auto& metrics = ClientMetrics::get();
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    // Any other failure (EPIPE, ECONNRESET, ...): the connection is gone.
+    ++stats_.send_errors;
+    metrics.send_errors.inc();
+    ++consecutive_failures_;
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+bool SynopsisClient::send_frame(FrameType type,
+                                const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kFrameHeaderBytes + payload.size());
+  encode_frame(type, payload, bytes);
+  if (!send_all(bytes.data(), bytes.size())) return false;
+  ++stats_.sent_frames;
+  ClientMetrics::get().sent_frames.inc();
+  return true;
+}
+
+bool SynopsisClient::ensure_spill_writer() {
+  if (spill_) return spill_->ok();
+  if (options_.spill_trace_path.empty()) return false;
+  spill_ = std::make_unique<core::TraceWriter>(options_.spill_trace_path);
+  return spill_->ok();
+}
+
+void SynopsisClient::enqueue(const core::Synopsis& s) {
+  auto& metrics = ClientMetrics::get();
+  while (spool_.size() >= options_.spool_max_synopses && !spool_.empty()) {
+    // Overflow: degrade the *oldest* to the crash-safe spill trace (it can
+    // be replayed later); with no spill path it is dropped, loudly.
+    if (ensure_spill_writer() && spill_->append(spool_.front())) {
+      ++stats_.spilled;
+      metrics.spilled.inc();
+    } else {
+      ++stats_.dropped;
+      metrics.dropped.inc();
+    }
+    spool_.pop_front();
+  }
+  spool_.push_back(s);
+  metrics.spool_depth.set(static_cast<std::int64_t>(spool_.size()));
+}
+
+bool SynopsisClient::flush() {
+  auto& metrics = ClientMetrics::get();
+  std::size_t attempts = 0;
+  while (!spool_.empty()) {
+    if (!connected()) {
+      if (attempts >= options_.connect_attempts_per_flush) return false;
+      ++attempts;
+      if (!connect()) continue;
+    }
+    const std::size_t n = std::min(spool_.size(), options_.batch_synopses);
+    std::vector<core::Synopsis> batch(spool_.begin(),
+                                      spool_.begin() + static_cast<std::ptrdiff_t>(n));
+    std::vector<std::uint8_t> payload;
+    encode_batch(batch, payload);
+    if (!send_frame(FrameType::kBatch, payload)) continue;  // retry/backoff
+    // The whole frame reached the kernel: only now do the synopses leave
+    // the spool (the exactly-once-after-reconnect guarantee).
+    spool_.erase(spool_.begin(), spool_.begin() + static_cast<std::ptrdiff_t>(n));
+    stats_.sent_synopses += n;
+    metrics.sent_synopses.inc(n);
+    metrics.spool_depth.set(static_cast<std::int64_t>(spool_.size()));
+  }
+  return true;
+}
+
+bool SynopsisClient::heartbeat() {
+  if (!connected() && !connect()) return false;
+  return send_frame(FrameType::kHeartbeat, {});
+}
+
+bool SynopsisClient::close() {
+  if (!flush()) return false;
+  if (!connected() && !connect()) return false;
+  std::vector<std::uint8_t> payload;
+  encode_goodbye(stats_.sent_synopses, payload);
+  const bool ok = send_frame(FrameType::kGoodbye, payload);
+  disconnect();
+  return ok;
+}
+
+}  // namespace saad::net

@@ -1,0 +1,124 @@
+// SynopsisClient — the tracker-side shim that streams synopses to a remote
+// SynopsisServer over the SAADNET1 framed protocol (net/wire.h).
+//
+// Design (paper §3, Fig. 2: trackers are inside latency-sensitive servers,
+// so the shim must never block the caller on the network for long and must
+// never silently lose a synopsis):
+//
+//   * enqueue() appends to a bounded in-memory spool and returns; the
+//     network is only touched by flush()/close().
+//   * flush() frames the spool into batch frames and writes them; a synopsis
+//     leaves the spool only after its whole frame was handed to the kernel,
+//     so synopses spooled across an outage are delivered exactly once after
+//     reconnect (synopses already written when the peer died are
+//     at-most-once — TCP cannot do better without server acks).
+//   * A failed write closes the socket; the next flush() reconnects with
+//     jittered exponential backoff (deterministic given Options::seed, and
+//     waits go through Options::sleep_fn so tests can capture instead of
+//     sleep). Delays grow initial, 2x, 4x, ... capped at backoff_max, each
+//     scaled by a uniform factor in [1-jitter, 1+jitter].
+//   * When the spool cap is hit while the server is unreachable, the oldest
+//     synopses degrade to the crash-safe v2 trace file at spill_trace_path
+//     (replayable later with `saad_offline replay`) instead of vanishing;
+//     with no spill path configured they are dropped *and counted*
+//     (saad_net_client_dropped_synopses_total) — loss is always observable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "core/synopsis.h"
+#include "core/trace_io.h"
+#include "net/wire.h"
+
+namespace saad::net {
+
+class SynopsisClient {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    core::HostId host_id = 0;      // advisory, carried in the hello
+    std::size_t batch_synopses = 256;   // max synopses per batch frame
+    std::size_t spool_max_synopses = 64 * 1024;
+    /// Crash-safe overflow target (trace format v2); empty = drop + count.
+    std::string spill_trace_path;
+    UsTime backoff_initial = ms(50);
+    UsTime backoff_max = sec(2);
+    double backoff_jitter = 0.2;   // +/- fraction applied to each delay
+    std::uint64_t seed = 1;        // jitter stream (deterministic in tests)
+    /// How many connect attempts one flush() makes before giving up and
+    /// leaving everything spooled.
+    std::size_t connect_attempts_per_flush = 1;
+    /// Invoked for every backoff wait; defaults to a real sleep. Tests
+    /// inject a recorder to pin the schedule without wall-clock delays.
+    std::function<void(UsTime)> sleep_fn;
+  };
+
+  struct Stats {
+    std::uint64_t connects = 0;     // successful connections
+    std::uint64_t reconnects = 0;   // successful connections after the first
+    std::uint64_t connect_failures = 0;
+    std::uint64_t backoffs = 0;     // waits taken before reconnect attempts
+    std::uint64_t sent_synopses = 0;
+    std::uint64_t sent_frames = 0;  // all frame types
+    std::uint64_t send_errors = 0;  // failed/partial writes (socket dropped)
+    std::uint64_t spilled = 0;      // synopses degraded to the spill trace
+    std::uint64_t dropped = 0;      // synopses lost (no spill path)
+  };
+
+  explicit SynopsisClient(Options options);  // no default: host/port required
+  ~SynopsisClient();  // closes without a goodbye (models a crash)
+  SynopsisClient(const SynopsisClient&) = delete;
+  SynopsisClient& operator=(const SynopsisClient&) = delete;
+
+  /// Spools one synopsis (bounded; overflow spills or drops the oldest).
+  /// Never touches the network.
+  void enqueue(const core::Synopsis& s);
+
+  /// Sends everything spooled. Reconnects (with backoff) when disconnected;
+  /// false when the spool could not be fully delivered — the remainder
+  /// stays spooled for the next flush().
+  bool flush();
+
+  /// One connection attempt, preceded by the backoff wait when this is a
+  /// retry. True when connected (idempotent on an open connection).
+  bool connect();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Empty heartbeat frame; false (and disconnects) on write failure.
+  bool heartbeat();
+
+  /// flush() + goodbye frame + FIN. True only when everything (including
+  /// the goodbye) was delivered.
+  bool close();
+
+  std::size_t spool_size() const { return spool_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// The delay the *next* backoff wait would use (pre-jitter); tests pin
+  /// the exponential schedule through this and the sleep_fn recorder.
+  UsTime current_backoff() const;
+
+ private:
+  bool ensure_spill_writer();
+  bool send_all(const std::uint8_t* data, std::size_t n);
+  bool send_frame(FrameType type, const std::vector<std::uint8_t>& payload);
+  void disconnect();
+
+  Options options_;
+  int fd_ = -1;
+  std::deque<core::Synopsis> spool_;
+  std::unique_ptr<core::TraceWriter> spill_;
+  Rng jitter_;
+  std::size_t consecutive_failures_ = 0;
+  Stats stats_;
+};
+
+}  // namespace saad::net

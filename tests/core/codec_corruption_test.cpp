@@ -16,6 +16,7 @@
 #include "core/model.h"
 #include "core/trace_io.h"
 #include "core/varint.h"
+#include "testutil/temp_dir.h"
 
 namespace saad::core {
 namespace {
@@ -187,13 +188,9 @@ class TraceV2Corruption : public ::testing::Test {
  protected:
   void SetUp() override {
     // ctest -j runs each TEST_F as its own process against the shared temp
-    // dir, so the file name must be unique per test or the two fixtures
-    // race on it.
-    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
-    path_ = (fs::temp_directory_path() /
-             (std::string("saad_fuzz_v2_") + info->name() + "_" +
-              std::to_string(static_cast<long long>(::getpid())) + ".trc"))
-                .string();
+    // dir, so the path must be unique per test or the two fixtures race on
+    // it; TempDir bakes suite/test/pid into the directory name.
+    path_ = tmp_.path("fuzz_v2.trc");
     trace_ = sample_trace(120, 25);
     TraceWriter::Options options;
     options.block_bytes = 512;
@@ -208,11 +205,6 @@ class TraceV2Corruption : public ::testing::Test {
       encodings_.insert(buf);
     }
   }
-  void TearDown() override {
-    std::error_code ec;
-    fs::remove(path_, ec);
-  }
-
   std::vector<std::uint8_t> read(const std::string& path) {
     std::ifstream f(path, std::ios::binary);
     return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(f)),
@@ -231,6 +223,7 @@ class TraceV2Corruption : public ::testing::Test {
     return encodings_.count(buf) > 0;
   }
 
+  testutil::TempDir tmp_;
   std::string path_;
   std::vector<Synopsis> trace_;
   std::vector<std::uint8_t> pristine_;

@@ -8,6 +8,7 @@
 #include "core/log_registry.h"
 #include "core/logger.h"
 #include "core/trace_io.h"
+#include "testutil/temp_dir.h"
 
 namespace saad::core {
 namespace {
@@ -197,9 +198,7 @@ TEST_F(MonitorFixture, MultiThreadedArmMatchesSerialVerdicts) {
 }
 
 TEST_F(MonitorFixture, RecordingStreamsSynopsesToDisk) {
-  const auto path =
-      (std::filesystem::temp_directory_path() / "saad_monitor_rec.trc")
-          .string();
+  const auto path = testutil::scratch_path("monitor_rec.trc");
   Monitor monitor(&registry, &clock);
   TraceWriter::Options options;
   options.block_bytes = 256;  // several blocks for 200 tasks

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "core/saad.h"
+#include "testutil/temp_dir.h"
 
 namespace saad::core {
 namespace {
@@ -47,11 +48,10 @@ struct OfflineWorkflow : ::testing::Test {
 };
 
 TEST_F(OfflineWorkflow, EndToEndThroughFiles) {
-  namespace fs = std::filesystem;
-  const auto dir = fs::temp_directory_path();
-  const auto trace_path = (dir / "saad_wf_clean.trc").string();
-  const auto model_path = (dir / "saad_wf_model.bin").string();
-  const auto registry_path = (dir / "saad_wf_registry.bin").string();
+  const testutil::TempDir tmp;  // unique per test: safe under `ctest -j`
+  const auto trace_path = tmp.path("clean.trc");
+  const auto model_path = tmp.path("model.bin");
+  const auto registry_path = tmp.path("registry.bin");
 
   // 1. Record a clean trace and persist everything.
   const auto clean = record(20000, 0.0, 1);
@@ -97,11 +97,6 @@ TEST_F(OfflineWorkflow, EndToEndThroughFiles) {
 
   const auto html = render_html_report(anomalies, registry2);
   EXPECT_NE(html.find("bug branch"), std::string::npos);
-
-  std::error_code ec;
-  fs::remove(trace_path, ec);
-  fs::remove(model_path, ec);
-  fs::remove(registry_path, ec);
 }
 
 TEST_F(OfflineWorkflow, CleanTraceAgainstOwnModelIsQuiet) {

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "common/rng.h"
+#include "testutil/temp_dir.h"
 
 namespace saad::core {
 namespace {
@@ -37,7 +38,9 @@ std::vector<Synopsis> sample_trace(std::size_t n) {
 }
 
 std::string temp_path(const char* name) {
-  return (fs::temp_directory_path() / name).string();
+  // Process-unique scratch dir: ctest -j runs each test as its own process,
+  // so literal names under the shared temp root would race across suites.
+  return testutil::scratch_path(name);
 }
 
 void write_bytes(const std::string& path,

@@ -1,0 +1,236 @@
+// SynopsisClient resilience: the jittered exponential backoff schedule is
+// pinned through an injected sleep recorder, a server outage is survived
+// with the spool delivering exactly once after reconnect, and spool
+// overflow degrades to the crash-safe spill trace instead of losing data.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/channel.h"
+#include "core/trace_io.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "testutil/temp_dir.h"
+
+namespace saad::net {
+namespace {
+
+using core::Synopsis;
+
+Synopsis tagged(std::uint64_t uid) {
+  Synopsis s;
+  s.stage = 1;
+  s.host = 0;
+  s.start = static_cast<UsTime>(uid);  // the uid rides in the start time
+  s.duration = 1000;
+  s.log_points.push_back({3, 1});
+  return s;
+}
+
+/// A port with nothing listening on it: bind an ephemeral port, read the
+/// number back, close. Connects to it then fail fast with ECONNREFUSED.
+std::uint16_t dead_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+            0);
+  socklen_t len = sizeof addr;
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+/// Drains `channel` (acking the server) until `expected` synopses arrived
+/// or the deadline passed.
+std::vector<Synopsis> drain_until(core::SynopsisChannel& channel,
+                                  SynopsisServer& server,
+                                  std::size_t expected) {
+  std::vector<Synopsis> received;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (received.size() < expected &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::vector<Synopsis> chunk;
+    channel.drain(chunk);
+    server.ack(chunk.size());
+    received.insert(received.end(), chunk.begin(), chunk.end());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return received;
+}
+
+TEST(NetClientBackoff, ScheduleIsExponentialJitteredAndCapped) {
+  std::vector<UsTime> waits;
+  SynopsisClient::Options options;
+  options.port = dead_port();
+  options.backoff_initial = ms(50);
+  options.backoff_max = ms(400);
+  options.backoff_jitter = 0.2;
+  options.seed = 7;
+  options.sleep_fn = [&](UsTime us) { waits.push_back(us); };
+  SynopsisClient client(options);
+
+  for (int i = 0; i < 6; ++i) {
+    // The first attempt dials immediately; each retry backs off first, and
+    // current_backoff() exposes the pre-jitter delay the wait is built on.
+    const UsTime base = client.current_backoff();
+    EXPECT_EQ(base, i == 0 ? 0
+                           : std::min<UsTime>(ms(50) << (i - 1), ms(400)));
+    EXPECT_FALSE(client.connect());
+  }
+  EXPECT_EQ(client.stats().connect_failures, 6u);
+  EXPECT_EQ(client.stats().backoffs, 5u);
+
+  // Every recorded wait sits inside its jitter band: [0.8 d, 1.2 d] around
+  // the exponential 50, 100, 200, 400(cap), 400 ms.
+  ASSERT_EQ(waits.size(), 5u);
+  const UsTime expected[] = {ms(50), ms(100), ms(200), ms(400), ms(400)};
+  bool any_jitter = false;
+  for (std::size_t i = 0; i < waits.size(); ++i) {
+    const double lo = 0.8 * static_cast<double>(expected[i]);
+    const double hi = 1.2 * static_cast<double>(expected[i]);
+    EXPECT_GE(static_cast<double>(waits[i]), lo) << "wait " << i;
+    EXPECT_LE(static_cast<double>(waits[i]), hi) << "wait " << i;
+    if (waits[i] != expected[i]) any_jitter = true;
+  }
+  EXPECT_TRUE(any_jitter) << "five waits all exactly on the curve — jitter "
+                             "is not being applied";
+
+  // A successful connection resets the schedule to "no backoff".
+  core::SynopsisChannel channel;
+  SynopsisServer server(&channel);
+  ASSERT_TRUE(server.start());
+  SynopsisClient::Options fresh = options;
+  fresh.port = server.port();
+  SynopsisClient ok(fresh);
+  EXPECT_TRUE(ok.connect());
+  EXPECT_EQ(ok.current_backoff(), 0);
+  server.stop();
+}
+
+TEST(NetClientReconnect, SpooledSynopsesDeliverExactlyOnceAfterOutage) {
+  core::SynopsisChannel channel1;
+  SynopsisServer::Options server_options;  // ephemeral port first,
+  auto server = std::make_unique<SynopsisServer>(&channel1, server_options);
+  ASSERT_TRUE(server->start());
+  const std::uint16_t port = server->port();  // ...then pinned for restart
+
+  SynopsisClient::Options options;
+  options.port = port;
+  options.batch_synopses = 64;
+  options.connect_attempts_per_flush = 8;
+  options.sleep_fn = [](UsTime) {};  // no real waiting in tests
+  SynopsisClient client(options);
+
+  // Phase 1: a healthy flush, fully drained.
+  for (std::uint64_t uid = 1000; uid < 1500; ++uid)
+    client.enqueue(tagged(uid));
+  ASSERT_TRUE(client.flush());
+  const auto phase1 = drain_until(channel1, *server, 500);
+  ASSERT_EQ(phase1.size(), 500u);
+
+  // Outage: the server dies mid-session.
+  server->stop();
+  server.reset();
+
+  // The client only notices on its next write. Heartbeats carry no
+  // synopses, so hammer those until the dead peer is detected — nothing
+  // can be lost in this window by construction.
+  bool detected = false;
+  for (int i = 0; i < 1000 && !detected; ++i) {
+    detected = !client.heartbeat();
+    if (!detected) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(detected) << "client never noticed the dead connection";
+  EXPECT_FALSE(client.connected());
+  EXPECT_GE(client.stats().send_errors, 1u);
+
+  // Phase 2 accumulates entirely in the spool while the server is down.
+  for (std::uint64_t uid = 2000; uid < 2500; ++uid)
+    client.enqueue(tagged(uid));
+  EXPECT_EQ(client.spool_size(), 500u);
+
+  // Restart on the same port; the next flush reconnects and replays the
+  // spool in order.
+  core::SynopsisChannel channel2;
+  server_options.port = port;
+  server = std::make_unique<SynopsisServer>(&channel2, server_options);
+  bool restarted = false;
+  for (int i = 0; i < 100 && !(restarted = server->start()); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(restarted) << "could not rebind port " << port;
+
+  ASSERT_TRUE(client.flush());
+  EXPECT_EQ(client.spool_size(), 0u);
+  EXPECT_GE(client.stats().reconnects, 1u);
+  ASSERT_TRUE(client.close());
+
+  const auto phase2 = drain_until(channel2, *server, 500);
+  server->stop();
+
+  // Exactly once, in order: every spooled uid arrives a single time, and
+  // nothing from phase 1 is replayed.
+  std::map<std::uint64_t, int> counts;
+  for (const auto& s : phase2) ++counts[static_cast<std::uint64_t>(s.start)];
+  ASSERT_EQ(phase2.size(), 500u);
+  for (std::uint64_t uid = 2000; uid < 2500; ++uid)
+    EXPECT_EQ(counts[uid], 1) << "uid " << uid;
+  EXPECT_TRUE(std::is_sorted(phase2.begin(), phase2.end(),
+                             [](const Synopsis& a, const Synopsis& b) {
+                               return a.start < b.start;
+                             }));
+}
+
+TEST(NetClientSpool, OverflowDegradesOldestToSpillTraceInOrder) {
+  testutil::TempDir tmp;
+  SynopsisClient::Options options;
+  options.port = dead_port();
+  options.spool_max_synopses = 100;
+  options.spill_trace_path = tmp.path("spill.trc");
+  options.sleep_fn = [](UsTime) {};
+  {
+    SynopsisClient client(options);
+    for (std::uint64_t uid = 0; uid < 250; ++uid) client.enqueue(tagged(uid));
+    EXPECT_EQ(client.spool_size(), 100u);
+    EXPECT_EQ(client.stats().spilled, 150u);  // the oldest 150 overflowed
+    EXPECT_FALSE(client.flush());             // nothing to connect to
+    EXPECT_GE(client.stats().connect_failures, 1u);
+    EXPECT_EQ(client.stats().dropped, 0u);
+    // Destruction without close() models a crash: the remaining spool
+    // degrades to the spill trace too.
+  }
+  const auto spilled = core::read_trace_file(options.spill_trace_path);
+  ASSERT_TRUE(spilled.has_value());
+  ASSERT_EQ(spilled->size(), 250u);
+  for (std::uint64_t uid = 0; uid < 250; ++uid)
+    EXPECT_EQ(static_cast<std::uint64_t>((*spilled)[uid].start), uid)
+        << "spill order diverged at " << uid;
+}
+
+TEST(NetClientSpool, OverflowWithoutSpillPathDropsLoudly) {
+  SynopsisClient::Options options;
+  options.port = dead_port();
+  options.spool_max_synopses = 10;
+  options.sleep_fn = [](UsTime) {};
+  SynopsisClient client(options);
+  for (std::uint64_t uid = 0; uid < 35; ++uid) client.enqueue(tagged(uid));
+  EXPECT_EQ(client.spool_size(), 10u);
+  EXPECT_EQ(client.stats().dropped, 25u);
+  EXPECT_EQ(client.stats().spilled, 0u);
+}
+
+}  // namespace
+}  // namespace saad::net

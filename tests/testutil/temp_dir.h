@@ -1,0 +1,91 @@
+// Shared unique-tempdir helper for every test that touches the filesystem.
+//
+// `ctest -j` runs each test binary (and, with gtest sharding, each fixture)
+// as its own process against the *shared* system temp root, so two tests
+// writing the same literal file name race: one truncates the file the other
+// is mid-read on. That bit PR 4's suites; this helper is the one sanctioned
+// way to name scratch files.
+//
+// Each TempDir instance creates its own directory
+//
+//   <system-temp>/saad_<test-suite>_<test-name>_<pid>_<seq>_<rand>/
+//
+// so names inside it can be as plain as "trace.trc". The directory (and
+// everything in it) is removed on destruction; removal failure is ignored —
+// a leftover directory must never fail the test that already passed.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include <unistd.h>
+
+namespace saad::testutil {
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tag = "saad";
+    if (const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info()) {
+      tag += std::string("_") + info->test_suite_name() + "_" + info->name();
+    }
+    // Parameterized/typed test names carry '/' — flatten everything that is
+    // not filename-safe.
+    for (char& c : tag)
+      if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+
+    static std::atomic<std::uint64_t> sequence{0};
+    std::random_device rd;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      auto candidate =
+          std::filesystem::temp_directory_path() /
+          (tag + "_" + std::to_string(static_cast<long long>(::getpid())) +
+           "_" + std::to_string(sequence.fetch_add(1)) + "_" +
+           std::to_string(rd()));
+      std::error_code ec;
+      if (std::filesystem::create_directory(candidate, ec) && !ec) {
+        dir_ = std::move(candidate);
+        return;
+      }
+    }
+    ADD_FAILURE() << "TempDir: could not create a unique directory under "
+                  << std::filesystem::temp_directory_path();
+  }
+
+  ~TempDir() {
+    if (dir_.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);  // best effort
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Absolute path for a scratch file inside the unique directory.
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+/// Process-wide scratch directory for tests that only need unique file
+/// names: `scratch_path("trace.trc")` is safe under `ctest -j` because
+/// every gtest process gets its own TempDir (removed at process exit).
+/// Fixtures that want per-test isolation inside one process should hold a
+/// TempDir member instead.
+inline std::string scratch_path(const std::string& name) {
+  static TempDir dir;
+  return dir.path(name);
+}
+
+}  // namespace saad::testutil

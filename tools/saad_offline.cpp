@@ -8,6 +8,11 @@
 //   detect  replay a trace against a model; print anomalies, optionally
 //           write a self-contained HTML report
 //   info    summarize a trace file, including per-block integrity
+//   serve   run the analyzer as a long-lived network service: accept
+//           SAADNET1 connections (net/server.h) and detect on the live
+//           synopsis stream
+//   replay  stream a recorded trace to a running `serve` over TCP at
+//           recorded or accelerated pacing (net/client.h)
 //
 // train/detect/info stream the trace through TraceReader block by block
 // (v1 and v2), so damaged files degrade to a warning about skipped blocks
@@ -23,10 +28,13 @@
 //       --registry=reg.bin --html=report.html
 // (each command is a single line; wrapped here for readability)
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "common/table.h"
 #include "core/analyzer_pool.h"
@@ -34,6 +42,8 @@
 #include "core/saad.h"
 #include "core/telemetry.h"
 #include "core/trace_io.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/exposition.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -50,11 +60,22 @@ struct Args {
   std::string trace, model, registry, html, system = "cassandra";
   std::string fault;
   std::string metrics_out;  // Prometheus text snapshot written on exit
-  bool stats = false;       // detect: live per-window one-line summaries
+  bool stats = false;       // detect/serve: live per-window summaries
   long long run_minutes = 6;
   long long window_sec = 60;
-  long long threads = 1;  // analyzer threads for detect (0 = all cores)
+  long long threads = 1;  // analyzer threads for detect/serve (0 = all cores)
   std::uint64_t seed = 1;
+  // serve
+  long long listen = -1;      // TCP port (0 = ephemeral); -1 = not given
+  std::string port_file;      // write the bound port here (for scripts)
+  bool once = false;          // exit after the first completed session
+  // replay
+  std::string connect;        // HOST:PORT of a running `serve`
+  std::string pace = "fast";  // fast | recorded
+  long long speed = 1;        // recorded-pacing acceleration factor
+  long long batch = 256;      // synopses per batch frame
+  long long retries = 10;     // delivery attempts for the final flush
+  std::string spool_trace;    // client spill fallback (trace v2)
 };
 
 long long parse_int(const std::string& v, const char* key) {
@@ -95,6 +116,17 @@ Args parse(int argc, char** argv) {
       args.threads = parse_int(v, "threads");
     if (auto v = value("seed"); !v.empty())
       args.seed = static_cast<std::uint64_t>(parse_int(v, "seed"));
+    if (auto v = value("listen"); !v.empty())
+      args.listen = parse_int(v, "listen");
+    if (auto v = value("port-file"); !v.empty()) args.port_file = v;
+    if (arg == "--once") args.once = true;
+    if (auto v = value("connect"); !v.empty()) args.connect = v;
+    if (auto v = value("pace"); !v.empty()) args.pace = v;
+    if (auto v = value("speed"); !v.empty()) args.speed = parse_int(v, "speed");
+    if (auto v = value("batch"); !v.empty()) args.batch = parse_int(v, "batch");
+    if (auto v = value("retries"); !v.empty())
+      args.retries = parse_int(v, "retries");
+    if (auto v = value("spool-trace"); !v.empty()) args.spool_trace = v;
   }
   return args;
 }
@@ -444,6 +476,231 @@ int cmd_detect(const Args& args) {
   return anomalies.empty() ? 0 : 3;  // 3 = anomalies found (like grep's 0/1)
 }
 
+// SIGINT/SIGTERM ask a long-lived `serve` to finish windows and report.
+volatile std::sig_atomic_t g_stop_requested = 0;
+void on_stop_signal(int) { g_stop_requested = 1; }
+
+// Runs the analyzer as a network service: SynopsisServer decodes SAADNET1
+// frames into the sharded channel, and this (consumer) loop drains the
+// channel into the AnalyzerPool — exactly the in-process pipeline, with a
+// wire in the middle. Output format matches `detect`, so the loopback
+// acceptance can diff the two verbatim.
+int cmd_serve(const Args& args) {
+  if (args.listen < 0 || args.listen > 65535) {
+    std::fprintf(stderr, "serve: --listen=<port> required (0 = ephemeral)\n");
+    return 2;
+  }
+  const auto model_bytes = read_file(args.model);
+  if (!model_bytes) {
+    std::fprintf(stderr, "serve: cannot read --model=%s\n", args.model.c_str());
+    return 1;
+  }
+  const auto model = core::OutlierModel::load(*model_bytes);
+  if (!model) {
+    std::fprintf(stderr, "serve: %s is not a SAAD model\n", args.model.c_str());
+    return 1;
+  }
+  core::LogRegistry registry;
+  if (!args.registry.empty()) {
+    const auto reg_bytes = read_file(args.registry);
+    if (!reg_bytes || !registry.load(*reg_bytes)) {
+      std::fprintf(stderr, "serve: cannot load --registry=%s\n",
+                   args.registry.c_str());
+      return 1;
+    }
+  }
+
+  core::SynopsisChannel channel;
+  net::SynopsisServer::Options server_options;
+  server_options.port = static_cast<std::uint16_t>(args.listen);
+  net::SynopsisServer server(&channel, server_options);
+  if (!server.start()) {
+    std::fprintf(stderr, "serve: cannot listen on port %lld\n", args.listen);
+    return 1;
+  }
+  std::fprintf(stderr, "serve: listening on 127.0.0.1:%u (threads=%lld)\n",
+               server.port(), args.threads);
+  if (!args.port_file.empty()) {
+    std::ofstream pf(args.port_file, std::ios::trunc);
+    pf << server.port() << "\n";
+    if (!pf) {
+      std::fprintf(stderr, "serve: cannot write --port-file=%s\n",
+                   args.port_file.c_str());
+      server.stop();
+      return 1;
+    }
+  }
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+
+  core::DetectorConfig config;
+  config.window = sec(args.window_sec);
+  config.analyzer_threads =
+      args.threads < 0 ? 1 : static_cast<std::size_t>(args.threads);
+  core::AnalyzerPool analyzer(&*model, config);
+  LiveStats live(config.window);
+  std::vector<core::Anomaly> anomalies;
+  std::size_t ingested = 0;
+  std::vector<core::Synopsis> batch;
+
+  auto ingest_batch = [&] {
+    for (const auto& s : batch) {
+      analyzer.ingest(s);
+      ++ingested;
+      if (args.stats) live.note(s);
+    }
+    server.ack(batch.size());
+    if (args.stats) {
+      const UsTime safe = live.safe_now();
+      if (live.window_ready(safe)) {
+        auto closed = analyzer.advance_to(safe);
+        live.absorb(closed);
+        anomalies.insert(anomalies.end(),
+                         std::make_move_iterator(closed.begin()),
+                         std::make_move_iterator(closed.end()));
+        live.report_until(safe);
+      }
+    }
+    batch.clear();
+  };
+
+  while (g_stop_requested == 0) {
+    batch.clear();
+    channel.drain(batch);
+    if (batch.empty()) {
+      // --once: the session is over once a hello'd connection has ended and
+      // everything decoded has been published and drained.
+      if (args.once && server.sessions_finished() > 0 &&
+          server.active_connections() == 0 && server.drained())
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    ingest_batch();
+  }
+  server.stop();          // publishes any still-pending batches
+  channel.drain(batch);   // ...which this final drain collects
+  ingest_batch();
+
+  auto tail = analyzer.finish();
+  if (args.stats) {
+    live.absorb(tail);
+    live.report_rest();
+  }
+  anomalies.insert(anomalies.end(), std::make_move_iterator(tail.begin()),
+                   std::make_move_iterator(tail.end()));
+
+  const auto stats = server.stats();
+  std::fprintf(stderr,
+               "serve: %llu connections, %llu sessions, %llu frames, %llu "
+               "synopses, %llu bytes; rejects: %llu crc, %llu magic, %llu "
+               "frame, %llu payload, %llu truncated; %llu shed\n",
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.sessions),
+               static_cast<unsigned long long>(stats.frames),
+               static_cast<unsigned long long>(stats.synopses),
+               static_cast<unsigned long long>(stats.bytes),
+               static_cast<unsigned long long>(stats.crc_rejects),
+               static_cast<unsigned long long>(stats.magic_rejects),
+               static_cast<unsigned long long>(stats.frame_rejects),
+               static_cast<unsigned long long>(stats.payload_rejects),
+               static_cast<unsigned long long>(stats.truncated),
+               static_cast<unsigned long long>(stats.shed_synopses));
+
+  std::printf("%zu anomalies in %zu synopses:\n", anomalies.size(), ingested);
+  for (const auto& a : anomalies)
+    std::printf("  %s\n", core::describe(a, registry).c_str());
+  return anomalies.empty() ? 0 : 3;
+}
+
+// Streams a recorded trace into a running `serve` through the reconnecting
+// client shim, at recorded (--pace=recorded, optionally --speed=N times
+// faster) or maximum (--pace=fast) pacing.
+int cmd_replay(const Args& args) {
+  const auto colon = args.connect.rfind(':');
+  if (args.connect.empty() || colon == std::string::npos) {
+    std::fprintf(stderr, "replay: --connect=HOST:PORT required\n");
+    return 2;
+  }
+  const long long port = parse_int(args.connect.substr(colon + 1), "connect");
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "replay: bad port in --connect=%s\n",
+                 args.connect.c_str());
+    return 2;
+  }
+  core::TraceReader reader(args.trace);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "replay: cannot read --trace=%s\n",
+                 args.trace.c_str());
+    return 1;
+  }
+  if (args.pace != "fast" && args.pace != "recorded") {
+    std::fprintf(stderr, "replay: unknown --pace=%s (fast|recorded)\n",
+                 args.pace.c_str());
+    return 2;
+  }
+
+  net::SynopsisClient::Options options;
+  options.host = args.connect.substr(0, colon);
+  options.port = static_cast<std::uint16_t>(port);
+  options.batch_synopses =
+      args.batch > 0 ? static_cast<std::size_t>(args.batch) : 256;
+  options.spill_trace_path = args.spool_trace;
+  options.seed = args.seed;
+  net::SynopsisClient client(options);
+
+  const auto max_attempts = static_cast<std::size_t>(
+      std::max<long long>(args.retries, 1));
+  bool connected = false;
+  for (std::size_t i = 0; i < max_attempts && !(connected = client.connect());
+       ++i) {
+  }
+  if (!connected) {
+    std::fprintf(stderr, "replay: cannot connect to %s after %zu attempts\n",
+                 args.connect.c_str(), max_attempts);
+    return 1;
+  }
+
+  const long long speed = std::max<long long>(args.speed, 1);
+  core::Synopsis s;
+  UsTime prev = -1;
+  std::size_t streamed = 0;
+  while (reader.next(s)) {
+    if (args.pace == "recorded" && prev >= 0 && s.start > prev) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds((s.start - prev) / speed));
+    }
+    prev = s.start;
+    client.enqueue(s);
+    ++streamed;
+    if (client.spool_size() >= options.batch_synopses)
+      client.flush();  // failure keeps everything spooled; retried below
+  }
+  warn_trace_damage("replay", reader.stats());
+
+  bool delivered = false;
+  for (std::size_t i = 0; i < max_attempts && !(delivered = client.close());
+       ++i) {
+  }
+  const auto& stats = client.stats();
+  std::printf("replay: streamed %llu of %zu synopses in %llu frames "
+              "(%llu reconnects, %llu spilled, %llu dropped)\n",
+              static_cast<unsigned long long>(stats.sent_synopses), streamed,
+              static_cast<unsigned long long>(stats.sent_frames),
+              static_cast<unsigned long long>(stats.reconnects),
+              static_cast<unsigned long long>(stats.spilled),
+              static_cast<unsigned long long>(stats.dropped));
+  if (!delivered) {
+    std::fprintf(stderr,
+                 "replay: %zu synopses undelivered after %zu attempts%s\n",
+                 client.spool_size(), max_attempts,
+                 args.spool_trace.empty() ? ""
+                                          : " (spilling to --spool-trace)");
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_info(const Args& args) {
   core::TraceReader reader(args.trace);
   if (!reader.ok()) {
@@ -500,6 +757,7 @@ int main(int argc, char** argv) {
   // Register every pipeline family up front so --metrics-out snapshots are
   // complete (zero-valued families included) regardless of the command.
   saad::core::register_pipeline_metrics();
+  saad::net::register_net_metrics();
   int rc;
   if (args.command == "record") {
     rc = cmd_record(args);
@@ -507,16 +765,24 @@ int main(int argc, char** argv) {
     rc = cmd_train(args);
   } else if (args.command == "detect") {
     rc = cmd_detect(args);
+  } else if (args.command == "serve") {
+    rc = cmd_serve(args);
+  } else if (args.command == "replay") {
+    rc = cmd_replay(args);
   } else if (args.command == "info") {
     rc = cmd_info(args);
   } else {
     std::fprintf(
         stderr,
-        "usage: saad_offline <record|train|detect|info> [--trace=] "
-        "[--model=] [--registry=] [--html=] [--system=cassandra|hbase] "
+        "usage: saad_offline <record|train|detect|serve|replay|info> "
+        "[--trace=] [--model=] [--registry=] [--html=] "
+        "[--system=cassandra|hbase] "
         "[--fault=error-wal|delay-wal|error-flush|delay-flush] "
         "[--minutes=N] [--window-sec=N] [--threads=N] [--seed=N] "
-        "[--metrics-out=<file>] [--stats]\n");
+        "[--metrics-out=<file>] [--stats] "
+        "[--listen=PORT] [--port-file=<file>] [--once] "
+        "[--connect=HOST:PORT] [--pace=fast|recorded] [--speed=N] "
+        "[--batch=N] [--retries=N] [--spool-trace=<file>]\n");
     return 2;
   }
   // Telemetry snapshot last, after the command ran to completion (success or
