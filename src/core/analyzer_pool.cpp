@@ -20,6 +20,8 @@ struct PoolMetrics {
   obs::Histogram& dispatch_batch_size;
   obs::Histogram& merge_us;
   obs::Gauge& workers;
+  obs::Counter& model_swaps;
+  obs::Gauge& model_epoch;
 
   PoolMetrics()
       : ingested(obs::MetricsRegistry::global().counter(
@@ -39,7 +41,14 @@ struct PoolMetrics {
         workers(obs::MetricsRegistry::global().gauge(
             "saad_analyzer_workers",
             "Worker threads of the most recently constructed pool (1 = "
-            "inline serial path).")) {}
+            "inline serial path).")),
+        model_swaps(obs::MetricsRegistry::global().counter(
+            "saad_analyzer_model_swaps_total",
+            "Hot model reloads applied at a window boundary.")),
+        model_epoch(obs::MetricsRegistry::global().gauge(
+            "saad_analyzer_model_epoch",
+            "Model epoch of the most recently constructed pool (0 = the "
+            "construction model, +1 per applied swap).")) {}
 
   static PoolMetrics& get() {
     static PoolMetrics* metrics = new PoolMetrics();
@@ -164,6 +173,7 @@ void AnalyzerPool::worker_loop(Worker& worker) {
       *job.out = job.close_all ? worker.detector->finish()
                                : worker.detector->advance_to(job.now);
     }
+    if (job.save_out != nullptr) worker.detector->save_state(*job.save_out);
     if constexpr (obs::kMetricsEnabled) {
       worker.busy_us->inc(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
@@ -171,7 +181,7 @@ void AnalyzerPool::worker_loop(Worker& worker) {
               .count()));
       worker.jobs_done->inc();
     }
-    if (job.close) {
+    if (job.close || job.save_out != nullptr) {
       {
         std::lock_guard lock(done_mu_);
         outstanding_--;
@@ -216,9 +226,106 @@ void AnalyzerPool::ingest(const Synopsis& synopsis) {
   if (worker.pending.size() >= kDispatchBatch) flush_pending(worker);
 }
 
+void AnalyzerPool::apply_pending_model() {
+  if (pending_model_ == nullptr) return;
+  if (serial_ != nullptr) {
+    serial_->rebind_model(pending_model_);
+  } else {
+    // Workers are idle (the caller just waited out a barrier, and ingest is
+    // single-threaded with the caller); the next enqueue's mutex handoff
+    // orders these writes before any worker touches its detector again.
+    for (auto& worker : workers_) worker->detector->rebind_model(pending_model_);
+  }
+  model_ = pending_model_;
+  pending_model_ = nullptr;
+  ++model_epoch_;
+  if constexpr (obs::kMetricsEnabled) {
+    auto& metrics = PoolMetrics::get();
+    metrics.model_swaps.inc();
+    metrics.model_epoch.set(static_cast<std::int64_t>(model_epoch_));
+  }
+  obs::FlightRecorder::global().record(
+      obs::EventKind::kModelReload,
+      "analyzer pool: model swapped at window boundary (epoch %llu)",
+      static_cast<unsigned long long>(model_epoch_));
+}
+
+void AnalyzerPool::swap_model(const OutlierModel* model) {
+  assert(model != nullptr);
+  pending_model_ = model;
+}
+
+void AnalyzerPool::save_state(std::vector<std::uint8_t>& out) {
+  if (serial_ != nullptr) {
+    serial_->save_state(out);
+    return;
+  }
+  std::vector<std::vector<std::uint8_t>> slots(workers_.size());
+  {
+    std::lock_guard lock(done_mu_);
+    outstanding_ = workers_.size();
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    flush_pending(*workers_[i]);
+    Job job;
+    job.save_out = &slots[i];
+    enqueue(*workers_[i], std::move(job));
+  }
+  {
+    std::unique_lock lock(done_mu_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  }
+  // Fold the per-worker states into one canonical state. Partitions own
+  // disjoint (host, stage) keys, so the merge is a disjoint union; cursors
+  // max (a worker that saw no traffic lags the global close cursor).
+  AnomalyDetector scratch(model_, config_);
+  for (const auto& slot : slots) {
+    const bool ok = scratch.restore_state(slot, /*merge=*/true);
+    assert(ok);
+    (void)ok;
+  }
+  scratch.ingested_ = ingested_;  // pool-level count is authoritative
+  scratch.save_state(out);
+}
+
+bool AnalyzerPool::restore_state(std::span<const std::uint8_t> in) {
+  if (serial_ != nullptr) {
+    if (!serial_->restore_state(in)) return false;
+    ingested_ = serial_->ingested();
+    restored_next_window_ = serial_->next_window_to_close();
+    return true;
+  }
+  AnomalyDetector scratch(model_, config_);
+  if (!scratch.restore_state(in)) return false;
+  ingested_ = scratch.ingested_;
+  restored_next_window_ = scratch.next_window_to_close_;
+  // Split the canonical state across the current partitions. Every worker
+  // gets the global close cursor: a restored pool then reattributes late
+  // synopses exactly like the serial path, regardless of which partitions
+  // had traffic before the checkpoint. restore precedes the first ingest,
+  // so workers are idle and the next enqueue's mutex handoff publishes
+  // these writes to the worker threads.
+  for (auto& worker : workers_) {
+    worker->detector = std::make_unique<AnomalyDetector>(model_, config_);
+    worker->detector->next_window_to_close_ = scratch.next_window_to_close_;
+  }
+  for (auto& [index, window] : scratch.open_windows_) {
+    for (auto& [key, stats] : window) {
+      AnomalyDetector& detector =
+          *workers_[partition(key.first, key.second, workers_.size())]
+               ->detector;
+      detector.open_windows_[index][key] = std::move(stats);
+    }
+  }
+  return true;
+}
+
 std::vector<Anomaly> AnalyzerPool::close_windows(UsTime now, bool close_all) {
-  if (serial_ != nullptr)
-    return close_all ? serial_->finish() : serial_->advance_to(now);
+  if (serial_ != nullptr) {
+    auto out = close_all ? serial_->finish() : serial_->advance_to(now);
+    apply_pending_model();
+    return out;
+  }
 
   std::chrono::steady_clock::time_point merge_begin;
   if constexpr (obs::kMetricsEnabled)
@@ -256,6 +363,9 @@ std::vector<Anomaly> AnalyzerPool::close_windows(UsTime now, bool close_all) {
     return std::tie(a.window, a.host, a.stage, a.kind) <
            std::tie(b.window, b.host, b.stage, b.kind);
   });
+  // The barrier just drained every worker: this is a window boundary, the
+  // only point a staged hot model reload may take effect.
+  apply_pending_model();
   if constexpr (obs::kMetricsEnabled) {
     PoolMetrics::get().merge_us.observe(
         std::chrono::duration_cast<std::chrono::microseconds>(

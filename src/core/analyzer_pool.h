@@ -35,6 +35,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -75,6 +76,38 @@ class AnalyzerPool {
   std::size_t threads() const { return workers_.empty() ? 1 : workers_.size(); }
   std::uint64_t ingested() const { return ingested_; }
 
+  // ---- Warm-restart state (checkpoint.h) -----------------------------------
+
+  /// Serializes the pool's detection state as ONE canonical AnomalyDetector
+  /// state: per-worker states are folded back together (partitions own
+  /// disjoint (host, stage) keys), so the bytes are identical for any thread
+  /// count — a checkpoint taken at threads=4 restores into threads=1 and
+  /// vice versa. Barriers on all workers (call it between batches, like
+  /// advance_to).
+  void save_state(std::vector<std::uint8_t>& out);
+
+  /// Restores state produced by save_state() (possibly under a different
+  /// thread count), splitting it across the current partitions. Call before
+  /// the first ingest(); false on malformed input. The model is not part of
+  /// the state — construct the pool over the restored model first.
+  bool restore_state(std::span<const std::uint8_t> in);
+
+  /// Close cursor recovered by the last restore_state() (0 before): the
+  /// oldest window index still open, for resuming watermark bookkeeping.
+  std::size_t restored_next_window() const { return restored_next_window_; }
+
+  /// Stages `model` to replace the current one. The swap applies at the end
+  /// of the next advance_to()/finish() — a window boundary — so every
+  /// verdict stream position sees exactly one model and verdicts stay
+  /// bit-identical for any thread count. `model` must stay alive until the
+  /// pool is destroyed or swapped again; the previously bound model may be
+  /// freed once the applying advance_to()/finish() returns. Staging twice
+  /// before a boundary keeps only the newest model (one epoch bump).
+  void swap_model(const OutlierModel* model);
+
+  /// Applied model swaps so far (construction model = epoch 0).
+  std::uint64_t model_epoch() const { return model_epoch_; }
+
  private:
   struct Job {
     std::vector<Synopsis> batch;             // non-empty: ingest these
@@ -82,6 +115,7 @@ class AnalyzerPool {
     UsTime now = 0;                          // ...ending <= now,
     bool close_all = false;                  // or all of them (finish)
     std::vector<Anomaly>* out = nullptr;     // close-job result slot
+    std::vector<std::uint8_t>* save_out = nullptr;  // save-job result slot
   };
 
   struct Worker {
@@ -104,6 +138,9 @@ class AnalyzerPool {
   void enqueue(Worker& worker, Job job);
   void flush_pending(Worker& worker);
   std::vector<Anomaly> close_windows(UsTime now, bool close_all);
+  /// Rebinds every detector to the staged model, if any. Only called with
+  /// all workers idle (after a close/save barrier).
+  void apply_pending_model();
 
   const OutlierModel* model_;
   DetectorConfig config_;
@@ -116,6 +153,12 @@ class AnalyzerPool {
   std::size_t outstanding_ = 0;
 
   std::uint64_t ingested_ = 0;
+
+  // Hot model reload: staged by swap_model(), applied at the next window
+  // boundary by apply_pending_model().
+  const OutlierModel* pending_model_ = nullptr;
+  std::uint64_t model_epoch_ = 0;
+  std::size_t restored_next_window_ = 0;
 
   /// Caller-side batch size before a buffer is handed to its worker.
   static constexpr std::size_t kDispatchBatch = 512;

@@ -1,0 +1,422 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/crc32c.h"
+#include "core/telemetry.h"
+#include "core/varint.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace saad::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kFilePrefix[] = "ckpt-";
+constexpr char kFileSuffix[] = ".saadckp";
+
+struct CheckpointMetrics {
+  obs::Counter& writes;
+  obs::Counter& write_errors;
+  obs::Counter& written_bytes;
+  obs::Counter& restores;
+  obs::Counter& corrupt;
+  obs::Counter& pruned;
+  obs::Gauge& last_sequence;
+  obs::Histogram& write_us;
+
+  CheckpointMetrics()
+      : writes(obs::MetricsRegistry::global().counter(
+            "saad_checkpoint_writes_total",
+            "Checkpoint files written (temp + rename completed).")),
+        write_errors(obs::MetricsRegistry::global().counter(
+            "saad_checkpoint_write_errors_total",
+            "Checkpoint writes that failed before the rename (previous "
+            "checkpoint left untouched).")),
+        written_bytes(obs::MetricsRegistry::global().counter(
+            "saad_checkpoint_written_bytes_total",
+            "Bytes of encoded checkpoints written.")),
+        restores(obs::MetricsRegistry::global().counter(
+            "saad_checkpoint_restores_total",
+            "Checkpoints successfully decoded and restored from.")),
+        corrupt(obs::MetricsRegistry::global().counter(
+            "saad_checkpoint_corrupt_total",
+            "Checkpoint candidates rejected as torn or corrupt during "
+            "newest-valid fallback.")),
+        pruned(obs::MetricsRegistry::global().counter(
+            "saad_checkpoint_pruned_total",
+            "Old checkpoint files removed by retention.")),
+        last_sequence(obs::MetricsRegistry::global().gauge(
+            "saad_checkpoint_last_sequence",
+            "Sequence number of the most recently written checkpoint.")),
+        write_us(obs::MetricsRegistry::global().histogram(
+            "saad_checkpoint_write_us",
+            "Latency of one checkpoint write (encode + write + rename), "
+            "microseconds.",
+            obs::latency_bounds_us())) {}
+
+  static CheckpointMetrics& get() {
+    static CheckpointMetrics* metrics = new CheckpointMetrics();
+    return *metrics;
+  }
+};
+
+void put_section(CheckpointSection id, std::span<const std::uint8_t> payload,
+                 std::vector<std::uint8_t>& out) {
+  const auto id_byte = static_cast<std::uint8_t>(id);
+  out.push_back(id_byte);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  std::uint32_t crc = crc32c({&id_byte, 1});
+  crc = crc32c(payload, crc);
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::uint32_t get_u32le(std::span<const std::uint8_t> in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(in[static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+/// Slices the next section off `in`. False on truncation, oversized length,
+/// or CRC mismatch.
+bool get_section(std::span<const std::uint8_t>& in, std::uint8_t& id,
+                 std::span<const std::uint8_t>& payload) {
+  if (in.size() < kCheckpointSectionHeader) return false;
+  id = in[0];
+  const std::uint32_t len = get_u32le(in.subspan(1, 4));
+  const std::uint32_t want = get_u32le(in.subspan(5, 4));
+  if (len > kMaxCheckpointSection) return false;
+  if (in.size() < kCheckpointSectionHeader + len) return false;
+  payload = in.subspan(kCheckpointSectionHeader, len);
+  std::uint32_t crc = crc32c({&id, 1});
+  crc = crc32c(payload, crc);
+  if (crc != want) return false;
+  in = in.subspan(kCheckpointSectionHeader + len);
+  return true;
+}
+
+void put_signature(const Signature& sig, std::vector<std::uint8_t>& out) {
+  put_varint(sig.points().size(), out);
+  LogPointId prev = 0;
+  for (const LogPointId p : sig.points()) {
+    put_varint(static_cast<std::uint64_t>(p - prev), out);
+    prev = p;
+  }
+}
+
+bool get_signature(std::span<const std::uint8_t>& in, Signature& sig) {
+  std::uint64_t count = 0;
+  if (!get_varint(in, count) || count > 0x10000) return false;
+  std::vector<LogPointId> points;
+  points.reserve(count);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t delta = 0;
+    if (!get_varint(in, delta)) return false;
+    prev += delta;
+    if (prev > 0xFFFF) return false;
+    points.push_back(static_cast<LogPointId>(prev));
+  }
+  sig = Signature(std::move(points));
+  return true;
+}
+
+bool valid_probability(double d) {
+  return std::isfinite(d) && d >= 0.0 && d <= 1.0;
+}
+
+}  // namespace
+
+void detail::register_checkpoint_metrics() { CheckpointMetrics::get(); }
+
+void encode_anomalies(std::span<const Anomaly> anomalies,
+                      std::vector<std::uint8_t>& out) {
+  put_varint(anomalies.size(), out);
+  for (const Anomaly& a : anomalies) {
+    put_varint(a.window, out);
+    put_varint(zigzag(a.window_start), out);
+    put_varint(a.host, out);
+    put_varint(a.stage, out);
+    put_varint(static_cast<std::uint64_t>(a.kind), out);
+    put_varint(a.due_to_new_signature ? 1 : 0, out);
+    put_double(a.p_value, out);
+    put_double(a.proportion, out);
+    put_double(a.train_proportion, out);
+    put_varint(a.n, out);
+    put_varint(a.outliers, out);
+    put_signature(a.example_signature, out);
+  }
+}
+
+bool decode_anomalies(std::span<const std::uint8_t> in,
+                      std::vector<Anomaly>& out) {
+  std::uint64_t count = 0;
+  if (!get_varint(in, count) || count > 0x1000000) return false;
+  std::vector<Anomaly> parsed;
+  parsed.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Anomaly a;
+    std::uint64_t v = 0;
+    if (!get_varint(in, v)) return false;
+    a.window = static_cast<std::size_t>(v);
+    if (!get_varint(in, v)) return false;
+    a.window_start = unzigzag(v);
+    if (!get_varint(in, v) || v > 0xFFFFFFFF) return false;
+    a.host = static_cast<HostId>(v);
+    if (!get_varint(in, v) || v > 0xFFFF) return false;
+    a.stage = static_cast<StageId>(v);
+    if (!get_varint(in, v) || v > 1) return false;
+    a.kind = static_cast<AnomalyKind>(v);
+    if (!get_varint(in, v) || v > 1) return false;
+    a.due_to_new_signature = v != 0;
+    if (!get_double(in, a.p_value) || !valid_probability(a.p_value))
+      return false;
+    if (!get_double(in, a.proportion) || !valid_probability(a.proportion))
+      return false;
+    if (!get_double(in, a.train_proportion) ||
+        !valid_probability(a.train_proportion)) {
+      return false;
+    }
+    if (!get_varint(in, a.n)) return false;
+    if (!get_varint(in, a.outliers)) return false;
+    if (!get_signature(in, a.example_signature)) return false;
+    parsed.push_back(std::move(a));
+  }
+  if (!in.empty()) return false;
+  out = std::move(parsed);
+  return true;
+}
+
+void encode_checkpoint(const Checkpoint& c, std::vector<std::uint8_t>& out) {
+  out.insert(out.end(), kCheckpointMagic,
+             kCheckpointMagic + sizeof(kCheckpointMagic));
+  std::vector<std::uint8_t> meta;
+  put_varint(kCheckpointVersion, meta);
+  put_varint(c.sequence, meta);
+  put_varint(c.model_epoch, meta);
+  put_varint(zigzag(c.window), meta);
+  put_varint(c.threads, meta);
+  put_varint(c.ingested, meta);
+  put_varint(c.published, meta);
+  put_varint(c.acked, meta);
+  put_section(CheckpointSection::kMeta, meta, out);
+  put_section(CheckpointSection::kModel, c.model, out);
+  put_section(CheckpointSection::kRegistry, c.registry, out);
+  put_section(CheckpointSection::kAnalyzer, c.analyzer, out);
+  std::vector<std::uint8_t> anomalies;
+  encode_anomalies(c.anomalies, anomalies);
+  put_section(CheckpointSection::kAnomalies, anomalies, out);
+  put_section(CheckpointSection::kEnd, {}, out);
+}
+
+std::optional<Checkpoint> decode_checkpoint(std::span<const std::uint8_t> in) {
+  if (in.size() < sizeof(kCheckpointMagic) ||
+      std::memcmp(in.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) != 0) {
+    return std::nullopt;
+  }
+  in = in.subspan(sizeof(kCheckpointMagic));
+
+  // v1 is strict about shape: exactly these sections, in this order. A
+  // future version bumps kCheckpointVersion (and the magic if the framing
+  // itself changes) rather than tolerating unknown sections.
+  constexpr CheckpointSection kOrder[] = {
+      CheckpointSection::kMeta,      CheckpointSection::kModel,
+      CheckpointSection::kRegistry,  CheckpointSection::kAnalyzer,
+      CheckpointSection::kAnomalies, CheckpointSection::kEnd,
+  };
+  Checkpoint c;
+  for (const CheckpointSection expected : kOrder) {
+    std::uint8_t id = 0;
+    std::span<const std::uint8_t> payload;
+    if (!get_section(in, id, payload)) return std::nullopt;
+    if (id != static_cast<std::uint8_t>(expected)) return std::nullopt;
+    switch (expected) {
+      case CheckpointSection::kMeta: {
+        std::span<const std::uint8_t> p = payload;
+        std::uint64_t version = 0, window = 0;
+        if (!get_varint(p, version) || version != kCheckpointVersion)
+          return std::nullopt;
+        if (!get_varint(p, c.sequence)) return std::nullopt;
+        if (!get_varint(p, c.model_epoch)) return std::nullopt;
+        if (!get_varint(p, window)) return std::nullopt;
+        c.window = unzigzag(window);
+        if (c.window <= 0) return std::nullopt;
+        if (!get_varint(p, c.threads)) return std::nullopt;
+        if (!get_varint(p, c.ingested)) return std::nullopt;
+        if (!get_varint(p, c.published)) return std::nullopt;
+        if (!get_varint(p, c.acked)) return std::nullopt;
+        if (!p.empty()) return std::nullopt;
+        break;
+      }
+      case CheckpointSection::kModel:
+        c.model.assign(payload.begin(), payload.end());
+        break;
+      case CheckpointSection::kRegistry:
+        c.registry.assign(payload.begin(), payload.end());
+        break;
+      case CheckpointSection::kAnalyzer:
+        c.analyzer.assign(payload.begin(), payload.end());
+        break;
+      case CheckpointSection::kAnomalies:
+        if (!decode_anomalies(payload, c.anomalies)) return std::nullopt;
+        break;
+      case CheckpointSection::kEnd:
+        if (!payload.empty()) return std::nullopt;
+        break;
+    }
+  }
+  if (!in.empty()) return std::nullopt;  // trailing garbage
+  return c;
+}
+
+bool write_checkpoint_file(const std::string& path, const Checkpoint& c) {
+  auto& metrics = CheckpointMetrics::get();
+  std::chrono::steady_clock::time_point begin;
+  if constexpr (obs::kMetricsEnabled) begin = std::chrono::steady_clock::now();
+
+  std::vector<std::uint8_t> bytes;
+  encode_checkpoint(c, bytes);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    file.flush();
+    if (!file) {
+      metrics.write_errors.inc();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    metrics.write_errors.inc();
+    fs::remove(tmp, ec);
+    return false;
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    metrics.writes.inc();
+    metrics.written_bytes.inc(bytes.size());
+    metrics.last_sequence.set(static_cast<std::int64_t>(c.sequence));
+    metrics.write_us.observe(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - begin)
+            .count());
+  }
+  obs::FlightRecorder::global().record(
+      obs::EventKind::kCustom,
+      "checkpoint %llu written: %zu bytes, %llu synopses",
+      static_cast<unsigned long long>(c.sequence), bytes.size(),
+      static_cast<unsigned long long>(c.ingested));
+  return true;
+}
+
+std::optional<Checkpoint> read_checkpoint_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(file)),
+                                  std::istreambuf_iterator<char>());
+  return decode_checkpoint(bytes);
+}
+
+CheckpointDir::CheckpointDir(std::string dir) : dir_(std::move(dir)) {}
+
+bool CheckpointDir::ensure() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  return !ec && fs::is_directory(dir_, ec);
+}
+
+std::string CheckpointDir::path_for(std::uint64_t sequence) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%012llu%s", kFilePrefix,
+                static_cast<unsigned long long>(sequence), kFileSuffix);
+  return (fs::path(dir_) / name).string();
+}
+
+namespace {
+
+/// Sequence numbers of every ckpt-*.saadckp in `dir`, ascending.
+std::vector<std::uint64_t> list_sequences(const std::string& dir) {
+  std::vector<std::uint64_t> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const std::size_t prefix = sizeof(kFilePrefix) - 1;
+    const std::size_t suffix = sizeof(kFileSuffix) - 1;
+    if (name.size() <= prefix + suffix) continue;
+    if (name.rfind(kFilePrefix, 0) != 0) continue;
+    if (name.compare(name.size() - suffix, suffix, kFileSuffix) != 0) continue;
+    const std::string digits = name.substr(prefix, name.size() - prefix - suffix);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    try {
+      out.push_back(std::stoull(digits));
+    } catch (const std::exception&) {
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t CheckpointDir::max_sequence() const {
+  const auto seqs = list_sequences(dir_);
+  return seqs.empty() ? 0 : seqs.back();
+}
+
+std::optional<Checkpoint> CheckpointDir::load_latest(
+    std::size_t* corrupt_skipped) const {
+  if (corrupt_skipped != nullptr) *corrupt_skipped = 0;
+  auto seqs = list_sequences(dir_);
+  auto& metrics = CheckpointMetrics::get();
+  for (auto it = seqs.rbegin(); it != seqs.rend(); ++it) {
+    const std::string path = path_for(*it);
+    if (auto c = read_checkpoint_file(path)) {
+      metrics.restores.inc();
+      return c;
+    }
+    metrics.corrupt.inc();
+    if (corrupt_skipped != nullptr) ++*corrupt_skipped;
+    std::fprintf(stderr,
+                 "checkpoint: %s is torn or corrupt, falling back to the "
+                 "previous checkpoint\n",
+                 path.c_str());
+  }
+  return std::nullopt;
+}
+
+bool CheckpointDir::write(const Checkpoint& c, std::size_t keep) {
+  if (!write_checkpoint_file(path_for(c.sequence), c)) return false;
+  auto seqs = list_sequences(dir_);
+  if (seqs.size() > keep) {
+    auto& metrics = CheckpointMetrics::get();
+    for (std::size_t i = 0; i + keep < seqs.size(); ++i) {
+      std::error_code ec;
+      if (fs::remove(path_for(seqs[i]), ec)) metrics.pruned.inc();
+    }
+  }
+  return true;
+}
+
+}  // namespace saad::core

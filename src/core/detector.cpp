@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <utility>
 
 #include "core/telemetry.h"
+#include "core/varint.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
@@ -123,6 +125,169 @@ std::vector<Anomaly> AnomalyDetector::finish() {
   }
   open_windows_.clear();
   return out;
+}
+
+void AnomalyDetector::rebind_model(const OutlierModel* model) {
+  assert(model != nullptr);
+  model_ = model;
+}
+
+namespace {
+
+// Detector-state codec (version 1). All integers varint; signatures are
+// count + delta-encoded sorted points (the model_io.cpp idiom). Every map
+// iterates in key order, so equal states encode equal bytes.
+constexpr std::uint64_t kDetectorStateVersion = 1;
+
+void put_signature(const Signature& sig, std::vector<std::uint8_t>& out) {
+  put_varint(sig.points().size(), out);
+  LogPointId prev = 0;
+  for (const LogPointId p : sig.points()) {
+    put_varint(static_cast<std::uint64_t>(p - prev), out);
+    prev = p;
+  }
+}
+
+bool get_signature(std::span<const std::uint8_t>& in, Signature& sig) {
+  std::uint64_t count = 0;
+  if (!get_varint(in, count) || count > 0x10000) return false;
+  std::vector<LogPointId> points;
+  points.reserve(count);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t delta = 0;
+    if (!get_varint(in, delta)) return false;
+    prev += delta;
+    if (prev > 0xFFFF) return false;
+    points.push_back(static_cast<LogPointId>(prev));
+  }
+  sig = Signature(std::move(points));
+  return true;
+}
+
+}  // namespace
+
+void AnomalyDetector::save_state(std::vector<std::uint8_t>& out) const {
+  put_varint(kDetectorStateVersion, out);
+  put_varint(next_window_to_close_, out);
+  put_varint(ingested_, out);
+  put_varint(open_windows_.size(), out);
+  for (const auto& [index, window] : open_windows_) {
+    put_varint(index, out);
+    put_varint(window.size(), out);
+    for (const auto& [key, stage_stats] : window) {
+      put_varint(key.first, out);
+      put_varint(key.second, out);
+      put_varint(stage_stats.n, out);
+      put_varint(stage_stats.flow_outliers, out);
+      put_signature(stage_stats.example_flow_outlier, out);
+      put_varint(stage_stats.new_signatures.size(), out);
+      for (const Signature& sig : stage_stats.new_signatures)
+        put_signature(sig, out);
+      put_varint(stage_stats.per_signature.size(), out);
+      for (const auto& [sig, sig_stats] : stage_stats.per_signature) {
+        put_signature(sig, out);
+        put_varint(sig_stats.n, out);
+        put_varint(sig_stats.perf_outliers, out);
+        put_varint(sig_stats.perf_applicable ? 1 : 0, out);
+      }
+    }
+  }
+}
+
+bool AnomalyDetector::restore_state(std::span<const std::uint8_t> in,
+                                    bool merge) {
+  // Decode into scratch structures first: a malformed tail must not leave
+  // the detector half-mutated.
+  std::uint64_t version = 0, next_window = 0, ingested = 0, num_windows = 0;
+  if (!get_varint(in, version) || version != kDetectorStateVersion)
+    return false;
+  if (!get_varint(in, next_window)) return false;
+  if (!get_varint(in, ingested)) return false;
+  if (!get_varint(in, num_windows) || num_windows > 0x100000) return false;
+  std::map<std::size_t, WindowStats> windows;
+  for (std::uint64_t w = 0; w < num_windows; ++w) {
+    std::uint64_t index = 0, num_keys = 0;
+    if (!get_varint(in, index)) return false;
+    auto [win_it, fresh] = windows.try_emplace(static_cast<std::size_t>(index));
+    if (!fresh) return false;  // duplicate window index
+    if (!get_varint(in, num_keys) || num_keys > 0x100000) return false;
+    for (std::uint64_t k = 0; k < num_keys; ++k) {
+      std::uint64_t host = 0, stage = 0, count = 0;
+      if (!get_varint(in, host) || host > 0xFFFFFFFF) return false;
+      if (!get_varint(in, stage) || stage > 0xFFFF) return false;
+      StageWindowStats stage_stats;
+      if (!get_varint(in, stage_stats.n)) return false;
+      if (!get_varint(in, stage_stats.flow_outliers)) return false;
+      if (!get_signature(in, stage_stats.example_flow_outlier)) return false;
+      if (!get_varint(in, count) || count > 0x100000) return false;
+      stage_stats.new_signatures.reserve(count);
+      for (std::uint64_t s = 0; s < count; ++s) {
+        Signature sig;
+        if (!get_signature(in, sig)) return false;
+        stage_stats.new_signatures.push_back(std::move(sig));
+      }
+      if (!get_varint(in, count) || count > 0x100000) return false;
+      for (std::uint64_t s = 0; s < count; ++s) {
+        Signature sig;
+        if (!get_signature(in, sig)) return false;
+        SigWindowStats sig_stats;
+        std::uint64_t flags = 0;
+        if (!get_varint(in, sig_stats.n)) return false;
+        if (!get_varint(in, sig_stats.perf_outliers)) return false;
+        if (!get_varint(in, flags) || flags > 1) return false;
+        sig_stats.perf_applicable = flags != 0;
+        if (!win_it->second[{static_cast<HostId>(host),
+                             static_cast<StageId>(stage)}]
+                 .per_signature.emplace(std::move(sig), sig_stats)
+                 .second) {
+          return false;  // duplicate signature
+        }
+      }
+      auto& slot = win_it->second[{static_cast<HostId>(host),
+                                   static_cast<StageId>(stage)}];
+      slot.n = stage_stats.n;
+      slot.flow_outliers = stage_stats.flow_outliers;
+      slot.example_flow_outlier = std::move(stage_stats.example_flow_outlier);
+      slot.new_signatures = std::move(stage_stats.new_signatures);
+    }
+  }
+  if (!in.empty()) return false;
+
+  if (!merge) {
+    open_windows_ = std::move(windows);
+    next_window_to_close_ = static_cast<std::size_t>(next_window);
+    ingested_ = ingested;
+    return true;
+  }
+  // Merge: sum tallies, max cursors. AnalyzerPool folds per-worker states
+  // this way — partitions have disjoint (host, stage) keys, but the merge is
+  // written to be correct for overlapping keys too.
+  for (auto& [index, window] : windows) {
+    auto& dst_window = open_windows_[index];
+    for (auto& [key, src] : window) {
+      auto& dst = dst_window[key];
+      dst.n += src.n;
+      dst.flow_outliers += src.flow_outliers;
+      if (dst.example_flow_outlier.empty())
+        dst.example_flow_outlier = std::move(src.example_flow_outlier);
+      for (auto& sig : src.new_signatures) {
+        auto& fresh = dst.new_signatures;
+        if (std::find(fresh.begin(), fresh.end(), sig) == fresh.end())
+          fresh.push_back(std::move(sig));
+      }
+      for (auto& [sig, src_stats] : src.per_signature) {
+        auto& dst_stats = dst.per_signature[sig];
+        dst_stats.n += src_stats.n;
+        dst_stats.perf_outliers += src_stats.perf_outliers;
+        dst_stats.perf_applicable |= src_stats.perf_applicable;
+      }
+    }
+  }
+  next_window_to_close_ =
+      std::max(next_window_to_close_, static_cast<std::size_t>(next_window));
+  ingested_ += ingested;
+  return true;
 }
 
 std::vector<Anomaly> AnomalyDetector::close_window(std::size_t index,

@@ -13,7 +13,9 @@
 // paper's Fig. 9/10 timelines.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "core/model.h"
@@ -79,8 +81,37 @@ class AnomalyDetector {
 
   const DetectorConfig& config() const { return config_; }
   std::uint64_t ingested() const { return ingested_; }
+  /// Index of the oldest window a future synopsis can still land in.
+  std::size_t next_window_to_close() const { return next_window_to_close_; }
+
+  // ---- Warm-restart state (checkpoint.h) -----------------------------------
+  // The detector's only mutable state is the open-window tallies plus the
+  // close cursor; both serialize to a canonical byte string (std::map
+  // iteration order), so save -> restore -> save round-trips bit-identically
+  // and two detectors with equal state encode equal bytes.
+
+  /// Appends every open window's per-(host, stage) and per-signature tallies,
+  /// the close cursor, and the ingest count to `out`.
+  void save_state(std::vector<std::uint8_t>& out) const;
+
+  /// Replaces (merge = false) or merges in (merge = true: tallies summed,
+  /// cursors maxed — how AnalyzerPool folds per-worker states into one
+  /// canonical state) state produced by save_state(). False on malformed
+  /// input, leaving the detector unchanged. The model is not part of the
+  /// state: the caller restores it first and constructs the detector over it.
+  bool restore_state(std::span<const std::uint8_t> in, bool merge = false);
+
+  /// Points classification at a new model. Only legal at a window boundary
+  /// (no ingest since the last advance_to/finish on the windows the swap
+  /// should not affect is *not* required — open windows were classified at
+  /// ingest time under the old model and close with those tallies; only
+  /// synopses ingested after the rebind see the new model). AnalyzerPool
+  /// applies staged swaps here, after the close barrier.
+  void rebind_model(const OutlierModel* model);
 
  private:
+  friend class AnalyzerPool;  // splits/merges state across partitions
+
   struct SigWindowStats {
     std::uint64_t n = 0;
     std::uint64_t perf_outliers = 0;

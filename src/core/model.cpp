@@ -1,6 +1,7 @@
 #include "core/model.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "stats/descriptive.h"
 #include "stats/kfold.h"
@@ -42,26 +43,33 @@ OutlierModel OutlierModel::train(std::span<const Synopsis> trace,
 
       // Performance threshold: quantile of training durations, gated by
       // sample size and the cross-validated stability filter.
-      if (ss.task_count >= config.min_signature_samples) {
+      if (ss.task_count >= config.min_signature_samples &&
+          !group.durations.empty()) {
         std::vector<double> sorted = group.durations;
         std::sort(sorted.begin(), sorted.end());
         const double threshold =
             stats::percentile_sorted(sorted, config.duration_quantile);
-        ss.duration_threshold = static_cast<UsTime>(threshold);
+        // percentile_sorted returns NaN for an empty sample (ruled out
+        // above, but a NaN threshold must never become a UsTime): such a
+        // signature stays out of performance detection (perf_applicable
+        // keeps its false default) while remaining in the flow model.
+        if (std::isfinite(threshold)) {
+          ss.duration_threshold = static_cast<UsTime>(threshold);
 
-        std::uint64_t above = 0;
-        for (double d : sorted)
-          if (d > threshold) ++above;
-        ss.train_perf_outlier_rate =
-            static_cast<double>(above) / static_cast<double>(ss.task_count);
+          std::uint64_t above = 0;
+          for (double d : sorted)
+            if (d > threshold) ++above;
+          ss.train_perf_outlier_rate =
+              static_cast<double>(above) / static_cast<double>(ss.task_count);
 
-        if (config.kfold_k >= 2) {
-          const auto stability = stats::kfold_quantile_stability(
-              group.durations, config.kfold_k, config.duration_quantile,
-              config.unstable_factor);
-          ss.perf_applicable = stability.stable;
-        } else {
-          ss.perf_applicable = true;
+          if (config.kfold_k >= 2) {
+            const auto stability = stats::kfold_quantile_stability(
+                group.durations, config.kfold_k, config.duration_quantile,
+                config.unstable_factor);
+            ss.perf_applicable = stability.stable;
+          } else {
+            ss.perf_applicable = true;
+          }
         }
       }
       sm.signatures.emplace(sig, ss);

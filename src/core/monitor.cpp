@@ -1,11 +1,13 @@
 #include "core/monitor.h"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/log_registry.h"
 #include "core/telemetry.h"
 #include "core/trace_io.h"
+#include "core/varint.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
@@ -148,6 +150,76 @@ std::vector<Anomaly> Monitor::finish() {
   auto tail = analyzer_->finish();
   out.insert(out.end(), tail.begin(), tail.end());
   return out;
+}
+
+namespace {
+constexpr std::uint64_t kMonitorStateVersion = 1;
+}
+
+bool Monitor::save_state(std::vector<std::uint8_t>& out) const {
+  if (analyzer_ == nullptr || model_ == nullptr) return false;
+  put_varint(kMonitorStateVersion, out);
+  std::vector<std::uint8_t> model_bytes;
+  model_->save(model_bytes);
+  put_varint(model_bytes.size(), out);
+  out.insert(out.end(), model_bytes.begin(), model_bytes.end());
+  const DetectorConfig& config = analyzer_->config();
+  put_varint(zigzag(config.window), out);
+  put_double(config.alpha, out);
+  put_varint(static_cast<std::uint64_t>(config.test_kind), out);
+  put_varint(config.min_n, out);
+  put_varint(config.new_signature_is_anomaly ? 1 : 0, out);
+  put_varint(config.bonferroni ? 1 : 0, out);
+  put_varint(config.analyzer_threads, out);
+  std::vector<std::uint8_t> analyzer_bytes;
+  analyzer_->save_state(analyzer_bytes);
+  put_varint(analyzer_bytes.size(), out);
+  out.insert(out.end(), analyzer_bytes.begin(), analyzer_bytes.end());
+  return true;
+}
+
+bool Monitor::restore_state(std::span<const std::uint8_t> in) {
+  std::uint64_t v = 0;
+  if (!get_varint(in, v) || v != kMonitorStateVersion) return false;
+  if (!get_varint(in, v) || v > in.size()) return false;
+  auto model = OutlierModel::load(in.first(static_cast<std::size_t>(v)));
+  if (!model) return false;
+  in = in.subspan(static_cast<std::size_t>(v));
+  DetectorConfig config;
+  if (!get_varint(in, v)) return false;
+  config.window = unzigzag(v);
+  if (config.window <= 0) return false;
+  if (!get_double(in, config.alpha) || !std::isfinite(config.alpha) ||
+      config.alpha <= 0.0 || config.alpha >= 1.0) {
+    return false;
+  }
+  if (!get_varint(in, v) || v > 2) return false;
+  config.test_kind = static_cast<stats::ProportionTestKind>(v);
+  if (!get_varint(in, config.min_n)) return false;
+  if (!get_varint(in, v) || v > 1) return false;
+  config.new_signature_is_anomaly = v != 0;
+  if (!get_varint(in, v) || v > 1) return false;
+  config.bonferroni = v != 0;
+  if (!get_varint(in, v)) return false;
+  config.analyzer_threads = static_cast<std::size_t>(v);
+  if (!get_varint(in, v) || v != in.size()) return false;
+
+  // All parsed; build the new plane before touching the monitor, so a
+  // malformed analyzer payload leaves the current state intact.
+  auto restored = std::make_unique<OutlierModel>(std::move(*model));
+  auto analyzer = std::make_unique<AnalyzerPool>(restored.get(), config);
+  if (!analyzer->restore_state(in)) return false;
+
+  std::vector<Synopsis> scratch;  // arm() discipline: drop the backlog
+  channel_.drain(scratch);
+  model_ = std::move(restored);
+  analyzer_ = std::move(analyzer);
+  mode_ = Mode::kDetecting;
+  obs::FlightRecorder::global().record(
+      obs::EventKind::kModeChange,
+      "monitor: restored from checkpoint state (%zu analyzer threads)",
+      analyzer_->threads());
+  return true;
 }
 
 }  // namespace saad::core

@@ -13,7 +13,9 @@
 //   auto tail = mon.finish();
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/analyzer_pool.h"
@@ -76,6 +78,21 @@ class Monitor {
   /// the windows open at that point, so a second finish() with no new
   /// synopses in between returns an empty list. Returns empty when unarmed.
   std::vector<Anomaly> finish();
+
+  // ---- Warm-restart state (checkpoint.h) -----------------------------------
+
+  /// Serializes the armed detection plane: the model, the detector config,
+  /// and every open window (AnalyzerPool::save_state). False unless armed.
+  /// Trackers and the channel are not captured — in-flight tasks at crash
+  /// time never produced a synopsis, so there is nothing to restore.
+  bool save_state(std::vector<std::uint8_t>& out) const;
+
+  /// Rebuilds the detection plane from save_state() bytes: loads the model,
+  /// arms with the stored config (including its analyzer_threads — save and
+  /// restore may use different thread counts of the same pool state), and
+  /// restores the open windows. False on malformed input, leaving the
+  /// monitor unchanged. Like arm(), discards anything queued beforehand.
+  bool restore_state(std::span<const std::uint8_t> in);
 
   const std::vector<Synopsis>& training_trace() const {
     return training_trace_;

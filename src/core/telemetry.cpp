@@ -8,6 +8,7 @@ void register_pipeline_metrics() {
   detail::register_detector_metrics();
   detail::register_trace_io_metrics();
   detail::register_monitor_metrics();
+  detail::register_checkpoint_metrics();
 }
 
 }  // namespace saad::core

@@ -26,6 +26,7 @@ void register_analyzer_pool_metrics();
 void register_detector_metrics();
 void register_trace_io_metrics();
 void register_monitor_metrics();
+void register_checkpoint_metrics();
 }  // namespace detail
 
 }  // namespace saad::core

@@ -159,6 +159,8 @@ bool SynopsisClient::connect() {
   ++stats_.sent_frames;
   metrics.sent_frames.inc();
 
+  sent_on_connection_ = 0;  // the server's goodbye audit is per-connection
+
   const bool first = stats_.connects == 0;
   ++stats_.connects;
   metrics.connects.inc();
@@ -252,6 +254,7 @@ bool SynopsisClient::flush() {
     // the spool (the exactly-once-after-reconnect guarantee).
     spool_.erase(spool_.begin(), spool_.begin() + static_cast<std::ptrdiff_t>(n));
     stats_.sent_synopses += n;
+    sent_on_connection_ += n;
     metrics.sent_synopses.inc(n);
     metrics.spool_depth.set(static_cast<std::int64_t>(spool_.size()));
   }
@@ -266,8 +269,11 @@ bool SynopsisClient::heartbeat() {
 bool SynopsisClient::close() {
   if (!flush()) return false;
   if (!connected() && !connect()) return false;
+  // Claim only this connection's synopses: after an outage + reconnect the
+  // server never saw what earlier connections carried, and the lifetime
+  // total would trip its per-connection goodbye audit.
   std::vector<std::uint8_t> payload;
-  encode_goodbye(stats_.sent_synopses, payload);
+  encode_goodbye(sent_on_connection_, payload);
   const bool ok = send_frame(FrameType::kGoodbye, payload);
   disconnect();
   return ok;

@@ -96,7 +96,10 @@ class SynopsisClient {
   bool heartbeat();
 
   /// flush() + goodbye frame + FIN. True only when everything (including
-  /// the goodbye) was delivered.
+  /// the goodbye) was delivered. The goodbye claims the synopses sent on
+  /// the *current connection*, not the client's lifetime total: the
+  /// server's audit is per-connection, so after an outage + reconnect a
+  /// lifetime count would flag a spurious goodbye mismatch.
   bool close();
 
   std::size_t spool_size() const { return spool_.size(); }
@@ -119,6 +122,9 @@ class SynopsisClient {
   Rng jitter_;
   std::size_t consecutive_failures_ = 0;
   Stats stats_;
+  /// Synopses delivered on the current connection (reset on every successful
+  /// connect); what the goodbye frame claims.
+  std::uint64_t sent_on_connection_ = 0;
 };
 
 }  // namespace saad::net

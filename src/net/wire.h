@@ -22,7 +22,9 @@
 //               same codec the channel and the trace file use).
 //   kHeartbeat  empty payload; keeps idle connections distinguishable from
 //               dead ones.
-//   kGoodbye    varint total synopses sent, so the receiver can audit the
+//   kGoodbye    varint synopses sent *on this connection* (not the sender's
+//               lifetime total — after an outage + reconnect the receiver
+//               only saw this connection), so the receiver can audit the
 //               session before the FIN.
 //
 // Damage policy: TCP guarantees ordered delivery, so framing damage means a

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace saad::stats {
 
@@ -40,7 +41,9 @@ double percentile(std::vector<double> samples, double q) {
 }
 
 double percentile_sorted(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
+  // No sample, no percentile: NaN is unmistakable at the call site, where
+  // a silent 0.0 would become a threshold that flags everything.
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);

@@ -29,9 +29,13 @@ class Welford {
 
 /// Exact percentile of a sample (nearest-rank with linear interpolation).
 /// `q` in [0,1]. Sorts a copy; use percentile_sorted when already sorted.
+/// Empty input returns quiet NaN (see percentile_sorted).
 double percentile(std::vector<double> samples, double q);
 
-/// Same, but requires `sorted` to be ascending. Returns 0 when empty.
+/// Same, but requires `sorted` to be ascending. An empty sample has no
+/// percentile: returns quiet NaN as an explicit sentinel — callers must
+/// check std::isnan/std::isfinite rather than receive a silent 0.0 (which a
+/// duration-threshold caller would read as "every task is an outlier").
 double percentile_sorted(const std::vector<double>& sorted, double q);
 
 }  // namespace saad::stats

@@ -194,6 +194,66 @@ TEST(NetClientReconnect, SpooledSynopsesDeliverExactlyOnceAfterOutage) {
                              }));
 }
 
+TEST(NetClientReconnect, GoodbyeAfterReconnectClaimsOnlyCurrentConnection) {
+  // Regression: the goodbye frame used to claim the client's *lifetime*
+  // synopsis total. After an outage + reconnect the new connection's server
+  // never saw the earlier connection's synopses, so its per-connection audit
+  // flagged a spurious goodbye mismatch on every clean shutdown.
+  core::SynopsisChannel channel1;
+  SynopsisServer::Options server_options;
+  auto server = std::make_unique<SynopsisServer>(&channel1, server_options);
+  ASSERT_TRUE(server->start());
+  const std::uint16_t port = server->port();
+
+  SynopsisClient::Options options;
+  options.port = port;
+  options.batch_synopses = 64;
+  options.connect_attempts_per_flush = 8;
+  options.sleep_fn = [](UsTime) {};
+  SynopsisClient client(options);
+
+  // Connection 1 carries 300 synopses, then the server dies.
+  for (std::uint64_t uid = 0; uid < 300; ++uid) client.enqueue(tagged(uid));
+  ASSERT_TRUE(client.flush());
+  ASSERT_EQ(drain_until(channel1, *server, 300).size(), 300u);
+  server->stop();
+  server.reset();
+  bool detected = false;
+  for (int i = 0; i < 1000 && !detected; ++i) {
+    detected = !client.heartbeat();
+    if (!detected) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(detected);
+
+  // Connection 2 (after restart) carries 200 more, then a clean close: the
+  // goodbye must claim 200, not 500.
+  core::SynopsisChannel channel2;
+  server_options.port = port;
+  server = std::make_unique<SynopsisServer>(&channel2, server_options);
+  bool restarted = false;
+  for (int i = 0; i < 100 && !(restarted = server->start()); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(restarted);
+  for (std::uint64_t uid = 1000; uid < 1200; ++uid)
+    client.enqueue(tagged(uid));
+  ASSERT_TRUE(client.close());
+  EXPECT_GE(client.stats().reconnects, 1u);
+
+  ASSERT_EQ(drain_until(channel2, *server, 200).size(), 200u);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server->sessions_finished() < 1 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const auto stats = server->stats();
+  server->stop();
+  EXPECT_EQ(stats.sessions, 1u);
+  EXPECT_EQ(stats.goodbyes, 1u);
+  EXPECT_EQ(stats.goodbye_mismatches, 0u)
+      << "goodbye claimed a lifetime total instead of this connection's "
+         "count";
+}
+
 TEST(NetClientSpool, OverflowDegradesOldestToSpillTraceInOrder) {
   testutil::TempDir tmp;
   SynopsisClient::Options options;

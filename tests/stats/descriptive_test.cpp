@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace saad::stats {
@@ -56,8 +57,25 @@ TEST(Welford, MergeWithEmptyIsIdentity) {
   EXPECT_DOUBLE_EQ(empty.mean(), mean);
 }
 
-TEST(Percentile, EmptyIsZero) {
-  EXPECT_EQ(percentile({}, 0.5), 0.0);
+// An empty sample has no percentile: the NaN sentinel forces callers to
+// decide (model.cpp checks isfinite before trusting a threshold), where the
+// old silent 0.0 made every real duration look like an outlier.
+TEST(Percentile, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(percentile({}, 0.0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 1.0)));
+}
+
+TEST(Percentile, SingleElementIsThatElement) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 1.0), 42.0);
+}
+
+TEST(Percentile, NonEmptyNeverNaN) {
+  const std::vector<double> v = {3.5, 1.25, 2.0, 9.75};
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0})
+    EXPECT_TRUE(std::isfinite(percentile(v, q))) << "q=" << q;
 }
 
 TEST(Percentile, MedianOfOddSample) {
@@ -85,6 +103,14 @@ TEST(PercentileSorted, P99OfUniformRange) {
   std::vector<double> v(1000);
   for (int i = 0; i < 1000; ++i) v[i] = i + 1;  // 1..1000 sorted
   EXPECT_NEAR(percentile_sorted(v, 0.99), 990.01, 0.5);
+}
+
+TEST(PercentileSorted, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile_sorted({}, 0.99)));
+}
+
+TEST(PercentileSorted, SingleElementIsThatElement) {
+  EXPECT_DOUBLE_EQ(percentile_sorted({7.0}, 0.99), 7.0);
 }
 
 }  // namespace

@@ -86,7 +86,25 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--registry=", 0) == 0) {
       registry_path = arg.substr(11);
     } else if (arg.rfind("--dequeue-window=", 0) == 0) {
-      options.dequeue_marker_window = std::atoi(arg.c_str() + 17);
+      // Strict checked parse (the saad_offline.cpp pattern): atoi would
+      // silently turn garbage into 0 and accept negative distances.
+      const std::string v = arg.substr(17);
+      long long parsed = 0;
+      bool ok = false;
+      try {
+        std::size_t used = 0;
+        parsed = std::stoll(v, &used);
+        ok = used == v.size();
+      } catch (const std::exception&) {
+      }
+      if (!ok || parsed < 0 || parsed > 100000) {
+        std::fprintf(stderr,
+                     "saad_lint: invalid --dequeue-window=%s (expected an "
+                     "integer in [0, 100000])\n",
+                     v.c_str());
+        return usage();
+      }
+      options.dequeue_marker_window = static_cast<int>(parsed);
     } else if (arg == "--no-fixits") {
       show_fixits = false;
     } else if (arg.rfind("--", 0) == 0) {

@@ -10,9 +10,15 @@
 //   info    summarize a trace file, including per-block integrity
 //   serve   run the analyzer as a long-lived network service: accept
 //           SAADNET1 connections (net/server.h) and detect on the live
-//           synopsis stream
+//           synopsis stream. With --checkpoint-dir the serving state
+//           (model, registry, open windows, verdicts) checkpoints on
+//           window close and on session end, and a restart with the same
+//           flag resumes from the newest valid checkpoint; SIGHUP re-reads
+//           --model and hot-swaps it at the next window boundary without
+//           dropping client connections
 //   replay  stream a recorded trace to a running `serve` over TCP at
-//           recorded or accelerated pacing (net/client.h)
+//           recorded or accelerated pacing (net/client.h); --skip/--limit
+//           select a synopsis range (for staged/crash-restart runs)
 //
 // train/detect/info stream the trace through TraceReader block by block
 // (v1 and v2), so damaged files degrade to a warning about skipped blocks
@@ -38,6 +44,7 @@
 
 #include "common/table.h"
 #include "core/analyzer_pool.h"
+#include "core/checkpoint.h"
 #include "core/report_html.h"
 #include "core/saad.h"
 #include "core/telemetry.h"
@@ -69,6 +76,8 @@ struct Args {
   long long listen = -1;      // TCP port (0 = ephemeral); -1 = not given
   std::string port_file;      // write the bound port here (for scripts)
   bool once = false;          // exit after the first completed session
+  std::string checkpoint_dir;      // warm-restart checkpoints (core/checkpoint.h)
+  long long checkpoint_every = 1;  // checkpoint every N window-close barriers
   // replay
   std::string connect;        // HOST:PORT of a running `serve`
   std::string pace = "fast";  // fast | recorded
@@ -76,6 +85,8 @@ struct Args {
   long long batch = 256;      // synopses per batch frame
   long long retries = 10;     // delivery attempts for the final flush
   std::string spool_trace;    // client spill fallback (trace v2)
+  long long skip = 0;         // synopses to skip from the trace head
+  long long limit = -1;       // max synopses to stream (-1 = all)
 };
 
 long long parse_int(const std::string& v, const char* key) {
@@ -120,6 +131,11 @@ Args parse(int argc, char** argv) {
       args.listen = parse_int(v, "listen");
     if (auto v = value("port-file"); !v.empty()) args.port_file = v;
     if (arg == "--once") args.once = true;
+    if (auto v = value("checkpoint-dir"); !v.empty()) args.checkpoint_dir = v;
+    if (auto v = value("checkpoint-every"); !v.empty())
+      args.checkpoint_every = parse_int(v, "checkpoint-every");
+    if (auto v = value("skip"); !v.empty()) args.skip = parse_int(v, "skip");
+    if (auto v = value("limit"); !v.empty()) args.limit = parse_int(v, "limit");
     if (auto v = value("connect"); !v.empty()) args.connect = v;
     if (auto v = value("pace"); !v.empty()) args.pace = v;
     if (auto v = value("speed"); !v.empty()) args.speed = parse_int(v, "speed");
@@ -150,9 +166,21 @@ std::optional<std::vector<std::uint8_t>> read_file(const std::string& path) {
 // two windows behind the newest synopsis end time, so ordinary out-of-order
 // arrivals (long tasks finishing late) still land in their own window rather
 // than being reattributed to the oldest open one.
+//
+// `serve --checkpoint-dir` reuses the watermark/close-cursor bookkeeping to
+// drive progressive window closes (checkpoints happen at close barriers)
+// with print=false, so checkpointing does not change what reaches stdout.
 class LiveStats {
  public:
-  explicit LiveStats(UsTime window) : window_(window) {}
+  explicit LiveStats(UsTime window, bool print = true)
+      : window_(window), print_(print) {}
+
+  /// Resume after a checkpoint restore: windows below `next` are already
+  /// closed (their verdicts came back with the checkpoint) and must be
+  /// neither closed again nor reported.
+  void resume_from(std::size_t next) {
+    next_window_ = std::max(next_window_, next);
+  }
 
   void note(const core::Synopsis& s) {
     watermark_ = std::max(watermark_, s.start + s.duration);
@@ -208,6 +236,7 @@ class LiveStats {
       perf = it->second.second;
       anomalies_.erase(it);
     }
+    if (!print_) return;
     std::printf("[stats] window %3zu [%5.1f, %5.1f min): %6zu synopses, "
                 "%zu anomalies (%zu flow, %zu performance)\n",
                 w, to_min(static_cast<UsTime>(w) * window_),
@@ -217,6 +246,7 @@ class LiveStats {
   }
 
   UsTime window_;
+  bool print_;
   UsTime watermark_ = 0;
   std::size_t next_window_ = 0;
   std::map<std::size_t, std::size_t> synopses_;
@@ -480,6 +510,11 @@ int cmd_detect(const Args& args) {
 volatile std::sig_atomic_t g_stop_requested = 0;
 void on_stop_signal(int) { g_stop_requested = 1; }
 
+// SIGHUP asks `serve` to re-read --model and hot-swap it at the next window
+// boundary, without touching client connections.
+volatile std::sig_atomic_t g_reload_requested = 0;
+void on_reload_signal(int) { g_reload_requested = 1; }
+
 // Runs the analyzer as a network service: SynopsisServer decodes SAADNET1
 // frames into the sharded channel, and this (consumer) loop drains the
 // channel into the AnalyzerPool — exactly the in-process pipeline, with a
@@ -490,17 +525,22 @@ int cmd_serve(const Args& args) {
     std::fprintf(stderr, "serve: --listen=<port> required (0 = ephemeral)\n");
     return 2;
   }
-  const auto model_bytes = read_file(args.model);
+  auto model_bytes = read_file(args.model);
   if (!model_bytes) {
     std::fprintf(stderr, "serve: cannot read --model=%s\n", args.model.c_str());
     return 1;
   }
-  const auto model = core::OutlierModel::load(*model_bytes);
-  if (!model) {
+  auto loaded = core::OutlierModel::load(*model_bytes);
+  if (!loaded) {
     std::fprintf(stderr, "serve: %s is not a SAAD model\n", args.model.c_str());
     return 1;
   }
+  // The active model lives on the heap so a SIGHUP hot swap can stage a new
+  // one and retire this one only after the pool switched over.
+  auto active_model =
+      std::make_unique<core::OutlierModel>(std::move(*loaded));
   core::LogRegistry registry;
+  std::vector<std::uint8_t> registry_bytes;
   if (!args.registry.empty()) {
     const auto reg_bytes = read_file(args.registry);
     if (!reg_bytes || !registry.load(*reg_bytes)) {
@@ -508,12 +548,95 @@ int cmd_serve(const Args& args) {
                    args.registry.c_str());
       return 1;
     }
+    registry_bytes = *reg_bytes;
+  }
+
+  core::DetectorConfig config;
+  config.window = sec(args.window_sec);
+  config.analyzer_threads =
+      args.threads < 0 ? 1 : static_cast<std::size_t>(args.threads);
+
+  // Warm restart: before the listener opens, adopt the newest valid
+  // checkpoint (torn or corrupt candidates are skipped loudly). The
+  // checkpoint's model/registry are authoritative over the --model/--registry
+  // files — they are what the open windows were classified under.
+  const bool checkpointing = !args.checkpoint_dir.empty();
+  core::CheckpointDir ckpt_dir(args.checkpoint_dir);
+  std::uint64_t next_sequence = 1;
+  std::optional<core::Checkpoint> resumed;
+  if (checkpointing) {
+    if (!ckpt_dir.ensure()) {
+      std::fprintf(stderr, "serve: cannot use --checkpoint-dir=%s\n",
+                   args.checkpoint_dir.c_str());
+      return 1;
+    }
+    next_sequence = ckpt_dir.max_sequence() + 1;
+    std::size_t corrupt = 0;
+    resumed = ckpt_dir.load_latest(&corrupt);
+    if (corrupt > 0) {
+      std::fprintf(stderr,
+                   "serve: skipped %zu torn or corrupt checkpoint(s) in %s\n",
+                   corrupt, args.checkpoint_dir.c_str());
+    }
+    if (resumed) {
+      if (resumed->window != config.window) {
+        std::fprintf(stderr,
+                     "serve: checkpoint window is %lld us but --window-sec=%lld"
+                     " asks for %lld us; refusing to resume into a different "
+                     "windowing\n",
+                     static_cast<long long>(resumed->window), args.window_sec,
+                     static_cast<long long>(config.window));
+        return 2;
+      }
+      if (!resumed->model.empty()) {
+        auto m = core::OutlierModel::load(resumed->model);
+        if (!m) {
+          std::fprintf(stderr, "serve: checkpoint model is malformed\n");
+          return 1;
+        }
+        active_model = std::make_unique<core::OutlierModel>(std::move(*m));
+        *model_bytes = resumed->model;
+      }
+      if (!resumed->registry.empty()) {
+        if (!registry.load(resumed->registry)) {
+          std::fprintf(stderr, "serve: checkpoint registry is malformed\n");
+          return 1;
+        }
+        registry_bytes = resumed->registry;
+      }
+    }
+  }
+
+  core::AnalyzerPool analyzer(active_model.get(), config);
+  std::vector<core::Anomaly> anomalies;
+  std::size_t ingested = 0;
+  if (resumed) {
+    if (!resumed->analyzer.empty() &&
+        !analyzer.restore_state(resumed->analyzer)) {
+      std::fprintf(stderr, "serve: checkpoint analyzer state is malformed\n");
+      return 1;
+    }
+    anomalies = std::move(resumed->anomalies);
+    ingested = static_cast<std::size_t>(resumed->ingested);
+    std::fprintf(stderr,
+                 "serve: resumed from checkpoint %llu (%llu synopses, %zu "
+                 "verdicts, model epoch %llu, watermark published=%llu "
+                 "acked=%llu)\n",
+                 static_cast<unsigned long long>(resumed->sequence),
+                 static_cast<unsigned long long>(resumed->ingested),
+                 anomalies.size(),
+                 static_cast<unsigned long long>(resumed->model_epoch),
+                 static_cast<unsigned long long>(resumed->published),
+                 static_cast<unsigned long long>(resumed->acked));
   }
 
   core::SynopsisChannel channel;
   net::SynopsisServer::Options server_options;
   server_options.port = static_cast<std::uint16_t>(args.listen);
   net::SynopsisServer server(&channel, server_options);
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  std::signal(SIGHUP, on_reload_signal);
   if (!server.start()) {
     std::fprintf(stderr, "serve: cannot listen on port %lld\n", args.listen);
     return 1;
@@ -530,41 +653,110 @@ int cmd_serve(const Args& args) {
       return 1;
     }
   }
-  std::signal(SIGINT, on_stop_signal);
-  std::signal(SIGTERM, on_stop_signal);
 
-  core::DetectorConfig config;
-  config.window = sec(args.window_sec);
-  config.analyzer_threads =
-      args.threads < 0 ? 1 : static_cast<std::size_t>(args.threads);
-  core::AnalyzerPool analyzer(&*model, config);
-  LiveStats live(config.window);
-  std::vector<core::Anomaly> anomalies;
-  std::size_t ingested = 0;
+  // Checkpointing needs the progressive close cursor even without --stats;
+  // print=false keeps stdout byte-identical to a plain serve.
+  const bool progressive = args.stats || checkpointing;
+  LiveStats live(config.window, args.stats);
+  live.resume_from(analyzer.restored_next_window());
   std::vector<core::Synopsis> batch;
+
+  // Hot model reload: SIGHUP stages, the pool applies at the next window
+  // boundary, and adopt_model() then retires the previous model. staged
+  // must outlive the apply (the pool holds a raw pointer until then).
+  std::unique_ptr<core::OutlierModel> staged_model;
+  std::vector<std::uint8_t> staged_model_bytes;
+  std::uint64_t adopted_epoch = analyzer.model_epoch();
+  auto adopt_model = [&] {
+    if (staged_model && analyzer.model_epoch() != adopted_epoch) {
+      adopted_epoch = analyzer.model_epoch();
+      active_model = std::move(staged_model);
+      *model_bytes = std::move(staged_model_bytes);
+    }
+  };
+  auto handle_reload = [&] {
+    auto bytes = read_file(args.model);
+    auto m = bytes ? core::OutlierModel::load(*bytes) : std::nullopt;
+    if (!m) {
+      std::fprintf(stderr,
+                   "serve: reload: cannot load --model=%s; keeping the "
+                   "current model\n",
+                   args.model.c_str());
+      return;
+    }
+    auto fresh = std::make_unique<core::OutlierModel>(std::move(*m));
+    analyzer.swap_model(fresh.get());
+    staged_model = std::move(fresh);  // frees any not-yet-applied staging
+    staged_model_bytes = std::move(*bytes);
+    std::fprintf(stderr,
+                 "serve: reload: staged %s (%zu stages); swaps in at the "
+                 "next window boundary\n",
+                 args.model.c_str(), staged_model->num_stages());
+  };
+
+  std::uint64_t close_barriers = 0;
+  const std::uint64_t checkpoint_every = static_cast<std::uint64_t>(
+      std::max<long long>(args.checkpoint_every, 1));
+  std::uint64_t checkpointed_sessions = 0;
+  std::uint64_t acked_total = 0;  // this loop is the only server.ack() caller
+
+  auto write_checkpoint = [&](const char* why) {
+    core::Checkpoint c;
+    c.sequence = next_sequence;
+    c.model_epoch = analyzer.model_epoch();
+    c.window = config.window;
+    c.threads = analyzer.threads();
+    c.ingested = ingested;
+    c.published = server.stats().published;
+    c.acked = acked_total;
+    c.model = *model_bytes;
+    c.registry = registry_bytes;
+    analyzer.save_state(c.analyzer);
+    c.anomalies = anomalies;
+    if (!ckpt_dir.write(c)) {
+      std::fprintf(stderr, "serve: checkpoint %llu failed to write to %s\n",
+                   static_cast<unsigned long long>(c.sequence),
+                   args.checkpoint_dir.c_str());
+      return;
+    }
+    ++next_sequence;
+    std::fprintf(stderr,
+                 "serve: checkpoint %llu (%s: %zu synopses, %zu verdicts)\n",
+                 static_cast<unsigned long long>(c.sequence), why, ingested,
+                 anomalies.size());
+  };
 
   auto ingest_batch = [&] {
     for (const auto& s : batch) {
       analyzer.ingest(s);
       ++ingested;
-      if (args.stats) live.note(s);
+      if (progressive) live.note(s);
     }
     server.ack(batch.size());
-    if (args.stats) {
+    acked_total += batch.size();
+    if (progressive) {
       const UsTime safe = live.safe_now();
       if (live.window_ready(safe)) {
         auto closed = analyzer.advance_to(safe);
+        adopt_model();
         live.absorb(closed);
         anomalies.insert(anomalies.end(),
                          std::make_move_iterator(closed.begin()),
                          std::make_move_iterator(closed.end()));
         live.report_until(safe);
+        ++close_barriers;
+        if (checkpointing && close_barriers % checkpoint_every == 0)
+          write_checkpoint("window close");
       }
     }
     batch.clear();
   };
 
   while (g_stop_requested == 0) {
+    if (g_reload_requested != 0) {
+      g_reload_requested = 0;
+      handle_reload();
+    }
     batch.clear();
     channel.drain(batch);
     if (batch.empty()) {
@@ -573,6 +765,16 @@ int cmd_serve(const Args& args) {
       if (args.once && server.sessions_finished() > 0 &&
           server.active_connections() == 0 && server.drained())
         break;
+      // Session end is the one quiescent point a test can line up on: every
+      // synopsis the finished session carried has been decoded, published,
+      // drained, and ingested, so this checkpoint sits at an exact stream
+      // position (a SIGKILL now loses nothing).
+      if (checkpointing &&
+          server.sessions_finished() > checkpointed_sessions &&
+          server.drained() && server.outstanding() == 0) {
+        checkpointed_sessions = server.sessions_finished();
+        write_checkpoint("session end");
+      }
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
       continue;
     }
@@ -583,6 +785,7 @@ int cmd_serve(const Args& args) {
   ingest_batch();
 
   auto tail = analyzer.finish();
+  adopt_model();
   if (args.stats) {
     live.absorb(tail);
     live.report_rest();
@@ -664,8 +867,18 @@ int cmd_replay(const Args& args) {
   const long long speed = std::max<long long>(args.speed, 1);
   core::Synopsis s;
   UsTime prev = -1;
+  long long to_skip = std::max<long long>(args.skip, 0);
   std::size_t streamed = 0;
   while (reader.next(s)) {
+    // --skip/--limit carve a synopsis range out of the trace, for staged
+    // runs (a crash-restart test streams [0, N) then resumes at N). Pacing
+    // gaps are measured inside the range only.
+    if (to_skip > 0) {
+      --to_skip;
+      continue;
+    }
+    if (args.limit >= 0 && streamed >= static_cast<std::size_t>(args.limit))
+      break;
     if (args.pace == "recorded" && prev >= 0 && s.start > prev) {
       std::this_thread::sleep_for(
           std::chrono::microseconds((s.start - prev) / speed));
@@ -781,8 +994,10 @@ int main(int argc, char** argv) {
         "[--minutes=N] [--window-sec=N] [--threads=N] [--seed=N] "
         "[--metrics-out=<file>] [--stats] "
         "[--listen=PORT] [--port-file=<file>] [--once] "
+        "[--checkpoint-dir=<dir>] [--checkpoint-every=N] "
         "[--connect=HOST:PORT] [--pace=fast|recorded] [--speed=N] "
-        "[--batch=N] [--retries=N] [--spool-trace=<file>]\n");
+        "[--batch=N] [--retries=N] [--spool-trace=<file>] "
+        "[--skip=N] [--limit=N]\n");
     return 2;
   }
   // Telemetry snapshot last, after the command ran to completion (success or
