@@ -1,0 +1,111 @@
+#include "core/source_lex.h"
+
+#include <cctype>
+
+namespace saad::core {
+
+std::string mask_comments_and_strings(std::string_view source) {
+  std::string code(source);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code[i] = code[i + 1] = '\x01';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code[i] = code[i + 1] = '\x01';
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n')
+          state = State::kCode;
+        else
+          code[i] = '\x01';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          code[i] = code[i + 1] = '\x01';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          code[i] = '\x01';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char close = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < source.size()) {
+          code[i] = '\x01';
+          if (next != '\n') code[i + 1] = '\x01';
+          ++i;
+        } else if (c == close) {
+          state = State::kCode;
+        } else if (c == '\n') {
+          // Unterminated literal at end of line: bail back to code so one
+          // bad line cannot swallow the rest of the file.
+          state = State::kCode;
+        } else {
+          code[i] = '\x01';
+        }
+        break;
+      }
+    }
+  }
+  return code;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool word_at(std::string_view code, std::size_t pos, std::string_view word) {
+  if (pos + word.size() > code.size()) return false;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(code[pos + i])) != word[i])
+      return false;
+  }
+  if (pos > 0 && is_ident_char(code[pos - 1])) return false;
+  if (pos + word.size() < code.size() && is_ident_char(code[pos + word.size()]))
+    return false;
+  return true;
+}
+
+std::size_t skip_ws(std::string_view code, std::size_t pos) {
+  while (pos < code.size() &&
+         (std::isspace(static_cast<unsigned char>(code[pos])) ||
+          code[pos] == '\x01')) {
+    ++pos;
+  }
+  return pos;
+}
+
+std::size_t match_paren(std::string_view code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t match_brace(std::string_view code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == '{') ++depth;
+    if (code[i] == '}' && --depth == 0) return i + 1;
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace saad::core

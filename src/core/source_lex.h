@@ -1,0 +1,75 @@
+// Shared source-lexing utilities for the instrumentation scanner
+// (core/source_scan) and the stage-flow CFG builder (src/flow): comment and
+// string masking plus 1-based line/column lookup. Both passes must agree on
+// what is code and what is literal text, so the masking lives here once.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace saad::core {
+
+/// Returns `source` with comment bytes and string/char-literal contents
+/// blanked to '\x01' (newlines preserved, quote characters kept). Searching
+/// the result can therefore never match inside a comment or a literal,
+/// while the original source still holds the literal text for template
+/// extraction.
+std::string mask_comments_and_strings(std::string_view source);
+
+/// 1-based (line, column) lookup built once per scanned file.
+class LineIndex {
+ public:
+  explicit LineIndex(std::string_view source) {
+    starts_.push_back(0);
+    for (std::size_t i = 0; i < source.size(); ++i)
+      if (source[i] == '\n') starts_.push_back(i + 1);
+  }
+  int line(std::size_t pos) const {
+    const auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+    return static_cast<int>(it - starts_.begin());
+  }
+  int column(std::size_t pos) const {
+    return static_cast<int>(
+               pos - starts_[static_cast<std::size_t>(line(pos) - 1)]) +
+           1;
+  }
+  /// Byte offset of the first character of a 1-based line; npos when the
+  /// line number is past the end of the file.
+  std::size_t offset_of_line(int line_number) const {
+    if (line_number < 1 ||
+        static_cast<std::size_t>(line_number) > starts_.size())
+      return std::string_view::npos;
+    return starts_[static_cast<std::size_t>(line_number - 1)];
+  }
+  std::string_view line_text(std::string_view source, int line_number) const {
+    const std::size_t begin =
+        starts_[static_cast<std::size_t>(line_number - 1)];
+    std::size_t end = source.find('\n', begin);
+    if (end == std::string_view::npos) end = source.size();
+    return source.substr(begin, end - begin);
+  }
+
+ private:
+  std::vector<std::size_t> starts_;
+};
+
+/// True for identifier characters [A-Za-z0-9_].
+bool is_ident_char(char c);
+
+/// Case-insensitive match of `word` (which must be lowercase) at `pos` in
+/// `code`, with identifier boundaries on both sides.
+bool word_at(std::string_view code, std::size_t pos, std::string_view word);
+
+/// Position past any whitespace or mask bytes starting at `pos`.
+std::size_t skip_ws(std::string_view code, std::size_t pos);
+
+/// Position just past the matching ')' for the '(' at `open`, or npos when
+/// unbalanced. Parens inside literals are masked, so plain counting works.
+std::size_t match_paren(std::string_view code, std::size_t open);
+
+/// Position just past the matching '}' for the '{' at `open`, or npos.
+std::size_t match_brace(std::string_view code, std::size_t open);
+
+}  // namespace saad::core

@@ -4,13 +4,13 @@
 #include <cctype>
 #include <sstream>
 
+#include "core/source_lex.h"
+
 namespace saad::core {
 
 namespace {
 
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
+bool is_ident(char c) { return is_ident_char(c); }
 
 std::string_view trim(std::string_view s) {
   while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
@@ -20,134 +20,8 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
-// ---- Lexing pass ------------------------------------------------------------
-// `code` is the source with comment bytes and string/char-literal contents
-// blanked to '\x01' (newlines preserved, quote characters kept). Searching
-// `code` can therefore never match inside a comment or a literal, while the
-// original `source` still holds the literal text for template extraction.
-std::string mask_comments_and_strings(std::string_view source) {
-  std::string code(source);
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < source.size(); ++i) {
-    const char c = source[i];
-    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          code[i] = code[i + 1] = '\x01';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code[i] = code[i + 1] = '\x01';
-          ++i;
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n')
-          state = State::kCode;
-        else
-          code[i] = '\x01';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          code[i] = code[i + 1] = '\x01';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          code[i] = '\x01';
-        }
-        break;
-      case State::kString:
-      case State::kChar: {
-        const char close = state == State::kString ? '"' : '\'';
-        if (c == '\\' && i + 1 < source.size()) {
-          code[i] = '\x01';
-          if (next != '\n') code[i + 1] = '\x01';
-          ++i;
-        } else if (c == close) {
-          state = State::kCode;
-        } else if (c == '\n') {
-          // Unterminated literal at end of line: bail back to code so one
-          // bad line cannot swallow the rest of the file.
-          state = State::kCode;
-        } else {
-          code[i] = '\x01';
-        }
-        break;
-      }
-    }
-  }
-  return code;
-}
-
-/// 1-based (line, column) lookup built once per scan.
-class LineIndex {
- public:
-  explicit LineIndex(std::string_view source) {
-    starts_.push_back(0);
-    for (std::size_t i = 0; i < source.size(); ++i)
-      if (source[i] == '\n') starts_.push_back(i + 1);
-  }
-  int line(std::size_t pos) const {
-    const auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
-    return static_cast<int>(it - starts_.begin());
-  }
-  int column(std::size_t pos) const {
-    return static_cast<int>(pos - starts_[static_cast<std::size_t>(
-                                      line(pos) - 1)]) +
-           1;
-  }
-  std::string_view line_text(std::string_view source, int line_number) const {
-    const std::size_t begin =
-        starts_[static_cast<std::size_t>(line_number - 1)];
-    std::size_t end = source.find('\n', begin);
-    if (end == std::string_view::npos) end = source.size();
-    return source.substr(begin, end - begin);
-  }
-
- private:
-  std::vector<std::size_t> starts_;
-};
-
-/// Case-insensitive match of `word` at `pos` in `code`, with identifier
-/// boundaries on both sides.
-bool word_at(std::string_view code, std::size_t pos, std::string_view word) {
-  if (pos + word.size() > code.size()) return false;
-  for (std::size_t i = 0; i < word.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(code[pos + i])) != word[i])
-      return false;
-  }
-  if (pos > 0 && is_ident(code[pos - 1])) return false;
-  if (pos + word.size() < code.size() && is_ident(code[pos + word.size()]))
-    return false;
-  return true;
-}
-
-std::size_t skip_ws(std::string_view code, std::size_t pos) {
-  while (pos < code.size() &&
-         (std::isspace(static_cast<unsigned char>(code[pos])) ||
-          code[pos] == '\x01')) {
-    ++pos;
-  }
-  return pos;
-}
-
-/// Position just past the matching ')' for the '(' at `open`, or npos when
-/// unbalanced. Parens inside literals are masked, so plain counting works.
-std::size_t match_paren(std::string_view code, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < code.size(); ++i) {
-    if (code[i] == '(') ++depth;
-    if (code[i] == ')' && --depth == 0) return i + 1;
-  }
-  return std::string_view::npos;
-}
+// Lexing (comment/string masking, line index, word matching) is shared with
+// the stage-flow CFG builder — see core/source_lex.h.
 
 /// Unescapes the string literal opening at `open` (which must be a '"' in
 /// `source`); sets `end` past the closing quote.
@@ -232,12 +106,20 @@ ScanResult scan_source(std::string_view source, const std::string& file_name) {
       continue;
     }
 
-    // `class Foo` — next '{' opens its body.
-    if (c == 'c' && word_at(code, i, "class")) {
-      std::size_t p = skip_ws(code, i + 5);
+    // `class Foo` / `struct Foo` — next '{' opens its body. A `class T`
+    // inside template parameters (`template <class T>`) is not a class
+    // declaration: the parameter name is followed by ',' or '>', never by a
+    // base-clause or body.
+    if ((c == 'c' && word_at(code, i, "class")) ||
+        (c == 's' && word_at(code, i, "struct"))) {
+      std::size_t p = skip_ws(code, i + (c == 'c' ? 5 : 6));
       std::string name;
       while (p < code.size() && is_ident(code[p])) name += code[p++];
-      if (!name.empty()) pending_class = std::move(name);
+      const std::size_t after = skip_ws(code, p);
+      const bool template_param =
+          after < code.size() &&
+          (code[after] == ',' || code[after] == '>' || code[after] == '=');
+      if (!name.empty() && !template_param) pending_class = std::move(name);
       i = p;
       continue;
     }

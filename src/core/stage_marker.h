@@ -1,0 +1,14 @@
+// SAAD_STAGE("Name") — explicit stage-beginning marker.
+//
+// The paper's instrumentation pass marks consumer-stage beginnings (the
+// statement after a queue dequeue) so the tracker can attribute the events
+// that follow to the right stage. In this codebase the marker is purely
+// static: saad_lint's scanner reads it for stage attribution, dequeue-site
+// coverage (SAAD-DQ005), and stage-flow CFG regions, while at runtime it
+// compiles to nothing. The name should match the stage registered with
+// LogRegistry::register_stage for the surrounding code.
+#pragma once
+
+#ifndef SAAD_STAGE
+#define SAAD_STAGE(name) static_cast<void>(0)
+#endif

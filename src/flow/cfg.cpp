@@ -1,0 +1,922 @@
+#include "flow/cfg.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "core/source_lex.h"
+
+namespace saad::flow {
+
+namespace {
+
+using core::is_ident_char;
+using core::LineIndex;
+using core::match_brace;
+using core::match_paren;
+using core::skip_ws;
+using core::word_at;
+
+// ---- Stage-region discovery -------------------------------------------------
+
+struct Region {
+  std::size_t stage_index = 0;  // into ScanResult::stages
+  std::size_t begin = 0;        // first statement byte of the body
+  std::size_t end = 0;          // one past the last statement byte
+};
+
+struct PointSite {
+  std::size_t scan_index = 0;  // into ScanResult::log_points
+  std::size_t offset = 0;      // byte offset of the receiver
+  int owner = -1;              // region index owning the point (-1 = none)
+};
+
+std::size_t offset_of(const LineIndex& lines, int line, int column) {
+  const std::size_t base = lines.offset_of_line(line);
+  if (base == std::string_view::npos) return std::string_view::npos;
+  return base + static_cast<std::size_t>(column > 0 ? column - 1 : 0);
+}
+
+/// Body region of a run()-inferred stage: the braces of the run() method.
+bool run_body_region(std::string_view code, std::size_t at, Region* region) {
+  // `at` points at the `void` keyword.
+  std::size_t p = skip_ws(code, at + 4);
+  if (!word_at(code, p, "run")) return false;
+  p = skip_ws(code, p + 3);
+  if (p >= code.size() || code[p] != '(') return false;
+  const std::size_t close = match_paren(code, p);
+  if (close == std::string_view::npos) return false;
+  p = skip_ws(code, close);
+  // Java `throws` clauses sit between the parameter list and the body.
+  while (p < code.size() && is_ident_char(code[p])) {
+    while (p < code.size() && is_ident_char(code[p])) ++p;
+    p = skip_ws(code, p);
+    if (p < code.size() && code[p] == ',') p = skip_ws(code, p + 1);
+  }
+  if (p >= code.size() || code[p] != '{') return false;
+  const std::size_t body_close = match_brace(code, p);
+  if (body_close == std::string_view::npos) return false;
+  region->begin = p + 1;
+  region->end = body_close - 1;
+  return true;
+}
+
+/// Body region of a SAAD_STAGE marker: from just past the marker statement
+/// to the end of the innermost enclosing brace block.
+bool marker_region(std::string_view code, std::size_t at, Region* region) {
+  std::size_t p = skip_ws(code, at + 10);
+  if (p >= code.size() || code[p] != '(') return false;
+  const std::size_t close = match_paren(code, p);
+  if (close == std::string_view::npos) return false;
+  std::size_t begin = skip_ws(code, close);
+  if (begin < code.size() && code[begin] == ';') begin = skip_ws(code, begin + 1);
+
+  // Innermost '{' enclosing the marker.
+  std::vector<std::size_t> stack;
+  std::size_t open = std::string_view::npos, block_end = std::string_view::npos;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '{') {
+      stack.push_back(i);
+    } else if (code[i] == '}') {
+      if (stack.empty()) continue;
+      const std::size_t o = stack.back();
+      stack.pop_back();
+      if (o < at && i > at && (open == std::string_view::npos || o > open)) {
+        open = o;
+        block_end = i;
+      }
+    }
+  }
+  if (block_end == std::string_view::npos || begin > block_end) return false;
+  region->begin = begin;
+  region->end = block_end;
+  return true;
+}
+
+// ---- CFG construction -------------------------------------------------------
+
+class Builder {
+ public:
+  Builder(std::string_view source, std::string_view code,
+          const LineIndex& lines, StageFlow& graph,
+          const core::ScanResult& scan, const std::vector<PointSite>& sites,
+          int region_index)
+      : source_(source),
+        code_(code),
+        lines_(lines),
+        g_(graph),
+        scan_(scan),
+        sites_(sites),
+        region_index_(region_index) {}
+
+  void build() {
+    g_.entry = new_node();
+    g_.exit = new_node();
+    int cur = g_.entry;
+    parse_seq(g_.region_begin, g_.region_end, cur);
+    edge(cur, g_.exit, EdgeKind::kNext);
+  }
+
+ private:
+  int new_node() {
+    FlowNode node;
+    node.id = static_cast<int>(g_.nodes.size());
+    node.in_catch = catch_depth_ > 0;
+    g_.nodes.push_back(std::move(node));
+    return g_.nodes.back().id;
+  }
+
+  void edge(int from, int to, EdgeKind kind) {
+    if (from < 0 || to < 0) return;
+    g_.edges.push_back({from, to, kind});
+  }
+
+  /// After diverging control flow (return/break/...), the next statement
+  /// starts a fresh node with no incoming edges — unreachable by
+  /// construction, which is exactly what SAAD-FL007 looks for.
+  int ensure(int& cur) {
+    if (cur < 0) cur = new_node();
+    return cur;
+  }
+
+  void touch_lines(int node, std::size_t s, std::size_t e) {
+    if (node < 0 || s >= e) return;
+    auto& n = g_.nodes[static_cast<std::size_t>(node)];
+    const int first = lines_.line(s);
+    const int last = lines_.line(e > 0 ? e - 1 : 0);
+    if (n.line == 0 || first < n.line) n.line = first;
+    if (last > n.end_line) n.end_line = last;
+  }
+
+  /// Attaches every log point owned by this region whose receiver offset
+  /// falls inside [s, e) to `node`.
+  void attach_points(int node, std::size_t s, std::size_t e) {
+    if (node < 0) return;
+    for (const auto& site : sites_) {
+      if (site.owner != region_index_) continue;
+      if (site.offset < s || site.offset >= e) continue;
+      if (claimed_.count(site.scan_index)) continue;
+      claimed_.insert(site.scan_index);
+      const auto& p = scan_.log_points[site.scan_index];
+      FlowPoint fp;
+      fp.node = node;
+      fp.template_text = p.template_text;
+      fp.level = p.level;
+      fp.file = p.file;
+      fp.line = p.line;
+      fp.column = p.column;
+      fp.dynamic_only = p.dynamic_only;
+      g_.nodes[static_cast<std::size_t>(node)].points.push_back(
+          static_cast<int>(g_.points.size()));
+      g_.points.push_back(std::move(fp));
+    }
+  }
+
+  /// End of a simple statement starting at `pos`: past the ';' that closes
+  /// it at bracket depth zero, or at an unconsumed '}' / block end. A '{'
+  /// opening mid-statement (lambda, anonymous class, array initializer) is
+  /// skipped opaquely; if nothing follows the closed brace group, the
+  /// statement ends there.
+  std::size_t simple_stmt_end(std::size_t pos, std::size_t end) const {
+    int paren = 0, bracket = 0;
+    std::size_t i = pos;
+    while (i < end) {
+      const char c = code_[i];
+      if (c == '(') ++paren;
+      if (c == ')') --paren;
+      if (c == '[') ++bracket;
+      if (c == ']') --bracket;
+      if (c == '{' && paren == 0 && bracket == 0) {
+        const std::size_t close = match_brace(code_, i);
+        if (close == std::string_view::npos || close > end) return end;
+        const std::size_t next = skip_ws(code_, close);
+        if (next < end && code_[next] == ';') return next + 1;
+        return close;  // `synchronized (x) { ... }`-style: brace ends it
+      }
+      if (c == ';' && paren <= 0 && bracket <= 0) return i + 1;
+      if (c == '}' && paren <= 0 && bracket <= 0) return i;  // block ends
+      ++i;
+    }
+    return end;
+  }
+
+  /// Consumes `case <expr>:` / `default:`; returns past the label colon.
+  /// Stops at the first ':' that is not part of a '::' scope operator.
+  std::size_t consume_label(std::size_t pos, std::size_t end) const {
+    std::size_t i = pos;
+    while (i < end) {
+      if (code_[i] == ':') {
+        const bool scope = (i + 1 < end && code_[i + 1] == ':') ||
+                           (i > pos && code_[i - 1] == ':');
+        if (!scope) return i + 1;
+      }
+      if (code_[i] == ';' || code_[i] == '{' || code_[i] == '}') return i;
+      ++i;
+    }
+    return end;
+  }
+
+  bool at_word(std::size_t pos, std::string_view word) const {
+    return word_at(code_, pos, word);
+  }
+
+  /// Parses statements until `end`; `cur` tracks the open node (-1 after a
+  /// divergence).
+  std::size_t parse_seq(std::size_t pos, std::size_t end, int& cur) {
+    pos = skip_ws(code_, pos);
+    while (pos < end) {
+      if (code_[pos] == '}') break;  // malformed region guard
+      pos = parse_stmt(pos, end, cur);
+      pos = skip_ws(code_, pos);
+    }
+    return pos;
+  }
+
+  /// Parses exactly one statement starting at `pos` (not whitespace).
+  std::size_t parse_stmt(std::size_t pos, std::size_t end, int& cur) {
+    const char c = code_[pos];
+
+    // Preprocessor directives span to end of line (with continuations).
+    if (c == '#') {
+      std::size_t i = pos;
+      while (i < end && code_[i] != '\n') {
+        if (code_[i] == '\\' && i + 1 < end && code_[i + 1] == '\n') ++i;
+        ++i;
+      }
+      return i;
+    }
+
+    if (c == '{') {
+      std::size_t close = match_brace(code_, pos);
+      if (close == std::string_view::npos || close > end) close = end + 1;
+      parse_seq(pos + 1, close - 1, cur);
+      return std::min(close, end);
+    }
+
+    if (at_word(pos, "if")) return parse_if(pos, end, cur);
+    if (at_word(pos, "while")) return parse_while(pos, end, cur);
+    if (at_word(pos, "do")) return parse_do(pos, end, cur);
+    if (at_word(pos, "for")) return parse_for(pos, end, cur);
+    if (at_word(pos, "switch")) return parse_switch(pos, end, cur);
+    if (at_word(pos, "try")) return parse_try(pos, end, cur);
+
+    if (at_word(pos, "return") || at_word(pos, "throw")) {
+      const bool is_throw = code_[pos] == 't';
+      const std::size_t stop = simple_stmt_end(pos, end);
+      const int node = ensure(cur);
+      attach_points(node, pos, stop);
+      touch_lines(node, pos, stop);
+      if (is_throw) {
+        if (!catch_targets_.empty() && !catch_targets_.back().empty()) {
+          for (int target : catch_targets_.back())
+            edge(node, target, EdgeKind::kThrow);
+        } else {
+          edge(node, g_.exit, EdgeKind::kThrow);
+        }
+      } else {
+        edge(node, g_.exit, EdgeKind::kReturn);
+      }
+      cur = -1;
+      return stop;
+    }
+
+    if (at_word(pos, "break")) {
+      const int node = ensure(cur);
+      touch_lines(node, pos, pos + 5);
+      edge(node, break_targets_.empty() ? g_.exit : break_targets_.back(),
+           EdgeKind::kBreak);
+      cur = -1;
+      return simple_stmt_end(pos, end);
+    }
+
+    if (at_word(pos, "continue")) {
+      const int node = ensure(cur);
+      touch_lines(node, pos, pos + 8);
+      edge(node, continue_targets_.empty() ? g_.exit : continue_targets_.back(),
+           EdgeKind::kContinue);
+      cur = -1;
+      return simple_stmt_end(pos, end);
+    }
+
+    // Stray labels outside a switch body: consume and continue.
+    if (at_word(pos, "case") || at_word(pos, "default")) {
+      const std::size_t after = consume_label(pos, end);
+      if (after > pos && code_[after - 1] == ':') return after;
+      // `default` as an identifier (e.g. `default:` absent): fall through.
+    }
+
+    // Simple statement (declarations, calls, assignments, lambdas, ...).
+    const std::size_t stop = simple_stmt_end(pos, end);
+    const int node = ensure(cur);
+    attach_points(node, pos, stop);
+    touch_lines(node, pos, stop);
+    return stop;
+  }
+
+  std::size_t parse_if(std::size_t pos, std::size_t end, int& cur) {
+    std::size_t paren = skip_ws(code_, pos + 2);
+    // C++ `if constexpr (...)`.
+    if (at_word(paren, "constexpr")) paren = skip_ws(code_, paren + 9);
+    if (paren >= end || code_[paren] != '(') {
+      const std::size_t stop = simple_stmt_end(pos, end);
+      attach_points(ensure(cur), pos, stop);
+      return stop;
+    }
+    std::size_t close = match_paren(code_, paren);
+    if (close == std::string_view::npos || close > end) close = end;
+    const int cond = ensure(cur);
+    attach_points(cond, paren, close);
+    touch_lines(cond, pos, close);
+
+    FlowBranch branch;
+    branch.cond_node = cond;
+    branch.line = lines_.line(pos);
+
+    const int then_entry = new_node();
+    edge(cond, then_entry, EdgeKind::kTrue);
+    FlowBranch::Alternative then_alt;
+    then_alt.entry = then_entry;
+    std::size_t p = skip_ws(code_, close);
+    then_alt.line = p < end ? lines_.line(p) : branch.line;
+    const std::size_t then_mark = g_.nodes.size() - 1;  // include entry
+    int then_cur = then_entry;
+    p = p < end ? parse_stmt(p, end, then_cur) : end;
+    for (std::size_t n = then_mark; n < g_.nodes.size(); ++n)
+      then_alt.nodes.push_back(static_cast<int>(n));
+    branch.alternatives.push_back(std::move(then_alt));
+
+    std::size_t after_then = skip_ws(code_, p);
+    if (after_then < end && at_word(after_then, "else")) {
+      const int else_entry = new_node();
+      edge(cond, else_entry, EdgeKind::kFalse);
+      FlowBranch::Alternative else_alt;
+      else_alt.entry = else_entry;
+      std::size_t q = skip_ws(code_, after_then + 4);
+      else_alt.line = q < end ? lines_.line(q) : branch.line;
+      const std::size_t else_mark = g_.nodes.size() - 1;
+      int else_cur = else_entry;
+      q = q < end ? parse_stmt(q, end, else_cur) : end;
+      for (std::size_t n = else_mark; n < g_.nodes.size(); ++n)
+        else_alt.nodes.push_back(static_cast<int>(n));
+      branch.alternatives.push_back(std::move(else_alt));
+
+      const int join = new_node();
+      edge(then_cur, join, EdgeKind::kNext);
+      edge(else_cur, join, EdgeKind::kNext);
+      cur = join;
+      g_.branches.push_back(std::move(branch));
+      return q;
+    }
+
+    branch.implicit_alternative = true;
+    const int join = new_node();
+    edge(cond, join, EdgeKind::kFalse);
+    edge(then_cur, join, EdgeKind::kNext);
+    cur = join;
+    g_.branches.push_back(std::move(branch));
+    return p;
+  }
+
+  std::size_t parse_while(std::size_t pos, std::size_t end, int& cur) {
+    std::size_t paren = skip_ws(code_, pos + 5);
+    if (paren >= end || code_[paren] != '(') {
+      const std::size_t stop = simple_stmt_end(pos, end);
+      attach_points(ensure(cur), pos, stop);
+      return stop;
+    }
+    std::size_t close = match_paren(code_, paren);
+    if (close == std::string_view::npos || close > end) close = end;
+
+    const int header = new_node();
+    edge(cur, header, EdgeKind::kNext);
+    attach_points(header, paren, close);
+    touch_lines(header, pos, close);
+    const int after = new_node();
+    const int body_entry = new_node();
+    edge(header, body_entry, EdgeKind::kTrue);
+
+    FlowLoop loop;
+    loop.header = header;
+    loop.line = lines_.line(pos);
+    const std::size_t body_mark = g_.nodes.size() - 1;  // include body entry
+
+    break_targets_.push_back(after);
+    continue_targets_.push_back(header);
+    int body_cur = body_entry;
+    std::size_t p = skip_ws(code_, close);
+    p = p < end ? parse_stmt(p, end, body_cur) : end;
+    continue_targets_.pop_back();
+    break_targets_.pop_back();
+
+    edge(body_cur, header, EdgeKind::kBack);
+    edge(header, after, EdgeKind::kFalse);
+    loop.nodes.push_back(header);
+    for (std::size_t n = body_mark; n < g_.nodes.size(); ++n)
+      loop.nodes.push_back(static_cast<int>(n));
+    g_.loops.push_back(std::move(loop));
+    cur = after;
+    return p;
+  }
+
+  std::size_t parse_for(std::size_t pos, std::size_t end, int& cur) {
+    std::size_t paren = skip_ws(code_, pos + 3);
+    if (paren >= end || code_[paren] != '(') {
+      const std::size_t stop = simple_stmt_end(pos, end);
+      attach_points(ensure(cur), pos, stop);
+      return stop;
+    }
+    std::size_t close = match_paren(code_, paren);
+    if (close == std::string_view::npos || close > end) close = end;
+
+    // init/cond/step (or the whole range clause) lump into the header node.
+    const int header = new_node();
+    edge(cur, header, EdgeKind::kNext);
+    attach_points(header, paren, close);
+    touch_lines(header, pos, close);
+    const int after = new_node();
+    const int body_entry = new_node();
+    edge(header, body_entry, EdgeKind::kTrue);
+
+    FlowLoop loop;
+    loop.header = header;
+    loop.line = lines_.line(pos);
+    const std::size_t body_mark = g_.nodes.size() - 1;
+
+    break_targets_.push_back(after);
+    continue_targets_.push_back(header);
+    int body_cur = body_entry;
+    std::size_t p = skip_ws(code_, close);
+    p = p < end ? parse_stmt(p, end, body_cur) : end;
+    continue_targets_.pop_back();
+    break_targets_.pop_back();
+
+    edge(body_cur, header, EdgeKind::kBack);
+    edge(header, after, EdgeKind::kFalse);
+    loop.nodes.push_back(header);
+    for (std::size_t n = body_mark; n < g_.nodes.size(); ++n)
+      loop.nodes.push_back(static_cast<int>(n));
+    g_.loops.push_back(std::move(loop));
+    cur = after;
+    return p;
+  }
+
+  std::size_t parse_do(std::size_t pos, std::size_t end, int& cur) {
+    const int body_entry = new_node();
+    edge(cur, body_entry, EdgeKind::kNext);
+    const int after = new_node();
+    const int cond = new_node();
+
+    FlowLoop loop;
+    loop.header = body_entry;
+    loop.line = lines_.line(pos);
+    const std::size_t body_mark = g_.nodes.size();
+
+    break_targets_.push_back(after);
+    continue_targets_.push_back(cond);
+    int body_cur = body_entry;
+    std::size_t p = skip_ws(code_, pos + 2);
+    p = p < end ? parse_stmt(p, end, body_cur) : end;
+    continue_targets_.pop_back();
+    break_targets_.pop_back();
+
+    edge(body_cur, cond, EdgeKind::kNext);
+    p = skip_ws(code_, p);
+    if (p < end && at_word(p, "while")) {
+      std::size_t paren = skip_ws(code_, p + 5);
+      if (paren < end && code_[paren] == '(') {
+        std::size_t close = match_paren(code_, paren);
+        if (close == std::string_view::npos || close > end) close = end;
+        attach_points(cond, paren, close);
+        touch_lines(cond, p, close);
+        p = skip_ws(code_, close);
+      }
+      if (p < end && code_[p] == ';') ++p;
+    }
+    edge(cond, body_entry, EdgeKind::kBack);
+    edge(cond, after, EdgeKind::kFalse);
+
+    loop.nodes.push_back(body_entry);
+    loop.nodes.push_back(cond);
+    for (std::size_t n = body_mark; n < g_.nodes.size(); ++n)
+      loop.nodes.push_back(static_cast<int>(n));
+    g_.loops.push_back(std::move(loop));
+    cur = after;
+    return p;
+  }
+
+  std::size_t parse_switch(std::size_t pos, std::size_t end, int& cur) {
+    std::size_t paren = skip_ws(code_, pos + 6);
+    if (paren >= end || code_[paren] != '(') {
+      const std::size_t stop = simple_stmt_end(pos, end);
+      attach_points(ensure(cur), pos, stop);
+      return stop;
+    }
+    std::size_t close = match_paren(code_, paren);
+    if (close == std::string_view::npos || close > end) close = end;
+    const int head = ensure(cur);
+    attach_points(head, paren, close);
+    touch_lines(head, pos, close);
+
+    std::size_t open = skip_ws(code_, close);
+    if (open >= end || code_[open] != '{') {
+      cur = head;
+      return open;
+    }
+    std::size_t body_close = match_brace(code_, open);
+    if (body_close == std::string_view::npos || body_close > end)
+      body_close = end + 1;
+    const std::size_t body_end = std::min(body_close - 1, end);
+
+    const int after = new_node();
+    break_targets_.push_back(after);
+
+    FlowBranch branch;
+    branch.cond_node = head;
+    branch.line = lines_.line(pos);
+    bool has_default = false;
+
+    int arm_cur = -1;
+    FlowBranch::Alternative* arm = nullptr;
+    std::size_t arm_mark = 0;
+    auto finish_arm = [&] {
+      if (arm == nullptr) return;
+      for (std::size_t n = arm_mark; n < g_.nodes.size(); ++n)
+        arm->nodes.push_back(static_cast<int>(n));
+      arm = nullptr;
+    };
+
+    std::size_t p = skip_ws(code_, open + 1);
+    while (p < body_end) {
+      if (at_word(p, "case") || at_word(p, "default")) {
+        has_default = has_default || at_word(p, "default");
+        const std::size_t label_line = p;
+        p = consume_label(p, body_end);
+        finish_arm();
+        const int arm_entry = new_node();
+        edge(head, arm_entry, EdgeKind::kCase);
+        if (arm_cur >= 0) edge(arm_cur, arm_entry, EdgeKind::kNext);  // fallthrough
+        branch.alternatives.emplace_back();
+        arm = &branch.alternatives.back();
+        arm->entry = arm_entry;
+        arm->line = lines_.line(label_line);
+        arm_mark = g_.nodes.size() - 1;  // include the arm entry
+        arm_cur = arm_entry;
+        p = skip_ws(code_, p);
+        continue;
+      }
+      if (code_[p] == '}') break;
+      if (arm_cur < 0 && arm == nullptr) {
+        // Statements before the first label: dead by construction.
+        int dead = -1;
+        p = parse_stmt(p, body_end, dead);
+      } else {
+        p = parse_stmt(p, body_end, arm_cur);
+      }
+      p = skip_ws(code_, p);
+    }
+    finish_arm();
+    break_targets_.pop_back();
+
+    edge(arm_cur, after, EdgeKind::kNext);
+    branch.implicit_alternative = !has_default;
+    if (!has_default) edge(head, after, EdgeKind::kFalse);
+    if (!branch.alternatives.empty()) g_.branches.push_back(std::move(branch));
+    cur = after;
+    return std::min(body_close, end);
+  }
+
+  std::size_t parse_try(std::size_t pos, std::size_t end, int& cur) {
+    std::size_t open = skip_ws(code_, pos + 3);
+    // Java try-with-resources: `try (Resource r = ...) {`.
+    if (open < end && code_[open] == '(') {
+      const std::size_t close = match_paren(code_, open);
+      if (close == std::string_view::npos || close > end) {
+        const std::size_t stop = simple_stmt_end(pos, end);
+        attach_points(ensure(cur), pos, stop);
+        return stop;
+      }
+      open = skip_ws(code_, close);
+    }
+    if (open >= end || code_[open] != '{') {
+      const std::size_t stop = simple_stmt_end(pos, end);
+      attach_points(ensure(cur), pos, stop);
+      return stop;
+    }
+    std::size_t body_close = match_brace(code_, open);
+    if (body_close == std::string_view::npos || body_close > end)
+      body_close = end + 1;
+
+    // Pre-scan the catch/finally clauses so throw targets exist while the
+    // try body is parsed.
+    struct Clause {
+      std::size_t body_begin = 0, body_end = 0;
+      int entry = -1;
+    };
+    std::vector<Clause> catches;
+    Clause finally_clause;
+    bool has_finally = false;
+    std::size_t p = skip_ws(code_, std::min(body_close, end));
+    while (p < end && (at_word(p, "catch") || at_word(p, "finally"))) {
+      const bool is_finally = at_word(p, "finally");
+      std::size_t q = skip_ws(code_, p + (is_finally ? 7 : 5));
+      if (!is_finally) {
+        if (q >= end || code_[q] != '(') break;
+        const std::size_t cparen = match_paren(code_, q);
+        if (cparen == std::string_view::npos || cparen > end) break;
+        q = skip_ws(code_, cparen);
+      }
+      if (q >= end || code_[q] != '{') break;
+      std::size_t bclose = match_brace(code_, q);
+      if (bclose == std::string_view::npos || bclose > end) bclose = end + 1;
+      Clause clause;
+      clause.body_begin = q + 1;
+      clause.body_end = std::min(bclose - 1, end);
+      if (is_finally) {
+        finally_clause = clause;
+        has_finally = true;
+        p = skip_ws(code_, std::min(bclose, end));
+        break;  // finally is last
+      }
+      catches.push_back(clause);
+      p = skip_ws(code_, std::min(bclose, end));
+    }
+    const std::size_t stmt_end = p;
+
+    std::vector<int> catch_entries;
+    for (auto& clause : catches) {
+      clause.entry = new_node();
+      g_.nodes[static_cast<std::size_t>(clause.entry)].in_catch = true;
+      catch_entries.push_back(clause.entry);
+    }
+    const int join = new_node();
+
+    const int try_entry = new_node();
+    edge(cur, try_entry, EdgeKind::kNext);
+    const std::size_t try_mark = g_.nodes.size() - 1;  // include try entry
+    if (!catch_entries.empty()) catch_targets_.push_back(catch_entries);
+    int try_cur = try_entry;
+    parse_seq(open + 1, std::min(body_close, end) - 1, try_cur);
+    if (!catch_entries.empty()) catch_targets_.pop_back();
+    const std::size_t try_nodes_end = g_.nodes.size();
+
+    // Any statement in the try body may throw into any handler.
+    for (int target : catch_entries) {
+      for (std::size_t n = try_mark; n < try_nodes_end; ++n)
+        edge(static_cast<int>(n), target, EdgeKind::kThrow);
+    }
+    edge(try_cur, join, EdgeKind::kNext);
+
+    for (const auto& clause : catches) {
+      ++catch_depth_;
+      int handler_cur = clause.entry;
+      touch_lines(clause.entry, clause.body_begin, clause.body_begin + 1);
+      parse_seq(clause.body_begin, clause.body_end, handler_cur);
+      --catch_depth_;
+      edge(handler_cur, join, EdgeKind::kNext);
+    }
+
+    cur = join;
+    if (has_finally)
+      parse_seq(finally_clause.body_begin, finally_clause.body_end, cur);
+    return stmt_end;
+  }
+
+  std::string_view source_;
+  std::string_view code_;
+  const LineIndex& lines_;
+  StageFlow& g_;
+  const core::ScanResult& scan_;
+  const std::vector<PointSite>& sites_;
+  int region_index_;
+
+  std::vector<int> break_targets_;
+  std::vector<int> continue_targets_;
+  std::vector<std::vector<int>> catch_targets_;
+  int catch_depth_ = 0;
+  std::set<std::size_t> claimed_;
+};
+
+}  // namespace
+
+std::string_view edge_kind_name(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kNext:
+      return "next";
+    case EdgeKind::kTrue:
+      return "true";
+    case EdgeKind::kFalse:
+      return "false";
+    case EdgeKind::kBack:
+      return "back";
+    case EdgeKind::kBreak:
+      return "break";
+    case EdgeKind::kContinue:
+      return "continue";
+    case EdgeKind::kReturn:
+      return "return";
+    case EdgeKind::kThrow:
+      return "throw";
+    case EdgeKind::kCase:
+      return "case";
+  }
+  return "next";
+}
+
+std::vector<std::vector<int>> successors(const StageFlow& graph) {
+  std::vector<std::vector<int>> out(graph.nodes.size());
+  for (const auto& e : graph.edges)
+    out[static_cast<std::size_t>(e.from)].push_back(e.to);
+  return out;
+}
+
+std::vector<std::vector<int>> predecessors(const StageFlow& graph) {
+  std::vector<std::vector<int>> out(graph.nodes.size());
+  for (const auto& e : graph.edges)
+    out[static_cast<std::size_t>(e.to)].push_back(e.from);
+  return out;
+}
+
+namespace {
+
+std::vector<char> reach_from(const StageFlow& g, int start,
+                             const std::vector<std::vector<int>>& adj) {
+  std::vector<char> seen(g.nodes.size(), 0);
+  if (start < 0 || static_cast<std::size_t>(start) >= g.nodes.size())
+    return seen;
+  std::deque<int> queue = {start};
+  seen[static_cast<std::size_t>(start)] = 1;
+  while (!queue.empty()) {
+    const int n = queue.front();
+    queue.pop_front();
+    for (int next : adj[static_cast<std::size_t>(n)]) {
+      if (seen[static_cast<std::size_t>(next)]) continue;
+      seen[static_cast<std::size_t>(next)] = 1;
+      queue.push_back(next);
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+void analyze(StageFlow& g) {
+  const std::size_t n = g.nodes.size();
+  const auto succ = successors(g);
+  const auto pred = predecessors(g);
+
+  // Reachability from entry over all edges.
+  g.reachable = reach_from(g, g.entry, succ);
+
+  // Immediate dominators (Cooper–Harvey–Kennedy) over reachable nodes in
+  // reverse postorder.
+  std::vector<int> rpo;
+  {
+    std::vector<char> mark(n, 0);
+    std::vector<std::pair<int, std::size_t>> stack;
+    if (!g.nodes.empty()) {
+      stack.emplace_back(g.entry, 0);
+      mark[static_cast<std::size_t>(g.entry)] = 1;
+    }
+    std::vector<int> postorder;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      if (next < succ[static_cast<std::size_t>(node)].size()) {
+        const int s = succ[static_cast<std::size_t>(node)][next++];
+        if (!mark[static_cast<std::size_t>(s)]) {
+          mark[static_cast<std::size_t>(s)] = 1;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        postorder.push_back(node);
+        stack.pop_back();
+      }
+    }
+    rpo.assign(postorder.rbegin(), postorder.rend());
+  }
+  std::vector<int> rpo_index(n, -1);
+  for (std::size_t i = 0; i < rpo.size(); ++i)
+    rpo_index[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+
+  g.idom.assign(n, -1);
+  if (!rpo.empty()) {
+    g.idom[static_cast<std::size_t>(g.entry)] = g.entry;
+    auto intersect = [&](int a, int b) {
+      while (a != b) {
+        while (rpo_index[static_cast<std::size_t>(a)] >
+               rpo_index[static_cast<std::size_t>(b)])
+          a = g.idom[static_cast<std::size_t>(a)];
+        while (rpo_index[static_cast<std::size_t>(b)] >
+               rpo_index[static_cast<std::size_t>(a)])
+          b = g.idom[static_cast<std::size_t>(b)];
+      }
+      return a;
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int node : rpo) {
+        if (node == g.entry) continue;
+        int new_idom = -1;
+        for (int p : pred[static_cast<std::size_t>(node)]) {
+          if (g.idom[static_cast<std::size_t>(p)] < 0) continue;
+          new_idom = new_idom < 0 ? p : intersect(new_idom, p);
+        }
+        if (new_idom >= 0 && g.idom[static_cast<std::size_t>(node)] != new_idom) {
+          g.idom[static_cast<std::size_t>(node)] = new_idom;
+          changed = true;
+        }
+      }
+    }
+    g.idom[static_cast<std::size_t>(g.entry)] = -1;  // root convention
+  }
+
+  // Loop membership from the recorded loop constructs.
+  g.in_loop.assign(n, 0);
+  for (const auto& loop : g.loops)
+    for (int node : loop.nodes)
+      if (node >= 0 && static_cast<std::size_t>(node) < n)
+        g.in_loop[static_cast<std::size_t>(node)] = 1;
+
+  // Error-path facts. A node is error-only when it is reachable, can reach
+  // the exit at all, and either (a) sits in a catch handler, (b) is only
+  // reachable by traversing a throw edge, or (c) cannot reach the exit
+  // without traversing one. Nodes that cannot reach the exit at all (a
+  // nonterminating service loop) are not error paths.
+  std::vector<std::vector<int>> succ_nothrow(n), pred_nothrow(n);
+  for (const auto& e : g.edges) {
+    if (e.kind == EdgeKind::kThrow) continue;
+    succ_nothrow[static_cast<std::size_t>(e.from)].push_back(e.to);
+    pred_nothrow[static_cast<std::size_t>(e.to)].push_back(e.from);
+  }
+  const auto fwd_normal = reach_from(g, g.entry, succ_nothrow);
+  const auto bwd_normal = reach_from(g, g.exit, pred_nothrow);
+  const auto bwd_any = reach_from(g, g.exit, pred);
+  g.error_only.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!g.reachable[i] || !bwd_any[i]) continue;
+    if (g.nodes[i].in_catch || !fwd_normal[i] || !bwd_normal[i])
+      g.error_only[i] = 1;
+  }
+}
+
+std::vector<StageFlow> build_stage_flows(std::string_view source,
+                                         const std::string& file_name,
+                                         const core::ScanResult& scan) {
+  std::vector<StageFlow> flows;
+  const std::string code = core::mask_comments_and_strings(source);
+  const LineIndex lines(source);
+
+  // Stage body regions, in scanner order.
+  std::vector<Region> regions;
+  for (std::size_t s = 0; s < scan.stages.size(); ++s) {
+    const auto& stage = scan.stages[s];
+    if (stage.file != file_name) continue;
+    const std::size_t at = offset_of(lines, stage.line, stage.column);
+    if (at == std::string_view::npos || at >= code.size()) continue;
+    Region region;
+    region.stage_index = s;
+    const bool ok = stage.explicit_marker ? marker_region(code, at, &region)
+                                          : run_body_region(code, at, &region);
+    if (ok && region.begin < region.end) regions.push_back(region);
+  }
+
+  // Each log point belongs to the innermost (smallest) region containing it.
+  std::vector<PointSite> sites;
+  for (std::size_t i = 0; i < scan.log_points.size(); ++i) {
+    const auto& p = scan.log_points[i];
+    if (p.file != file_name) continue;
+    PointSite site;
+    site.scan_index = i;
+    site.offset = offset_of(lines, p.line, p.column);
+    if (site.offset == std::string_view::npos) continue;
+    std::size_t best_span = 0;
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      if (site.offset < regions[r].begin || site.offset >= regions[r].end)
+        continue;
+      const std::size_t span = regions[r].end - regions[r].begin;
+      if (site.owner < 0 || span < best_span) {
+        site.owner = static_cast<int>(r);
+        best_span = span;
+      }
+    }
+    sites.push_back(site);
+  }
+
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const auto& stage = scan.stages[regions[r].stage_index];
+    StageFlow g;
+    g.stage = stage.name;
+    g.file = file_name;
+    g.line = stage.line;
+    g.explicit_marker = stage.explicit_marker;
+    g.region_begin = regions[r].begin;
+    g.region_end = regions[r].end;
+    Builder builder(source, code, lines, g, scan, sites, static_cast<int>(r));
+    builder.build();
+    analyze(g);
+    flows.push_back(std::move(g));
+  }
+  return flows;
+}
+
+}  // namespace saad::flow

@@ -1,0 +1,135 @@
+// Stage-flow graphs: statement-level control-flow graphs over the scanner's
+// span-aware ScanResult.
+//
+// SAAD's flow-anomaly rule fires whenever a never-seen-in-training signature
+// appears, so every statically reachable log-point path that training never
+// exercised is a latent false positive, and every trained signature the
+// source can no longer produce is instrumentation drift. The purely lexical
+// scan cannot see either; this layer can. For every stage body the scanner
+// reports (a `run()` method or the block tail after a SAAD_STAGE marker) we
+// parse statements — branches, loops, early return/break/continue/throw,
+// switch fallthrough, try/catch — into a CFG whose nodes carry the stage's
+// log points, then compute reachability, immediate dominators, loop
+// membership, and error-path facts. flow/signatures.h enumerates the
+// statically feasible log-point signatures on top; flow/conformance.h
+// checks them against a trained model or a recorded trace.
+//
+// Lambda and anonymous-class bodies are opaque: their statements fold into
+// the CFG node of the statement that defines them (conservative — the code
+// may run where it is written), except that a nested `run()` body is its
+// own stage region and its log points belong to that inner region only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/source_scan.h"
+
+namespace saad::flow {
+
+enum class EdgeKind : std::uint8_t {
+  kNext = 0,  // sequential fallthrough
+  kTrue,      // condition holds (branch / loop entry)
+  kFalse,     // condition fails (implicit else / loop exit / no matching case)
+  kBack,      // loop back edge
+  kBreak,
+  kContinue,
+  kReturn,    // early return to the stage exit
+  kThrow,     // exception edge (to the innermost catch, else the stage exit)
+  kCase,      // switch dispatch to one arm
+};
+
+std::string_view edge_kind_name(EdgeKind kind);
+
+struct FlowEdge {
+  int from = 0;
+  int to = 0;
+  EdgeKind kind = EdgeKind::kNext;
+};
+
+struct FlowNode {
+  int id = 0;
+  int line = 0;      // first source line the node covers (0 = synthetic)
+  int end_line = 0;  // last covered line
+  std::vector<int> points;  // indices into StageFlow::points, source order
+  bool in_catch = false;    // node lives inside a catch handler
+};
+
+/// One scanned log point placed in a stage CFG.
+struct FlowPoint {
+  int node = -1;  // CFG node whose statement contains the call
+  std::string template_text;
+  std::string level;
+  std::string file;
+  int line = 0;
+  int column = 0;
+  bool dynamic_only = false;
+};
+
+/// A branch construct with explicit alternatives (if/else, switch arms) —
+/// the raw material for the blind-path rule: an alternative with no log
+/// point collapses signature discriminability with its covered siblings.
+struct FlowBranch {
+  int cond_node = 0;  // node evaluating the condition / switch head
+  int line = 0;
+  bool implicit_alternative = false;  // if-without-else, switch-without-default
+  struct Alternative {
+    int entry = 0;
+    int line = 0;
+    std::vector<int> nodes;  // every node of the alternative, nested included
+  };
+  std::vector<Alternative> alternatives;
+};
+
+/// A loop construct (while/do/for). Log points inside contribute an
+/// unbounded per-task count to the synopsis.
+struct FlowLoop {
+  int header = 0;  // node the back edge returns to
+  int line = 0;
+  std::vector<int> nodes;  // body nodes, header included, nested included
+};
+
+struct StageFlow {
+  std::string stage;  // stage name the region belongs to
+  std::string file;
+  int line = 0;                  // stage beginning (run() or marker)
+  bool explicit_marker = false;  // SAAD_STAGE vs inferred from run()
+  std::size_t region_begin = 0;  // byte span of the stage body in the file
+  std::size_t region_end = 0;
+
+  int entry = 0;  // synthetic entry node id
+  int exit = 0;   // synthetic exit node id
+  std::vector<FlowNode> nodes;
+  std::vector<FlowEdge> edges;
+  std::vector<FlowPoint> points;
+  std::vector<FlowBranch> branches;
+  std::vector<FlowLoop> loops;
+
+  // ---- Facts, computed by analyze() -----------------------------------------
+  std::vector<char> reachable;   // from the entry node
+  std::vector<int> idom;         // immediate dominator; -1 for entry/unreachable
+  std::vector<char> in_loop;     // node belongs to some FlowLoop
+  std::vector<char> error_only;  // reachable only via throw edges, unable to
+                                 // reach the exit without throwing, or inside
+                                 // a catch handler
+};
+
+/// Builds one CFG per stage body the scanner found in this file, in source
+/// order, and runs analyze() on each. Log points attach to the innermost
+/// enclosing stage region. `scan` must be the scan of exactly this source.
+std::vector<StageFlow> build_stage_flows(std::string_view source,
+                                         const std::string& file_name,
+                                         const core::ScanResult& scan);
+
+/// Computes the facts block (reachable/idom/in_loop/error_only) in place.
+/// build_stage_flows already calls this; exposed for tests and for graphs
+/// assembled by hand.
+void analyze(StageFlow& graph);
+
+/// Adjacency helpers (edge order preserved).
+std::vector<std::vector<int>> successors(const StageFlow& graph);
+std::vector<std::vector<int>> predecessors(const StageFlow& graph);
+
+}  // namespace saad::flow

@@ -1,0 +1,246 @@
+#include "flow/conformance.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/feature.h"
+#include "flow/signatures.h"
+
+namespace saad::flow {
+
+namespace {
+
+constexpr std::size_t kMaxCombinedSignatures = 4096;
+constexpr std::size_t kMaxRendered = 5;  // per stage, per kind
+
+using PointSet = std::set<core::LogPointId>;
+
+std::string render_signature(const core::LogRegistry& registry,
+                             const PointSet& points) {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const core::LogPointId p : points) {
+    if (!first) out << ", ";
+    first = false;
+    std::string text = registry.log_point(p).template_text;
+    if (text.size() > 32) text = text.substr(0, 29) + "...";
+    out << p << ":\"" << text << '"';
+  }
+  out << '}';
+  return out.str();
+}
+
+/// Feasible signatures of one stage as registry point sets. Stages may span
+/// several regions (several run() bodies or markers registering the same
+/// name); a task can cross any of them, so the combined universe is closed
+/// under union across regions — overgeneration is safe, undergeneration
+/// would produce false "impossible" verdicts.
+bool combine_regions(const std::vector<std::vector<PointSet>>& per_region,
+                     std::set<PointSet>* out) {
+  std::set<PointSet> combined;
+  for (const auto& region : per_region) {
+    for (const auto& sig : region) combined.insert(sig);
+  }
+  // With a single region (the common case) the per-path sets are already the
+  // exact universe. Across regions, close under pairwise union to fixpoint.
+  if (per_region.size() > 1) {
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      std::vector<PointSet> snapshot(combined.begin(), combined.end());
+      for (std::size_t a = 0; a < snapshot.size() && !grew; ++a) {
+        for (std::size_t b = a + 1; b < snapshot.size(); ++b) {
+          PointSet merged = snapshot[a];
+          merged.insert(snapshot[b].begin(), snapshot[b].end());
+          if (combined.insert(merged).second) {
+            if (combined.size() > kMaxCombinedSignatures) return false;
+            grew = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  *out = std::move(combined);
+  return true;
+}
+
+}  // namespace
+
+ConformanceReport check_conformance(const std::vector<StageFlow>& flows,
+                                    const core::LogRegistry& registry,
+                                    const core::OutlierModel& model,
+                                    const std::vector<core::Synopsis>* trace) {
+  ConformanceReport report;
+
+  // Observed signatures per stage id: trained ones plus any traced ones.
+  std::map<core::StageId, std::set<PointSet>> observed;
+  for (std::size_t s = 0; s < registry.num_stages(); ++s) {
+    const auto stage_id = static_cast<core::StageId>(s);
+    const auto* sm = model.stage_model(stage_id);
+    if (sm == nullptr) continue;
+    auto& sigs = observed[stage_id];
+    for (const auto& [sig, stats] : sm->signatures)
+      sigs.insert(PointSet(sig.points().begin(), sig.points().end()));
+  }
+  if (trace != nullptr) {
+    for (const auto& synopsis : *trace) {
+      const auto sig = core::Signature::from(synopsis);
+      observed[synopsis.stage].insert(
+          PointSet(sig.points().begin(), sig.points().end()));
+    }
+  }
+
+  for (const auto& [stage_id, observed_sigs] : observed) {
+    StageConformance sc;
+    if (static_cast<std::size_t>(stage_id) >= registry.num_stages()) continue;
+    sc.stage = registry.stage(stage_id).name;
+
+    // Collect this stage's flow regions and map registry points to flow
+    // points by template text.
+    std::vector<const StageFlow*> regions;
+    for (const auto& flow : flows)
+      if (flow.stage == sc.stage) regions.push_back(&flow);
+    if (regions.empty()) {
+      sc.skip_reason = "no scanned stage region";
+      report.stages_skipped++;
+      sc.checked = false;
+      report.stages.push_back(std::move(sc));
+      continue;
+    }
+
+    // template text -> registry point id (of this stage only)
+    std::map<std::string, core::LogPointId> by_template;
+    bool ambiguous = false;
+    for (const core::LogPointId p : registry.log_points_of(stage_id)) {
+      const auto& info = registry.log_point(p);
+      if (info.template_text.empty()) continue;
+      if (!by_template.emplace(info.template_text, p).second) ambiguous = true;
+    }
+    if (ambiguous) {
+      sc.skip_reason = "duplicate template text within the stage";
+      report.stages_skipped++;
+      report.stages.push_back(std::move(sc));
+      continue;
+    }
+
+    // Per region: flow point index -> registry id, then feasible point sets.
+    bool exact = true;
+    std::set<core::LogPointId> mapped_ids;
+    std::vector<std::vector<PointSet>> per_region;
+    for (const StageFlow* flow : regions) {
+      const FeasibleSignatures feasible = enumerate_signatures(*flow);
+      exact = exact && feasible.exact;
+      std::vector<core::LogPointId> point_map(flow->points.size(),
+                                              core::kInvalidLogPoint);
+      for (std::size_t i = 0; i < flow->points.size(); ++i) {
+        const auto it = by_template.find(flow->points[i].template_text);
+        if (it == by_template.end()) continue;
+        point_map[i] = it->second;
+        mapped_ids.insert(it->second);
+      }
+      std::vector<PointSet> sets;
+      for (const auto& signature : feasible.signatures) {
+        PointSet set;
+        for (const int idx : signature) {
+          const auto id = point_map[static_cast<std::size_t>(idx)];
+          if (id != core::kInvalidLogPoint) set.insert(id);
+        }
+        sets.push_back(std::move(set));
+      }
+      per_region.push_back(std::move(sets));
+    }
+
+    // Judge only when the stage is fully mapped and exactly enumerated.
+    const auto registry_points = registry.log_points_of(stage_id);
+    const bool fully_mapped =
+        std::all_of(registry_points.begin(), registry_points.end(),
+                    [&](core::LogPointId p) {
+                      return registry.log_point(p).template_text.empty() ||
+                             mapped_ids.count(p) > 0;
+                    });
+    if (!fully_mapped) {
+      sc.skip_reason = "registry log points missing from the scan";
+      report.stages_skipped++;
+      report.stages.push_back(std::move(sc));
+      continue;
+    }
+    std::set<PointSet> feasible_sets;
+    if (!exact || !combine_regions(per_region, &feasible_sets)) {
+      sc.skip_reason = "signature enumeration not exact";
+      report.stages_skipped++;
+      report.stages.push_back(std::move(sc));
+      continue;
+    }
+
+    sc.checked = true;
+    sc.observed = observed_sigs.size();
+    for (const auto& set : feasible_sets)
+      if (!set.empty()) sc.feasible++;
+
+    for (const auto& sig : observed_sigs) {
+      // A signature with an unmappable point (dynamic-only template) cannot
+      // be judged; fully_mapped guarantees these are the only such points.
+      const bool judgeable =
+          std::all_of(sig.begin(), sig.end(), [&](core::LogPointId p) {
+            return mapped_ids.count(p) > 0;
+          });
+      if (!judgeable) continue;
+      if (feasible_sets.count(sig)) continue;
+      report.impossible_total++;
+      if (sc.impossible.size() < kMaxRendered)
+        sc.impossible.push_back(render_signature(registry, sig));
+      else if (sc.impossible.size() == kMaxRendered)
+        sc.impossible.push_back("...");
+    }
+    for (const auto& set : feasible_sets) {
+      if (set.empty()) continue;
+      if (observed_sigs.count(set)) {
+        sc.covered++;
+        continue;
+      }
+      report.uncovered_total++;
+      if (sc.uncovered.size() < kMaxRendered)
+        sc.uncovered.push_back(render_signature(registry, set));
+      else if (sc.uncovered.size() == kMaxRendered)
+        sc.uncovered.push_back("...");
+    }
+    report.stages_checked++;
+    report.stages.push_back(std::move(sc));
+  }
+
+  std::sort(report.stages.begin(), report.stages.end(),
+            [](const StageConformance& a, const StageConformance& b) {
+              return a.stage < b.stage;
+            });
+  return report;
+}
+
+std::string render_conformance(const ConformanceReport& report) {
+  std::ostringstream out;
+  out << "conformance: " << report.stages_checked << " stage(s) checked, "
+      << report.stages_skipped << " skipped, " << report.impossible_total
+      << " statically impossible signature(s), " << report.uncovered_total
+      << " coverage gap(s)\n";
+  for (const auto& sc : report.stages) {
+    if (!sc.checked) {
+      out << "  stage \"" << sc.stage << "\": skipped (" << sc.skip_reason
+          << ")\n";
+      continue;
+    }
+    out << "  stage \"" << sc.stage << "\": " << sc.feasible
+        << " feasible signature(s), " << sc.observed << " observed, "
+        << sc.covered << " covered\n";
+    for (const auto& sig : sc.impossible)
+      out << "    error: trained signature is statically impossible: " << sig
+          << "\n";
+    for (const auto& sig : sc.uncovered)
+      out << "    warning: feasible signature never trained: " << sig << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace saad::flow

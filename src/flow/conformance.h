@@ -1,0 +1,60 @@
+// Static×dynamic signature conformance (saad_lint --model / --trace).
+//
+// The trained OutlierModel and the stage-flow CFGs describe the same thing
+// from two sides: the signatures tasks *did* produce and the signatures the
+// source *can* produce. Disagreements are actionable:
+//
+//  * a trained signature that is statically impossible means the source has
+//    drifted since training — the model is stale and its flow-anomaly
+//    verdicts untrustworthy (error);
+//  * a statically feasible signature absent from training is a latent false
+//    positive — the first production task to take that path will be flagged
+//    as a flow anomaly (warning, with per-stage counts).
+//
+// Mapping is conservative: registry log points are matched to scanned flow
+// points by exact template text, and a stage is only judged when every one
+// of its registry points maps and its signature enumeration is exact.
+// Everything else is reported as skipped, never guessed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/log_registry.h"
+#include "core/model.h"
+#include "core/synopsis.h"
+#include "flow/cfg.h"
+
+namespace saad::flow {
+
+struct StageConformance {
+  std::string stage;
+  bool checked = false;      // mapping complete and enumeration exact
+  std::string skip_reason;   // set when !checked
+  std::size_t feasible = 0;  // distinct feasible signatures (non-empty)
+  std::size_t observed = 0;  // trained/traced signatures judged
+  std::size_t covered = 0;   // feasible signatures seen in training
+  std::vector<std::string> impossible;  // rendered drifted signatures
+  std::vector<std::string> uncovered;   // rendered untrained signatures
+};
+
+struct ConformanceReport {
+  std::vector<StageConformance> stages;
+  std::size_t stages_checked = 0;
+  std::size_t stages_skipped = 0;
+  std::size_t impossible_total = 0;  // > 0 ⇒ drift, exit 1
+  std::size_t uncovered_total = 0;   // coverage gaps, warning only
+};
+
+/// Checks every stage the model (and optional trace) knows against the
+/// stage-flow CFGs. `trace` adds observed signatures to the trained ones;
+/// pass nullptr when no trace is given.
+ConformanceReport check_conformance(const std::vector<StageFlow>& flows,
+                                    const core::LogRegistry& registry,
+                                    const core::OutlierModel& model,
+                                    const std::vector<core::Synopsis>* trace);
+
+/// Human-readable multi-line report, stable ordering.
+std::string render_conformance(const ConformanceReport& report);
+
+}  // namespace saad::flow

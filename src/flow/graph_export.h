@@ -1,0 +1,20 @@
+// Stage-flow graph artifacts (saad_lint --emit-graph).
+//
+// Deterministic renderings of the CFGs the flow layer builds: Graphviz DOT
+// for humans (one cluster per stage region, edge kinds labelled, log points
+// listed inside their node) and JSON for tooling (nodes, edges, points, and
+// the analyze() facts). Output depends only on the input flows — byte-stable
+// across runs, so goldens can diff it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "flow/cfg.h"
+
+namespace saad::flow {
+
+std::string to_dot(const std::vector<StageFlow>& flows);
+std::string to_json(const std::vector<StageFlow>& flows);
+
+}  // namespace saad::flow

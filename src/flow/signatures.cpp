@@ -1,0 +1,230 @@
+#include "flow/signatures.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <set>
+
+namespace saad::flow {
+
+namespace {
+
+constexpr std::size_t kMaxNodes = 256;
+constexpr std::size_t kMaxPoints = 64;
+constexpr std::size_t kMaxBasePaths = 2048;
+constexpr std::size_t kMaxIterationsPerLoop = 256;
+constexpr std::size_t kMaxClosedSets = 4096;
+
+/// Fixed 256-bit node set — cheap to hash, copy, and union.
+struct NodeSet {
+  std::array<std::uint64_t, kMaxNodes / 64> w{};
+
+  void add(int node) {
+    w[static_cast<std::size_t>(node) / 64] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(node) % 64);
+  }
+  bool has(int node) const {
+    return (w[static_cast<std::size_t>(node) / 64] >>
+            (static_cast<std::size_t>(node) % 64)) &
+           1;
+  }
+  NodeSet united(const NodeSet& other) const {
+    NodeSet out = *this;
+    for (std::size_t i = 0; i < w.size(); ++i) out.w[i] |= other.w[i];
+    return out;
+  }
+  bool operator<(const NodeSet& other) const { return w < other.w; }
+  bool operator==(const NodeSet& other) const { return w == other.w; }
+};
+
+/// Recursive enumeration of simple paths over the acyclic skeleton
+/// (back/continue edges removed), recording one node-set per path.
+class PathWalker {
+ public:
+  PathWalker(const std::vector<std::vector<int>>& succ, int target,
+             std::size_t cap)
+      : succ_(succ), target_(target), cap_(cap) {}
+
+  /// Starts at `from`; records the node-set of every path reaching a node
+  /// satisfying `terminal` (target_ when no terminal set given).
+  bool walk(int from, std::vector<NodeSet>* out) {
+    NodeSet current;
+    current.add(from);
+    complete_ = true;
+    dfs(from, current, out);
+    return complete_;
+  }
+
+  /// Restricts traversal to `allowed` nodes and terminates on `terminals`
+  /// (records the path when hitting one) instead of target_.
+  void restrict(const std::vector<char>* allowed,
+                const std::set<int>* terminals) {
+    allowed_ = allowed;
+    terminals_ = terminals;
+  }
+
+ private:
+  void dfs(int node, NodeSet& current, std::vector<NodeSet>* out) {
+    if (out->size() >= cap_) {
+      complete_ = false;
+      return;
+    }
+    const bool is_terminal =
+        terminals_ != nullptr ? terminals_->count(node) > 0 : node == target_;
+    if (is_terminal) {
+      out->push_back(current);
+      if (terminals_ != nullptr) return;  // iteration paths end here
+      return;  // exit has no successors worth following
+    }
+    for (int next : succ_[static_cast<std::size_t>(node)]) {
+      if (current.has(next)) continue;
+      if (allowed_ != nullptr &&
+          !(*allowed_)[static_cast<std::size_t>(next)]) {
+        continue;
+      }
+      NodeSet saved = current;
+      current.add(next);
+      dfs(next, current, out);
+      current = saved;
+      if (!complete_) return;
+    }
+  }
+
+  const std::vector<std::vector<int>>& succ_;
+  int target_;
+  std::size_t cap_;
+  const std::vector<char>* allowed_ = nullptr;
+  const std::set<int>* terminals_ = nullptr;
+  bool complete_ = true;
+};
+
+}  // namespace
+
+FeasibleSignatures enumerate_signatures(const StageFlow& g) {
+  FeasibleSignatures result;
+  result.unbounded.assign(g.points.size(), 0);
+  for (std::size_t p = 0; p < g.points.size(); ++p) {
+    const int node = g.points[p].node;
+    if (node >= 0 && static_cast<std::size_t>(node) < g.in_loop.size() &&
+        g.in_loop[static_cast<std::size_t>(node)]) {
+      result.unbounded[p] = 1;
+    }
+  }
+
+  // Cap guards: degrade to the single all-reachable-points signature.
+  auto fallback = [&] {
+    result.exact = false;
+    std::vector<int> all;
+    for (std::size_t p = 0; p < g.points.size(); ++p) {
+      const int node = g.points[p].node;
+      if (node >= 0 && static_cast<std::size_t>(node) < g.reachable.size() &&
+          g.reachable[static_cast<std::size_t>(node)]) {
+        all.push_back(static_cast<int>(p));
+      }
+    }
+    result.signatures.clear();
+    result.signatures.push_back(std::move(all));
+    return result;
+  };
+  if (g.nodes.size() > kMaxNodes || g.points.size() > kMaxPoints)
+    return fallback();
+
+  // Skeleton successors (no back/continue edges) for path enumeration.
+  std::vector<std::vector<int>> succ(g.nodes.size());
+  for (const auto& e : g.edges) {
+    if (e.kind == EdgeKind::kBack || e.kind == EdgeKind::kContinue) continue;
+    succ[static_cast<std::size_t>(e.from)].push_back(e.to);
+  }
+  for (auto& s : succ) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+
+  std::vector<NodeSet> paths;
+  {
+    PathWalker walker(succ, g.exit, kMaxBasePaths);
+    if (!walker.walk(g.entry, &paths)) return fallback();
+  }
+
+  // Per-loop iteration node-sets: header → a back-edge source (one full
+  // iteration) or → a continue site (partial iteration, plus the continue
+  // target so a do-while condition node is not lost).
+  struct LoopIterations {
+    int header;
+    std::vector<NodeSet> sets;
+  };
+  std::vector<LoopIterations> loop_iters;
+  for (const auto& loop : g.loops) {
+    std::vector<char> allowed(g.nodes.size(), 0);
+    for (int node : loop.nodes)
+      if (node >= 0 && static_cast<std::size_t>(node) < g.nodes.size())
+        allowed[static_cast<std::size_t>(node)] = 1;
+
+    std::set<int> terminals;
+    std::vector<std::pair<int, int>> continue_sites;  // (source, target)
+    for (const auto& e : g.edges) {
+      if (e.kind == EdgeKind::kBack && e.to == loop.header &&
+          allowed[static_cast<std::size_t>(e.from)]) {
+        terminals.insert(e.from);
+      }
+      if (e.kind == EdgeKind::kContinue &&
+          allowed[static_cast<std::size_t>(e.from)] &&
+          allowed[static_cast<std::size_t>(e.to)]) {
+        terminals.insert(e.from);
+        continue_sites.emplace_back(e.from, e.to);
+      }
+    }
+    if (terminals.empty()) continue;
+
+    LoopIterations iters;
+    iters.header = loop.header;
+    PathWalker walker(succ, -1, kMaxIterationsPerLoop);
+    walker.restrict(&allowed, &terminals);
+    if (!walker.walk(loop.header, &iters.sets)) return fallback();
+    for (auto& set : iters.sets) {
+      for (const auto& [source, target] : continue_sites)
+        if (set.has(source)) set.add(target);
+    }
+    loop_iters.push_back(std::move(iters));
+  }
+
+  // Closure: a loop whose header lies on a path may splice any of its
+  // iteration sets into that path's node-set, repeatedly.
+  std::set<NodeSet> closed(paths.begin(), paths.end());
+  std::vector<NodeSet> worklist(closed.begin(), closed.end());
+  while (!worklist.empty()) {
+    const NodeSet set = worklist.back();
+    worklist.pop_back();
+    for (const auto& iters : loop_iters) {
+      if (!set.has(iters.header)) continue;
+      for (const auto& iteration : iters.sets) {
+        NodeSet bigger = set.united(iteration);
+        if (closed.count(bigger)) continue;
+        if (closed.size() >= kMaxClosedSets) return fallback();
+        closed.insert(bigger);
+        worklist.push_back(bigger);
+      }
+    }
+  }
+
+  // Project node-sets onto point masks and dedupe.
+  std::set<std::uint64_t> masks;
+  for (const auto& set : closed) {
+    std::uint64_t mask = 0;
+    for (std::size_t p = 0; p < g.points.size(); ++p) {
+      const int node = g.points[p].node;
+      if (node >= 0 && set.has(node)) mask |= std::uint64_t{1} << p;
+    }
+    masks.insert(mask);
+  }
+  for (const std::uint64_t mask : masks) {
+    std::vector<int> signature;
+    for (std::size_t p = 0; p < g.points.size(); ++p)
+      if ((mask >> p) & 1) signature.push_back(static_cast<int>(p));
+    result.signatures.push_back(std::move(signature));
+  }
+  std::sort(result.signatures.begin(), result.signatures.end());
+  return result;
+}
+
+}  // namespace saad::flow

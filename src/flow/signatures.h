@@ -1,0 +1,40 @@
+// Statically feasible log-point signatures of a stage CFG.
+//
+// A SAAD signature is the set of distinct log points a task emitted while
+// crossing a stage. Statically, every entry→exit path through the stage CFG
+// induces one signature: the union of the log points on its nodes. Loops
+// multiply executions, not distinct points, so a loop contributes by letting
+// any subset-closure of its iteration paths join the signature of the
+// surrounding path — point sets only ever grow.
+//
+// Enumeration is exact for the CFGs the scanner produces in practice and
+// degrades explicitly: when a cap trips (node count, point count, path or
+// set explosion) `exact` turns false and callers must not treat the result
+// as a complete universe. Conformance only reports "statically impossible"
+// against exact enumerations.
+#pragma once
+
+#include <vector>
+
+#include "flow/cfg.h"
+
+namespace saad::flow {
+
+struct FeasibleSignatures {
+  /// Distinct feasible signatures; each is a sorted list of indices into
+  /// StageFlow::points. Deduplicated, lexicographically ordered.
+  std::vector<std::vector<int>> signatures;
+
+  /// Per StageFlow::points entry: the point sits in a loop, so its per-task
+  /// count in a synopsis is statically unbounded.
+  std::vector<char> unbounded;
+
+  /// True when the signature list is the complete statically feasible set.
+  /// False when an enumeration cap tripped; the list is then a subset.
+  bool exact = true;
+};
+
+/// Enumerates the feasible signatures of one analyzed stage CFG.
+FeasibleSignatures enumerate_signatures(const StageFlow& flow);
+
+}  // namespace saad::flow

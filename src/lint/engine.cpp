@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "core/log_registry.h"
+#include "flow/cfg.h"
+#include "lint/flow_rules.h"
 
 namespace saad::lint {
 
@@ -61,9 +63,18 @@ LintRun run_lint(const std::vector<std::string>& paths,
     }
     std::ostringstream text;
     text << in.rdbuf();
-    merge(run.scan, core::scan_source(text.str(), file));
+    const std::string source = text.str();
+    // Flow construction wants the per-file scan; merge() consumes it after.
+    core::ScanResult file_scan = core::scan_source(source, file);
+    auto flows = flow::build_stage_flows(source, file, file_scan);
+    run.flows.insert(run.flows.end(),
+                     std::make_move_iterator(flows.begin()),
+                     std::make_move_iterator(flows.end()));
+    merge(run.scan, std::move(file_scan));
   }
   run.findings = run_rules(run.scan, registry, options);
+  run_flow_rules(run.flows, run.findings);
+  sort_diagnostics(run.findings);
   run.fresh = baseline != nullptr ? filter_new(run.findings, *baseline)
                                   : run.findings;
   return run;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/source_scan.h"
+#include "flow/cfg.h"
 #include "lint/baseline.h"
 #include "lint/rules.h"
 
@@ -22,6 +23,7 @@ namespace saad::lint {
 
 struct LintRun {
   core::ScanResult scan;              // merged over every scanned file
+  std::vector<flow::StageFlow> flows; // stage CFGs, file then source order
   std::vector<Diagnostic> findings;   // all diagnostics, sorted
   std::vector<Diagnostic> fresh;      // findings not absorbed by baseline
   std::vector<std::string> files;     // what was scanned, in scan order

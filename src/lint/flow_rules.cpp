@@ -1,0 +1,161 @@
+#include "lint/flow_rules.h"
+
+#include <string>
+
+namespace saad::lint {
+
+namespace {
+
+Diagnostic make(std::string_view rule_id, const std::string& file, int line,
+                int column, std::string message, std::string fixit,
+                std::string content_key) {
+  Diagnostic d;
+  d.rule_id = std::string(rule_id);
+  d.severity = find_rule(rule_id)->severity;
+  d.file = file;
+  d.line = line;
+  d.column = column;
+  d.message = std::move(message);
+  d.fixit = std::move(fixit);
+  d.content_key = std::move(content_key);
+  return d;
+}
+
+std::string quoted(std::string_view text) {
+  std::string out = "\"";
+  out += text;
+  out += '"';
+  return out;
+}
+
+/// SAAD-FL007: a log point in a node the entry can never reach (code after
+/// return/throw/break, or a switch arm no dispatch edge leads to).
+void check_unreachable_points(const flow::StageFlow& g,
+                              std::vector<Diagnostic>& out) {
+  for (const auto& point : g.points) {
+    const auto node = static_cast<std::size_t>(point.node);
+    if (node >= g.reachable.size() || g.reachable[node]) continue;
+    out.push_back(make(
+        kRuleUnreachableLogPoint, point.file, point.line, point.column,
+        "log point " + quoted(point.template_text) + " in stage " +
+            quoted(g.stage) +
+            " is statically unreachable; it can never appear in any "
+            "signature",
+        "move the statement onto a live path or delete it",
+        g.stage + ":" + point.template_text));
+  }
+}
+
+/// SAAD-FL008: within one branch construct, some alternative logs and a
+/// sibling (or the implicit fall-through) does not — the two paths produce
+/// identical signatures, so flow anomalies between them are invisible.
+/// Silent when no alternative logs at all: an uninstrumented branch is not
+/// a discriminability loss, and SAAD-ST002 owns wholly silent stages.
+void check_branch_coverage(const flow::StageFlow& g,
+                           std::vector<Diagnostic>& out) {
+  std::vector<char> has_point(g.nodes.size(), 0);
+  for (const auto& point : g.points) {
+    const auto node = static_cast<std::size_t>(point.node);
+    if (node < has_point.size()) has_point[node] = 1;
+  }
+  for (const auto& branch : g.branches) {
+    bool any_covered = false;
+    std::vector<const flow::FlowBranch::Alternative*> uncovered;
+    for (const auto& alt : branch.alternatives) {
+      bool covered = false;
+      for (const int node : alt.nodes) {
+        if (node >= 0 && static_cast<std::size_t>(node) < has_point.size() &&
+            has_point[static_cast<std::size_t>(node)]) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered)
+        any_covered = true;
+      else
+        uncovered.push_back(&alt);
+    }
+    if (!any_covered) continue;
+    for (const auto* alt : uncovered) {
+      out.push_back(make(
+          kRuleBranchWithoutLogCoverage, g.file, alt->line, 0,
+          "branch alternative at line " + std::to_string(alt->line) +
+              " in stage " + quoted(g.stage) +
+              " has no log point while a sibling does; signatures cannot "
+              "distinguish the two paths",
+          "log the alternative too, or accept that this split is invisible "
+          "to flow detection",
+          g.stage + ":branch@" + std::to_string(branch.line) + ":alt@" +
+              std::to_string(alt->line)));
+    }
+    if (branch.implicit_alternative) {
+      out.push_back(make(
+          kRuleBranchWithoutLogCoverage, g.file, branch.line, 0,
+          "branch at line " + std::to_string(branch.line) + " in stage " +
+              quoted(g.stage) +
+              " logs on the taken path only; the implicit fall-through "
+              "produces the same signature as not reaching it",
+          "add an else/default with its own log point, or accept the "
+          "blind spot",
+          g.stage + ":branch@" + std::to_string(branch.line) + ":implicit"));
+    }
+  }
+}
+
+/// SAAD-FL009: every log point of the stage sits on an error-only path
+/// (catch handler, throw-only suffix). Normal executions then carry an
+/// empty signature and flow detection in the stage only sees failures.
+void check_error_only_logging(const flow::StageFlow& g,
+                              std::vector<Diagnostic>& out) {
+  if (g.points.empty()) return;
+  const flow::FlowPoint* first = nullptr;
+  for (const auto& point : g.points) {
+    const auto node = static_cast<std::size_t>(point.node);
+    if (node >= g.error_only.size()) return;
+    if (!g.reachable[node]) continue;  // FL007's finding, not ours
+    if (!g.error_only[node]) return;   // a normal-path point exists
+    if (first == nullptr) first = &point;
+  }
+  if (first == nullptr) return;
+  out.push_back(make(
+      kRuleErrorPathOnlyLogging, first->file, first->line, first->column,
+      "every log point of stage " + quoted(g.stage) +
+          " sits on an exception/error path; normal executions emit an "
+          "empty signature",
+      "log at least one point on the normal path (e.g. at stage entry)",
+      g.stage + ":error-only"));
+}
+
+/// SAAD-FL010: a log point inside a loop. Not a defect — the synopsis
+/// counts repetitions — but the per-task count is statically unbounded,
+/// which is worth knowing when sizing synopses and reading models.
+void check_loop_carried_points(const flow::StageFlow& g,
+                               std::vector<Diagnostic>& out) {
+  for (const auto& point : g.points) {
+    const auto node = static_cast<std::size_t>(point.node);
+    if (node >= g.in_loop.size() || !g.in_loop[node]) continue;
+    if (node < g.reachable.size() && !g.reachable[node]) continue;
+    out.push_back(make(
+        kRuleLoopCarriedLogPoint, point.file, point.line, point.column,
+        "log point " + quoted(point.template_text) + " in stage " +
+            quoted(g.stage) +
+            " executes inside a loop; its per-task count is unbounded",
+        "fine if intended; hoist it out of the loop if one event per task "
+        "is enough",
+        g.stage + ":loop:" + point.template_text));
+  }
+}
+
+}  // namespace
+
+void run_flow_rules(const std::vector<flow::StageFlow>& flows,
+                    std::vector<Diagnostic>& out) {
+  for (const auto& g : flows) {
+    check_unreachable_points(g, out);
+    check_branch_coverage(g, out);
+    check_error_only_logging(g, out);
+    check_loop_carried_points(g, out);
+  }
+}
+
+}  // namespace saad::lint

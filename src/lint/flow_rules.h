@@ -1,0 +1,18 @@
+// CFG-aware lint rules (SAAD-FL007..FL010), evaluated over the stage-flow
+// graphs built by src/flow. Separate from rules.h so the scan-level rules
+// keep no dependency on the flow layer.
+#pragma once
+
+#include <vector>
+
+#include "flow/cfg.h"
+#include "lint/rules.h"
+
+namespace saad::lint {
+
+/// Runs the four flow rules over the given stage CFGs and appends the
+/// diagnostics (unsorted; callers sort the merged set).
+void run_flow_rules(const std::vector<flow::StageFlow>& flows,
+                    std::vector<Diagnostic>& out);
+
+}  // namespace saad::lint

@@ -35,6 +35,22 @@ constexpr RuleInfo kCatalog[] = {
     {kRuleRegistrySourceDrift, "registry-source-drift",
      "The log template dictionary and the scanned sources disagree.",
      Severity::kError},
+    {kRuleUnreachableLogPoint, "unreachable-log-point",
+     "A log point sits on a statically unreachable path; it can never "
+     "contribute to any signature.",
+     Severity::kError},
+    {kRuleBranchWithoutLogCoverage, "branch-without-log-coverage",
+     "A branch alternative carries no log point while a sibling does; the "
+     "signature cannot tell the two paths apart.",
+     Severity::kWarning},
+    {kRuleErrorPathOnlyLogging, "error-path-only-logging",
+     "Every log point of the stage sits on an exception/error path; normal "
+     "executions produce an empty signature.",
+     Severity::kWarning},
+    {kRuleLoopCarriedLogPoint, "loop-carried-log-point",
+     "A log point inside a loop contributes an unbounded per-task count to "
+     "the synopsis.",
+     Severity::kNote},
 };
 
 Diagnostic make(std::string_view rule_id, const std::string& file, int line,
@@ -82,11 +98,18 @@ void check_duplicate_templates(const core::ScanResult& scan,
 void check_stages_without_log_points(const core::ScanResult& scan,
                                      std::vector<Diagnostic>& out) {
   std::set<std::string> stages_with_points;
-  for (const auto& point : scan.log_points)
+  std::set<std::string> files_with_points;
+  for (const auto& point : scan.log_points) {
     if (!point.stage.empty()) stages_with_points.insert(point.stage);
+    files_with_points.insert(point.file);
+  }
   std::set<std::string> reported;
   for (const auto& stage : scan.stages) {
     if (stages_with_points.count(stage.name)) continue;
+    // A file with no scanned log points at all is not instrumented in the
+    // scanner's idiom (e.g. C++ sources carrying SAAD_STAGE markers purely
+    // for stage attribution); an empty-signature warning there is noise.
+    if (!files_with_points.count(stage.file)) continue;
     if (!reported.insert(stage.name).second) continue;
     out.push_back(make(
         kRuleStageWithoutLogPoints, stage.file, stage.line, stage.column,

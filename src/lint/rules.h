@@ -42,6 +42,10 @@ inline constexpr std::string_view kRuleDynamicOnlyTemplate = "SAAD-LP003";
 inline constexpr std::string_view kRuleLogPointOutsideStage = "SAAD-LP004";
 inline constexpr std::string_view kRuleUnmarkedDequeueSite = "SAAD-DQ005";
 inline constexpr std::string_view kRuleRegistrySourceDrift = "SAAD-RG006";
+inline constexpr std::string_view kRuleUnreachableLogPoint = "SAAD-FL007";
+inline constexpr std::string_view kRuleBranchWithoutLogCoverage = "SAAD-FL008";
+inline constexpr std::string_view kRuleErrorPathOnlyLogging = "SAAD-FL009";
+inline constexpr std::string_view kRuleLoopCarriedLogPoint = "SAAD-FL010";
 
 /// The full catalog, in rule-id order. SARIF output embeds this as the
 /// tool's rule metadata.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/stage_marker.h"
+
 namespace saad::systems {
 
 namespace {
@@ -339,6 +341,7 @@ sim::Task<bool> MiniCassandra::put(std::string key, std::string value) {
 
 sim::Process MiniCassandra::worker_loop(Node& node) {
   for (;;) {
+    SAAD_STAGE("WorkerProcess");
     Message msg = co_await node.worker_queue->pop();
     if (node.crashed) continue;
     auto task = node.host->begin(stages_.worker_process);
@@ -494,6 +497,7 @@ sim::Process MiniCassandra::read_task(Node& node, Message msg) {
 
 sim::Process MiniCassandra::memtable_loop(Node& node) {
   for (;;) {
+    SAAD_STAGE("Memtable");
     auto done = co_await node.flush_queue->pop();
     if (node.crashed) {
       done->fulfill();

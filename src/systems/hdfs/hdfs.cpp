@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/stage_marker.h"
+
 namespace saad::systems {
 
 MiniHdfs::MiniHdfs(sim::Engine* engine, core::LogRegistry* registry,
@@ -139,6 +141,7 @@ sim::Process MiniHdfs::xceiver_write(
   task.log(lp_.dx_recv_block,
            [&] { return "Receiving block blk_" + std::to_string(block_id); });
   for (;;) {
+    SAAD_STAGE("DataXceiver");
     const Packet pkt = co_await in->pop();
     task.log(lp_.dx_recv_packet, [&] {
       return "Receiving one packet for block blk_" + std::to_string(block_id);
@@ -242,6 +245,7 @@ sim::Task<MiniHdfs::RecoverResult> MiniHdfs::recover_block(
 
 sim::Process MiniHdfs::rpc_server(DataNode& dn) {
   for (;;) {
+    SAAD_STAGE("Listener");
     RpcRequest req = co_await dn.rpc_queue->pop();
     {
       auto task = dn.host->begin(stages_.listener);

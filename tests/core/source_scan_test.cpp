@@ -236,5 +236,100 @@ TEST(SourceScan, DequeueSiteWithWhitespaceBeforeParen) {
   EXPECT_EQ(result.dequeue_sites[0].column, 15);  // the '.' before take
 }
 
+// ---- Regressions surfaced by the stage-flow CFG builder --------------------
+
+TEST(SourceScan, TemplateParameterIsNotAClass) {
+  // `class T` / `class U = X` inside template parameters must not open a
+  // stage scope — the log point below belongs to the real enclosing struct.
+  const auto result = scan_source(
+      "template <class T, class U = T, int N = 3>\n"
+      "struct RingBuffer {\n"
+      "  void run() { log.info(\"ring buffer drained one slot\"); }\n"
+      "};\n",
+      "x.cc");
+  ASSERT_EQ(result.stages.size(), 1u);
+  EXPECT_EQ(result.stages[0].name, "RingBuffer");
+  ASSERT_EQ(result.log_points.size(), 1u);
+  EXPECT_EQ(result.log_points[0].stage, "RingBuffer");
+}
+
+TEST(SourceScan, StructOpensAStageScope) {
+  const auto result = scan_source(
+      "struct Compactor {\n"
+      "  void run() { log.info(\"compaction pass\"); }\n"
+      "};\n",
+      "x.cc");
+  ASSERT_EQ(result.stages.size(), 1u);
+  EXPECT_EQ(result.stages[0].name, "Compactor");
+  ASSERT_EQ(result.log_points.size(), 1u);
+  EXPECT_EQ(result.log_points[0].stage, "Compactor");
+}
+
+TEST(SourceScan, LambdaBracesDoNotBreakAttribution) {
+  // The lambda body nests one brace deeper than the class body; its log
+  // point still belongs to the class, and the class scope survives past the
+  // lambda's closing brace.
+  const auto result = scan_source(
+      "class Pool {\n"
+      "  void run() {\n"
+      "    auto flush = [&]() { log.info(\"pool flushed one shard\"); };\n"
+      "    flush();\n"
+      "    log.info(\"pool pass done\");\n"
+      "  }\n"
+      "};\n"
+      "void free_fn() { log.info(\"outside pool\"); }\n",
+      "x.cc");
+  ASSERT_EQ(result.log_points.size(), 3u);
+  EXPECT_EQ(result.log_points[0].stage, "Pool");
+  EXPECT_EQ(result.log_points[1].stage, "Pool");
+  EXPECT_EQ(result.log_points[2].stage, "");
+}
+
+TEST(SourceScan, SwitchCasesKeepAttributionAndOrder) {
+  const auto result = scan_source(
+      "class Router {\n"
+      "  void run() {\n"
+      "    switch (kind) {\n"
+      "      case READ: log.debug(\"read op\"); break;\n"
+      "      case WRITE: { log.debug(\"write op\"); break; }\n"
+      "      default: log.warn(\"unknown op\");\n"
+      "    }\n"
+      "    log.info(\"routed one op\");\n"
+      "  }\n"
+      "};\n",
+      "x.cc");
+  ASSERT_EQ(result.log_points.size(), 4u);
+  for (const auto& point : result.log_points)
+    EXPECT_EQ(point.stage, "Router");
+  EXPECT_EQ(result.log_points[2].level, "warn");
+  EXPECT_EQ(result.log_points[3].template_text, "routed one op");
+}
+
+TEST(SourceScan, ElseIfChainSpansStayInOrder) {
+  // An else-if chain with a multi-line call: every point attributed, lines
+  // strictly increasing, and the wrapped call's span covers both lines.
+  const auto result = scan_source(
+      "class Triage {\n"
+      "  void run() {\n"
+      "    if (a) {\n"
+      "      log.info(\"fast path\");\n"
+      "    } else if (b) {\n"
+      "      log.info(\"slow path \" +\n"
+      "               detail());\n"
+      "    } else {\n"
+      "      log.warn(\"fallback path\");\n"
+      "    }\n"
+      "  }\n"
+      "};\n",
+      "x.cc");
+  ASSERT_EQ(result.log_points.size(), 3u);
+  EXPECT_LT(result.log_points[0].line, result.log_points[1].line);
+  EXPECT_LT(result.log_points[1].line, result.log_points[2].line);
+  EXPECT_EQ(result.log_points[1].line, 6);
+  EXPECT_EQ(result.log_points[1].end_line, 7);
+  for (const auto& point : result.log_points)
+    EXPECT_EQ(point.stage, "Triage");
+}
+
 }  // namespace
 }  // namespace saad::core

@@ -1,0 +1,15 @@
+// Conformance-checker fixture: one stage, one covered if/else, so the
+// feasible signatures are exactly {mix start, mix left} and
+// {mix start, mix right}. The helper tool writes registry/model files that
+// agree (good), miss one path (coverage gap), or claim both arms at once
+// (statically impossible drift).
+class Mixer implements Runnable {
+  public void run() {
+    LOG.info("mix start");
+    if (useLeft) {
+      LOG.info("mix left");
+    } else {
+      LOG.info("mix right");
+    }
+  }
+}

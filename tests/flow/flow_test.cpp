@@ -1,0 +1,491 @@
+// Stage-flow layer tests: CFG construction and facts, feasible-signature
+// enumeration, static×dynamic conformance, and graph-artifact determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/log_registry.h"
+#include "core/model.h"
+#include "core/source_scan.h"
+#include "flow/cfg.h"
+#include "flow/conformance.h"
+#include "flow/graph_export.h"
+#include "flow/signatures.h"
+
+namespace saad::flow {
+namespace {
+
+std::vector<StageFlow> flows_of(std::string_view source) {
+  const auto scan = core::scan_source(source, "t.java");
+  return build_stage_flows(source, "t.java", scan);
+}
+
+/// Index into flow.points of the point whose template contains `needle`.
+int point_index(const StageFlow& flow, std::string_view needle) {
+  for (std::size_t i = 0; i < flow.points.size(); ++i)
+    if (flow.points[i].template_text.find(needle) != std::string::npos)
+      return static_cast<int>(i);
+  return -1;
+}
+
+/// CFG node holding the point whose template contains `needle`.
+int node_of(const StageFlow& flow, std::string_view needle) {
+  const int idx = point_index(flow, needle);
+  return idx < 0 ? -1 : flow.points[static_cast<std::size_t>(idx)].node;
+}
+
+bool has_edge(const StageFlow& flow, int from, int to, EdgeKind kind) {
+  return std::any_of(flow.edges.begin(), flow.edges.end(),
+                     [&](const FlowEdge& e) {
+                       return e.from == from && e.to == to && e.kind == kind;
+                     });
+}
+
+/// Feasible signatures as sets of template substrings, for readable asserts.
+std::set<std::set<std::string>> signature_names(const StageFlow& flow) {
+  const auto feasible = enumerate_signatures(flow);
+  std::set<std::set<std::string>> out;
+  for (const auto& sig : feasible.signatures) {
+    std::set<std::string> names;
+    for (const int idx : sig)
+      names.insert(flow.points[static_cast<std::size_t>(idx)].template_text);
+    out.insert(std::move(names));
+  }
+  return out;
+}
+
+// ---- CFG construction and facts --------------------------------------------
+
+TEST(StageFlowCfg, LinearBodyIsAReachableChain) {
+  const auto flows = flows_of(R"(
+class Worker implements Runnable {
+  public void run() {
+    LOG.info("step one");
+    prepare();
+    LOG.info("step two");
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  const auto& flow = flows[0];
+  EXPECT_EQ(flow.stage, "Worker");
+  EXPECT_FALSE(flow.explicit_marker);
+  ASSERT_EQ(flow.points.size(), 2u);
+  for (std::size_t n = 0; n < flow.nodes.size(); ++n)
+    EXPECT_TRUE(flow.reachable[n]) << "node " << n;
+  EXPECT_TRUE(flow.branches.empty());
+  EXPECT_TRUE(flow.loops.empty());
+}
+
+TEST(StageFlowCfg, IfElseRecordsBothAlternatives) {
+  const auto flows = flows_of(R"(
+class Router implements Runnable {
+  public void run() {
+    if (local) {
+      LOG.info("route local");
+    } else {
+      LOG.info("route remote");
+    }
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  const auto& flow = flows[0];
+  ASSERT_EQ(flow.branches.size(), 1u);
+  const auto& branch = flow.branches[0];
+  EXPECT_FALSE(branch.implicit_alternative);
+  ASSERT_EQ(branch.alternatives.size(), 2u);
+  EXPECT_TRUE(has_edge(flow, branch.cond_node, branch.alternatives[0].entry,
+                       EdgeKind::kTrue));
+  EXPECT_TRUE(has_edge(flow, branch.cond_node, branch.alternatives[1].entry,
+                       EdgeKind::kFalse));
+}
+
+TEST(StageFlowCfg, IfWithoutElseHasImplicitAlternative) {
+  const auto flows = flows_of(R"(
+class Filter implements Runnable {
+  public void run() {
+    if (skip) { LOG.debug("filter skips one"); }
+    LOG.info("filter done");
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  ASSERT_EQ(flows[0].branches.size(), 1u);
+  EXPECT_TRUE(flows[0].branches[0].implicit_alternative);
+  ASSERT_EQ(flows[0].branches[0].alternatives.size(), 1u);
+}
+
+TEST(StageFlowCfg, CodeAfterReturnIsUnreachable) {
+  const auto flows = flows_of(R"(
+class Early implements Runnable {
+  public void run() {
+    LOG.info("early live");
+    return;
+    LOG.info("early dead");
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  const auto& flow = flows[0];
+  const int live = node_of(flow, "early live");
+  const int dead = node_of(flow, "early dead");
+  ASSERT_GE(live, 0);
+  ASSERT_GE(dead, 0);
+  EXPECT_TRUE(flow.reachable[static_cast<std::size_t>(live)]);
+  EXPECT_FALSE(flow.reachable[static_cast<std::size_t>(dead)]);
+}
+
+TEST(StageFlowCfg, WhileLoopHasBackEdgeAndInLoopFact) {
+  const auto flows = flows_of(R"(
+class Drainer implements Runnable {
+  public void run() {
+    LOG.info("drain begin");
+    while (more()) {
+      LOG.debug("drain one item");
+    }
+    LOG.info("drain end");
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  const auto& flow = flows[0];
+  ASSERT_EQ(flow.loops.size(), 1u);
+  EXPECT_TRUE(std::any_of(flow.edges.begin(), flow.edges.end(),
+                          [](const FlowEdge& e) {
+                            return e.kind == EdgeKind::kBack;
+                          }));
+  const int body = node_of(flow, "drain one item");
+  const int outside = node_of(flow, "drain end");
+  ASSERT_GE(body, 0);
+  ASSERT_GE(outside, 0);
+  EXPECT_TRUE(flow.in_loop[static_cast<std::size_t>(body)]);
+  EXPECT_FALSE(flow.in_loop[static_cast<std::size_t>(outside)]);
+}
+
+TEST(StageFlowCfg, CatchHandlerIsErrorOnly) {
+  const auto flows = flows_of(R"(
+class Flusher implements Runnable {
+  public void run() {
+    LOG.info("flush begin");
+    try {
+      flushAll();
+    } catch (IOException e) {
+      LOG.error("flush failed");
+    }
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  const auto& flow = flows[0];
+  const int normal = node_of(flow, "flush begin");
+  const int handler = node_of(flow, "flush failed");
+  ASSERT_GE(normal, 0);
+  ASSERT_GE(handler, 0);
+  EXPECT_FALSE(flow.error_only[static_cast<std::size_t>(normal)]);
+  EXPECT_TRUE(flow.error_only[static_cast<std::size_t>(handler)]);
+  EXPECT_TRUE(flow.nodes[static_cast<std::size_t>(handler)].in_catch);
+}
+
+TEST(StageFlowCfg, DiamondJoinIsDominatedByCondition) {
+  const auto flows = flows_of(R"(
+class Diamond implements Runnable {
+  public void run() {
+    if (a) { LOG.info("left arm"); } else { LOG.info("right arm"); }
+    LOG.info("join point");
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  const auto& flow = flows[0];
+  const int cond = flow.branches.at(0).cond_node;
+  const int join = node_of(flow, "join point");
+  const int left = node_of(flow, "left arm");
+  ASSERT_GE(join, 0);
+  // Neither arm dominates the join; the condition does.
+  EXPECT_EQ(flow.idom[static_cast<std::size_t>(join)], cond);
+  EXPECT_EQ(flow.idom[static_cast<std::size_t>(left)], cond);
+}
+
+TEST(StageFlowCfg, SwitchArmsDispatchViaCaseEdges) {
+  const auto flows = flows_of(R"(
+class Dispatcher implements Runnable {
+  public void run() {
+    switch (op) {
+      case READ:
+        LOG.debug("dispatch read");
+        break;
+      default:
+        LOG.debug("dispatch other");
+        break;
+    }
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  const auto& flow = flows[0];
+  ASSERT_EQ(flow.branches.size(), 1u);
+  EXPECT_EQ(flow.branches[0].alternatives.size(), 2u);
+  EXPECT_FALSE(flow.branches[0].implicit_alternative);  // default: present
+  EXPECT_TRUE(std::any_of(flow.edges.begin(), flow.edges.end(),
+                          [](const FlowEdge& e) {
+                            return e.kind == EdgeKind::kCase;
+                          }));
+}
+
+TEST(StageFlowCfg, ExplicitMarkerOpensItsOwnRegion) {
+  const auto flows = flows_of(R"(
+void consume() {
+  while (running) {
+    SAAD_STAGE("Consumer");
+    Item item = queue.take();
+    log.info("consumer handled one item");
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].stage, "Consumer");
+  EXPECT_TRUE(flows[0].explicit_marker);
+  ASSERT_EQ(flows[0].points.size(), 1u);
+}
+
+// ---- Feasible signatures ---------------------------------------------------
+
+TEST(FeasibleSignatures, DiamondYieldsExactlyTwoSignatures) {
+  const auto flows = flows_of(R"(
+class Mixer implements Runnable {
+  public void run() {
+    LOG.info("mix start");
+    if (useLeft) { LOG.info("mix left"); } else { LOG.info("mix right"); }
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  const auto feasible = enumerate_signatures(flows[0]);
+  EXPECT_TRUE(feasible.exact);
+  EXPECT_EQ(signature_names(flows[0]),
+            (std::set<std::set<std::string>>{{"mix start", "mix left"},
+                                             {"mix start", "mix right"}}));
+}
+
+TEST(FeasibleSignatures, IfWithoutElseYieldsWithAndWithout) {
+  const auto flows = flows_of(R"(
+class Opt implements Runnable {
+  public void run() {
+    LOG.info("opt base");
+    if (verbose) { LOG.debug("opt extra"); }
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(signature_names(flows[0]),
+            (std::set<std::set<std::string>>{{"opt base"},
+                                             {"opt base", "opt extra"}}));
+}
+
+TEST(FeasibleSignatures, LoopPointIsUnbounded) {
+  const auto flows = flows_of(R"(
+class Scanner implements Runnable {
+  public void run() {
+    LOG.info("scan begin");
+    while (more()) { LOG.debug("scan one row"); }
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  const auto& flow = flows[0];
+  const auto feasible = enumerate_signatures(flow);
+  EXPECT_TRUE(feasible.exact);
+  const int begin_idx = point_index(flow, "scan begin");
+  const int row_idx = point_index(flow, "scan one row");
+  ASSERT_GE(begin_idx, 0);
+  ASSERT_GE(row_idx, 0);
+  EXPECT_FALSE(feasible.unbounded[static_cast<std::size_t>(begin_idx)]);
+  EXPECT_TRUE(feasible.unbounded[static_cast<std::size_t>(row_idx)]);
+  // Zero or more iterations: the loop point is optional.
+  EXPECT_EQ(signature_names(flow),
+            (std::set<std::set<std::string>>{{"scan begin"},
+                                             {"scan begin", "scan one row"}}));
+}
+
+TEST(FeasibleSignatures, UnreachablePointJoinsNoSignature) {
+  const auto flows = flows_of(R"(
+class Dead implements Runnable {
+  public void run() {
+    LOG.info("dead live");
+    return;
+    LOG.info("dead never");
+  }
+}
+)");
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(signature_names(flows[0]),
+            (std::set<std::set<std::string>>{{"dead live"}}));
+}
+
+// ---- Conformance -----------------------------------------------------------
+
+constexpr std::string_view kMixerSource = R"(
+class Mixer implements Runnable {
+  public void run() {
+    LOG.info("mix start");
+    if (useLeft) { LOG.info("mix left"); } else { LOG.info("mix right"); }
+  }
+}
+)";
+
+struct MixerWorld {
+  core::LogRegistry registry;
+  core::StageId stage = core::kInvalidStage;
+  core::LogPointId start = core::kInvalidLogPoint;
+  core::LogPointId left = core::kInvalidLogPoint;
+  core::LogPointId right = core::kInvalidLogPoint;
+  std::vector<StageFlow> flows;
+};
+
+void init_mixer(MixerWorld& w) {
+  w.stage = w.registry.register_stage("Mixer");
+  w.start = w.registry.register_log_point(w.stage, core::Level::kInfo,
+                                          "mix start");
+  w.left = w.registry.register_log_point(w.stage, core::Level::kInfo,
+                                         "mix left");
+  w.right = w.registry.register_log_point(w.stage, core::Level::kInfo,
+                                          "mix right");
+  const auto scan = core::scan_source(kMixerSource, "mixer.java");
+  w.flows = build_stage_flows(kMixerSource, "mixer.java", scan);
+}
+
+core::Synopsis synopsis_of(const MixerWorld& w,
+                           const std::vector<core::LogPointId>& points,
+                           core::TaskUid uid) {
+  core::Synopsis s;
+  s.stage = w.stage;
+  s.uid = uid;
+  s.duration = 100;
+  for (const auto p : points) s.log_points.push_back({p, 1});
+  std::sort(s.log_points.begin(), s.log_points.end(),
+            [](const auto& a, const auto& b) { return a.point < b.point; });
+  return s;
+}
+
+core::OutlierModel train_on(
+    const MixerWorld& w,
+    const std::vector<std::vector<core::LogPointId>>& signatures) {
+  std::vector<core::Synopsis> trace;
+  core::TaskUid uid = 0;
+  for (const auto& sig : signatures)
+    for (int i = 0; i < 100; ++i) trace.push_back(synopsis_of(w, sig, uid++));
+  return core::OutlierModel::train(trace);
+}
+
+TEST(Conformance, FullyTrainedStageIsClean) {
+  MixerWorld w;
+  init_mixer(w);
+  const auto model = train_on(
+      w, {{w.start, w.left}, {w.start, w.right}});
+  const auto report = check_conformance(w.flows, w.registry, model, nullptr);
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_TRUE(report.stages[0].checked);
+  EXPECT_EQ(report.stages[0].feasible, 2u);
+  EXPECT_EQ(report.stages[0].covered, 2u);
+  EXPECT_EQ(report.impossible_total, 0u);
+  EXPECT_EQ(report.uncovered_total, 0u);
+}
+
+TEST(Conformance, ImpossibleTrainedSignatureIsDrift) {
+  MixerWorld w;
+  init_mixer(w);
+  // Both arms in one task is statically impossible: the branches exclude
+  // each other.
+  const auto model = train_on(w, {{w.start, w.left, w.right}});
+  const auto report = check_conformance(w.flows, w.registry, model, nullptr);
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_TRUE(report.stages[0].checked);
+  EXPECT_EQ(report.impossible_total, 1u);
+  ASSERT_EQ(report.stages[0].impossible.size(), 1u);
+  const auto rendered = render_conformance(report);
+  EXPECT_NE(rendered.find("statically impossible"), std::string::npos);
+}
+
+TEST(Conformance, UntrainedFeasibleSignatureIsCoverageGap) {
+  MixerWorld w;
+  init_mixer(w);
+  const auto model = train_on(w, {{w.start, w.left}});
+  const auto report = check_conformance(w.flows, w.registry, model, nullptr);
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_TRUE(report.stages[0].checked);
+  EXPECT_EQ(report.impossible_total, 0u);
+  EXPECT_EQ(report.uncovered_total, 1u);
+  const auto rendered = render_conformance(report);
+  EXPECT_NE(rendered.find("never trained"), std::string::npos);
+  EXPECT_NE(rendered.find("mix right"), std::string::npos);
+}
+
+TEST(Conformance, TraceSignaturesCountAsObserved) {
+  MixerWorld w;
+  init_mixer(w);
+  const auto model = train_on(w, {{w.start, w.left}});
+  const std::vector<core::Synopsis> trace = {
+      synopsis_of(w, {w.start, w.right}, 999)};
+  const auto report = check_conformance(w.flows, w.registry, model, &trace);
+  EXPECT_EQ(report.uncovered_total, 0u);
+  EXPECT_EQ(report.impossible_total, 0u);
+}
+
+TEST(Conformance, UnscannedRegistryPointSkipsTheStage) {
+  MixerWorld w;
+  init_mixer(w);
+  w.registry.register_log_point(w.stage, core::Level::kInfo,
+                                "removed from source");
+  const auto model = train_on(w, {{w.start, w.left}});
+  const auto report = check_conformance(w.flows, w.registry, model, nullptr);
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_FALSE(report.stages[0].checked);
+  EXPECT_EQ(report.stages[0].skip_reason,
+            "registry log points missing from the scan");
+  EXPECT_EQ(report.impossible_total, 0u);
+}
+
+TEST(Conformance, StageWithoutScannedRegionIsSkipped) {
+  MixerWorld w;
+  init_mixer(w);
+  const auto model = train_on(w, {{w.start, w.left}});
+  const std::vector<StageFlow> no_flows;
+  const auto report = check_conformance(no_flows, w.registry, model, nullptr);
+  ASSERT_EQ(report.stages.size(), 1u);
+  EXPECT_FALSE(report.stages[0].checked);
+  EXPECT_EQ(report.stages[0].skip_reason, "no scanned stage region");
+}
+
+// ---- Graph artifacts -------------------------------------------------------
+
+TEST(GraphExport, DotIsDeterministicAndLabelled) {
+  const auto flows = flows_of(std::string(kMixerSource));
+  const auto dot = to_dot(flows);
+  EXPECT_EQ(dot, to_dot(flows)) << "DOT output must be byte-stable";
+  EXPECT_NE(dot.find("digraph saad_stage_flow"), std::string::npos);
+  EXPECT_NE(dot.find("Mixer"), std::string::npos);
+  EXPECT_NE(dot.find("mix left"), std::string::npos);
+}
+
+TEST(GraphExport, JsonIsDeterministicAndCarriesFacts) {
+  const auto flows = flows_of(R"(
+class Dead implements Runnable {
+  public void run() {
+    LOG.info("dead live");
+    return;
+    LOG.info("dead never");
+  }
+}
+)");
+  const auto json = to_json(flows);
+  EXPECT_EQ(json, to_json(flows)) << "JSON output must be byte-stable";
+  EXPECT_NE(json.find("\"stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"reachable\": false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace saad::flow

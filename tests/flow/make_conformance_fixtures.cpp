@@ -1,0 +1,87 @@
+// Writes the registry and model files the conformance CLI tests feed to
+// `saad_lint --model=... --registry=...` against
+// tests/flow/fixtures/conformance_stage.java:
+//
+//   conf.reg        registry: stage Mixer, points "mix start"/"mix left"/
+//                   "mix right" (templates match the fixture exactly, so
+//                   SAAD-RG006 stays quiet)
+//   conf_good.mdl   trained on both feasible signatures — clean, exit 0
+//   conf_gap.mdl    trained on {start,left} only — coverage gap warning
+//   conf_drift.mdl  trained on {start,left,right} — statically impossible,
+//                   exit 1
+//
+//   make_conformance_fixtures <output-dir>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/log_registry.h"
+#include "core/model.h"
+#include "core/synopsis.h"
+
+namespace {
+
+using namespace saad;
+
+bool write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+bool write_model(const std::string& path,
+                 core::StageId stage,
+                 const std::vector<std::vector<core::LogPointId>>& sigs) {
+  std::vector<core::Synopsis> trace;
+  core::TaskUid uid = 0;
+  for (const auto& sig : sigs) {
+    for (int i = 0; i < 100; ++i) {
+      core::Synopsis s;
+      s.stage = stage;
+      s.uid = uid++;
+      s.duration = 100 + i;
+      for (const auto p : sig) s.log_points.push_back({p, 1});
+      trace.push_back(std::move(s));
+    }
+  }
+  const auto model = core::OutlierModel::train(trace);
+  std::vector<std::uint8_t> bytes;
+  model.save(bytes);
+  return write_bytes(path, bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: make_conformance_fixtures <output-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  core::LogRegistry registry;
+  const auto stage = registry.register_stage("Mixer");
+  const auto start =
+      registry.register_log_point(stage, core::Level::kInfo, "mix start");
+  const auto left =
+      registry.register_log_point(stage, core::Level::kInfo, "mix left");
+  const auto right =
+      registry.register_log_point(stage, core::Level::kInfo, "mix right");
+
+  std::vector<std::uint8_t> reg_bytes;
+  registry.save(reg_bytes);
+  const bool ok =
+      write_bytes(dir + "/conf.reg", reg_bytes) &&
+      write_model(dir + "/conf_good.mdl", stage,
+                  {{start, left}, {start, right}}) &&
+      write_model(dir + "/conf_gap.mdl", stage, {{start, left}}) &&
+      write_model(dir + "/conf_drift.mdl", stage, {{start, left, right}});
+  if (!ok) {
+    std::fprintf(stderr, "cannot write fixtures under %s\n", dir.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Seeded violation: SAAD-FL007 unreachable-log-point (error).
+// The epilogue statement sits after an unconditional return: no task can
+// ever execute it, so it can never contribute to any signature.
+class Uploader implements Runnable {
+  public void run() {
+    LOG.info("upload begins");
+    LOG.info("upload completed");
+    return;
+    LOG.debug("upload epilogue never runs");
+  }
+}

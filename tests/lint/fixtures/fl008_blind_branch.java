@@ -1,0 +1,13 @@
+// Seeded violation: SAAD-FL008 branch-without-log-coverage (warning).
+// The local path logs, the remote path does not: both produce the same
+// signature, so a flow anomaly between them is statically invisible.
+class Router implements Runnable {
+  public void run() {
+    LOG.info("routing one request");
+    if (isLocal) {
+      LOG.debug("routing request locally");
+    } else {
+      forwardRemote();
+    }
+  }
+}

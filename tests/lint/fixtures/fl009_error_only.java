@@ -1,0 +1,12 @@
+// Seeded violation: SAAD-FL009 error-path-only-logging (warning).
+// The only log point lives in the catch handler, so every normal execution
+// of the stage emits an empty signature.
+class Flusher implements Runnable {
+  public void run() {
+    try {
+      flushAll();
+    } catch (IOException e) {
+      LOG.error("flush failed hard");
+    }
+  }
+}

@@ -1,0 +1,11 @@
+// Seeded violation: SAAD-FL010 loop-carried-log-point (note).
+// The per-row statement repeats once per iteration: its per-task count in
+// the synopsis is statically unbounded.
+class RowScanner implements Runnable {
+  public void run() {
+    LOG.info("row scan started");
+    while (cursor.hasNext()) {
+      LOG.debug("row scan visits one row");
+    }
+  }
+}

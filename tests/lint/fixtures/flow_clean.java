@@ -1,0 +1,20 @@
+// Flow-rule clean fixture: branches, a try/catch, and early exits whose
+// instrumentation is fully discriminating — every alternative logs, the
+// normal path logs, nothing is unreachable, nothing loops. The flow rules
+// (SAAD-FL007..FL010) must report nothing here.
+class Balancer implements Runnable {
+  public void run() {
+    LOG.info("balancer pass begins");
+    if (overloaded) {
+      LOG.warn("balancer shedding load");
+    } else {
+      LOG.debug("balancer load nominal");
+    }
+    try {
+      rebalance();
+      LOG.info("balancer pass rebalanced");
+    } catch (Exception e) {
+      LOG.error("balancer rebalance failed");
+    }
+  }
+}

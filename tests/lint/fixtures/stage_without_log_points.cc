@@ -1,7 +1,15 @@
 // Seeded violation: SAAD-ST002 stage-without-log-points (warning).
 // The IdleSweeper stage is declared but nothing logs inside it, so its
-// per-execution signature is always empty.
+// per-execution signature is always empty. SweepReporter shows the file is
+// otherwise instrumented — the rule skips files with no log points at all.
 void setup_sweeper() {
   SAAD_STAGE("IdleSweeper");
   sweep();
 }
+
+class SweepReporter {
+ public:
+  void run() {
+    log.info("sweep reporter heartbeat");
+  }
+};

@@ -34,7 +34,7 @@ const Diagnostic* find_diag(const std::vector<Diagnostic>& diags,
 
 TEST(LintRules, CatalogIsCompleteAndStable) {
   const auto catalog = rule_catalog();
-  ASSERT_EQ(catalog.size(), 6u);
+  ASSERT_EQ(catalog.size(), 10u);
   for (const auto& rule : catalog) {
     EXPECT_EQ(find_rule(rule.id), &rule);
     EXPECT_FALSE(rule.name.empty());
@@ -69,11 +69,25 @@ TEST(LintRules, DuplicateTemplateAcrossFiles) {
 }
 
 TEST(LintRules, StageWithoutLogPoints) {
-  const auto diags = lint("void f() { SAAD_STAGE(\"Empty\"); }");
+  // The file carries other instrumentation, so the silent stage is a real
+  // gap rather than an uninstrumented source.
+  const auto diags = lint(R"(
+class Busy implements Runnable {
+  public void run() { LOG.info("busy neighbor logging"); }
+}
+void f() { SAAD_STAGE("Empty"); }
+)");
   ASSERT_EQ(count_rule(diags, kRuleStageWithoutLogPoints), 1u);
   const auto* d = find_diag(diags, kRuleStageWithoutLogPoints);
   EXPECT_EQ(d->severity, Severity::kWarning);
   EXPECT_NE(d->message.find("Empty"), std::string::npos);
+}
+
+TEST(LintRules, StageInUninstrumentedFileIsSkipped) {
+  // A SAAD_STAGE marker in a file with no scanned log points at all (the
+  // C++ stage-attribution idiom) must not warn.
+  const auto diags = lint("void f() { SAAD_STAGE(\"Empty\"); }");
+  EXPECT_EQ(count_rule(diags, kRuleStageWithoutLogPoints), 0u);
 }
 
 TEST(LintRules, StageWithLogPointsIsClean) {
@@ -194,6 +208,11 @@ TEST(LintFixtures, SeededViolationsAreFlagged) {
       {"dynamic_only.java", kRuleDynamicOnlyTemplate, Severity::kError},
       {"outside_stage.cc", kRuleLogPointOutsideStage, Severity::kWarning},
       {"unmarked_dequeue.java", kRuleUnmarkedDequeueSite, Severity::kNote},
+      {"fl007_unreachable.java", kRuleUnreachableLogPoint, Severity::kError},
+      {"fl008_blind_branch.java", kRuleBranchWithoutLogCoverage,
+       Severity::kWarning},
+      {"fl009_error_only.java", kRuleErrorPathOnlyLogging, Severity::kWarning},
+      {"fl010_loop_carried.java", kRuleLoopCarriedLogPoint, Severity::kNote},
   };
   for (const auto& expect : expectations) {
     const std::string path =
@@ -216,17 +235,27 @@ TEST(LintFixtures, CleanFixtureHasNoFindings) {
       << render_text(run) << "clean.java must stay clean";
 }
 
+TEST(LintFixtures, FlowCleanFixtureHasNoFindings) {
+  const auto run =
+      run_lint({SAAD_LINT_FIXTURE_DIR "/flow_clean.java"}, nullptr, nullptr);
+  ASSERT_TRUE(run.errors.empty());
+  EXPECT_TRUE(run.fresh.empty())
+      << render_text(run) << "flow_clean.java must stay clean";
+}
+
 TEST(LintFixtures, DirectoryScanFindsEveryRuleOnce) {
   const auto run = run_lint({SAAD_LINT_FIXTURE_DIR}, nullptr, nullptr);
   ASSERT_TRUE(run.errors.empty());
-  EXPECT_EQ(run.files.size(), 6u);
+  EXPECT_EQ(run.files.size(), 11u);
   EXPECT_EQ(count_rule(run.fresh, kRuleDuplicateTemplate), 1u);
   EXPECT_EQ(count_rule(run.fresh, kRuleDynamicOnlyTemplate), 1u);
   EXPECT_EQ(count_rule(run.fresh, kRuleLogPointOutsideStage), 1u);
   EXPECT_EQ(count_rule(run.fresh, kRuleUnmarkedDequeueSite), 1u);
-  // Two stages lack log points: IdleSweeper and the far-file duplicate-free
-  // stage names stay independent per fixture.
-  EXPECT_GE(count_rule(run.fresh, kRuleStageWithoutLogPoints), 1u);
+  EXPECT_EQ(count_rule(run.fresh, kRuleStageWithoutLogPoints), 1u);
+  EXPECT_EQ(count_rule(run.fresh, kRuleUnreachableLogPoint), 1u);
+  EXPECT_EQ(count_rule(run.fresh, kRuleBranchWithoutLogCoverage), 1u);
+  EXPECT_EQ(count_rule(run.fresh, kRuleErrorPathOnlyLogging), 1u);
+  EXPECT_EQ(count_rule(run.fresh, kRuleLoopCarriedLogPoint), 1u);
 }
 
 }  // namespace

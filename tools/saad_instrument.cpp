@@ -22,6 +22,11 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--generate=", 0) == 0) {
       generate_path = arg.substr(11);
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "saad_instrument: unknown option %s\n", arg.c_str());
+      std::fprintf(stderr,
+                   "usage: saad_instrument [--generate=out.inc] <sources...>\n");
+      return 2;
     } else {
       files.push_back(arg);
     }

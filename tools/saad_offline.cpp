@@ -101,6 +101,21 @@ long long parse_int(const std::string& v, const char* key) {
   std::exit(2);
 }
 
+// Integer option with a closed range enforced at parse time: an out-of-range
+// value is a usage error (exit 2), never a silent clamp.
+constexpr long long kMaxCount = 1'000'000'000'000LL;  // --skip/--limit ceiling
+
+long long parse_int_range(const std::string& v, const char* key, long long lo,
+                          long long hi) {
+  const long long parsed = parse_int(v, key);
+  if (parsed < lo || parsed > hi) {
+    std::fprintf(stderr, "invalid --%s=%s (expected %lld..%lld)\n", key,
+                 v.c_str(), lo, hi);
+    std::exit(2);
+  }
+  return parsed;
+}
+
 Args parse(int argc, char** argv) {
   Args args;
   if (argc > 1) args.command = argv[1];
@@ -120,28 +135,33 @@ Args parse(int argc, char** argv) {
     if (auto v = value("metrics-out"); !v.empty()) args.metrics_out = v;
     if (arg == "--stats") args.stats = true;
     if (auto v = value("minutes"); !v.empty())
-      args.run_minutes = parse_int(v, "minutes");
+      args.run_minutes = parse_int_range(v, "minutes", 1, 7 * 24 * 60);
     if (auto v = value("window-sec"); !v.empty())
-      args.window_sec = parse_int(v, "window-sec");
+      args.window_sec = parse_int_range(v, "window-sec", 1, 86400);
     if (auto v = value("threads"); !v.empty())
-      args.threads = parse_int(v, "threads");
+      args.threads = parse_int_range(v, "threads", 0, 1024);
     if (auto v = value("seed"); !v.empty())
       args.seed = static_cast<std::uint64_t>(parse_int(v, "seed"));
     if (auto v = value("listen"); !v.empty())
-      args.listen = parse_int(v, "listen");
+      args.listen = parse_int_range(v, "listen", 0, 65535);
     if (auto v = value("port-file"); !v.empty()) args.port_file = v;
     if (arg == "--once") args.once = true;
     if (auto v = value("checkpoint-dir"); !v.empty()) args.checkpoint_dir = v;
     if (auto v = value("checkpoint-every"); !v.empty())
-      args.checkpoint_every = parse_int(v, "checkpoint-every");
-    if (auto v = value("skip"); !v.empty()) args.skip = parse_int(v, "skip");
-    if (auto v = value("limit"); !v.empty()) args.limit = parse_int(v, "limit");
+      args.checkpoint_every =
+          parse_int_range(v, "checkpoint-every", 1, 1'000'000'000);
+    if (auto v = value("skip"); !v.empty())
+      args.skip = parse_int_range(v, "skip", 0, kMaxCount);
+    if (auto v = value("limit"); !v.empty())
+      args.limit = parse_int_range(v, "limit", -1, kMaxCount);
     if (auto v = value("connect"); !v.empty()) args.connect = v;
     if (auto v = value("pace"); !v.empty()) args.pace = v;
-    if (auto v = value("speed"); !v.empty()) args.speed = parse_int(v, "speed");
-    if (auto v = value("batch"); !v.empty()) args.batch = parse_int(v, "batch");
+    if (auto v = value("speed"); !v.empty())
+      args.speed = parse_int_range(v, "speed", 1, 1'000'000);
+    if (auto v = value("batch"); !v.empty())
+      args.batch = parse_int_range(v, "batch", 1, 1'000'000);
     if (auto v = value("retries"); !v.empty())
-      args.retries = parse_int(v, "retries");
+      args.retries = parse_int_range(v, "retries", 1, 1'000'000);
     if (auto v = value("spool-trace"); !v.empty()) args.spool_trace = v;
   }
   return args;
@@ -696,7 +716,7 @@ int cmd_serve(const Args& args) {
 
   std::uint64_t close_barriers = 0;
   const std::uint64_t checkpoint_every = static_cast<std::uint64_t>(
-      std::max<long long>(args.checkpoint_every, 1));
+      args.checkpoint_every);
   std::uint64_t checkpointed_sessions = 0;
   std::uint64_t acked_total = 0;  // this loop is the only server.ack() caller
 
@@ -847,13 +867,13 @@ int cmd_replay(const Args& args) {
   options.host = args.connect.substr(0, colon);
   options.port = static_cast<std::uint16_t>(port);
   options.batch_synopses =
-      args.batch > 0 ? static_cast<std::size_t>(args.batch) : 256;
+      static_cast<std::size_t>(args.batch);
   options.spill_trace_path = args.spool_trace;
   options.seed = args.seed;
   net::SynopsisClient client(options);
 
   const auto max_attempts = static_cast<std::size_t>(
-      std::max<long long>(args.retries, 1));
+      args.retries);
   bool connected = false;
   for (std::size_t i = 0; i < max_attempts && !(connected = client.connect());
        ++i) {
@@ -864,10 +884,10 @@ int cmd_replay(const Args& args) {
     return 1;
   }
 
-  const long long speed = std::max<long long>(args.speed, 1);
+  const long long speed = args.speed;
   core::Synopsis s;
   UsTime prev = -1;
-  long long to_skip = std::max<long long>(args.skip, 0);
+  long long to_skip = args.skip;
   std::size_t streamed = 0;
   while (reader.next(s)) {
     // --skip/--limit carve a synopsis range out of the trace, for staged

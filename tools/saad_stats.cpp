@@ -431,12 +431,20 @@ Args parse_args(int argc, char** argv) {
       args.follow = true;
     } else if (arg.rfind("--follow=", 0) == 0) {
       args.follow = true;
+      const std::string value = arg.substr(9);
       try {
-        args.follow_ms = std::stoll(arg.substr(9));
+        std::size_t used = 0;
+        args.follow_ms = std::stoll(value, &used);
+        if (used != value.size()) args.usage_error = true;
       } catch (const std::exception&) {
         args.usage_error = true;
       }
-      if (args.follow_ms < 10) args.follow_ms = 10;
+      if (!args.usage_error &&
+          (args.follow_ms < 10 || args.follow_ms > 3600000)) {
+        std::fprintf(stderr,
+                     "saad_stats: --follow interval must be 10..3600000 ms\n");
+        args.usage_error = true;
+      }
     } else if (arg.rfind("--require=", 0) == 0) {
       args.require.push_back(arg.substr(10));
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
