@@ -10,11 +10,18 @@
 #pragma once
 
 namespace saad::net {
-/// The network ingestion layer's saad_net_* families, declared here so tools
-/// can register them alongside the core set; defined in saad_net
+/// The network layer's saad_net_* and saad_http_* families (synopsis
+/// ingestion plus the admin-plane listener), declared here so tools can
+/// register them alongside the core set; defined in saad_net
 /// (net/wire.cpp) — only call it from binaries that link saad_net.
 void register_net_metrics();
 }  // namespace saad::net
+
+namespace saad::obs {
+/// The pipeline span tracer's saad_span_* families; defined in saad_obs
+/// (obs/span.cpp) — only call it from binaries that link saad_obs.
+void register_span_metrics();
+}  // namespace saad::obs
 
 namespace saad::core {
 

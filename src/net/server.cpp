@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace saad::net {
 
@@ -134,10 +135,17 @@ struct SynopsisServer::Connection {
 };
 
 struct SynopsisServer::Impl {
+  // A decoded batch waiting to be published, with the span token the tracer
+  // issued at decode (0 = batch not sampled).
+  struct PendingBatch {
+    std::vector<core::Synopsis> synopses;
+    std::uint64_t span_token = 0;
+  };
+
   int listen_fd = -1;
   int wake_rd = -1, wake_wr = -1;  // self-pipe: stop() wakes poll()
   std::vector<std::unique_ptr<Connection>> connections;
-  std::deque<std::vector<core::Synopsis>> pending;  // decoded, unpublished
+  std::deque<PendingBatch> pending;  // decoded, unpublished
   std::vector<std::uint8_t> recv_buf;
   std::optional<core::SynopsisChannel::Producer> producer;
 
@@ -296,11 +304,17 @@ void SynopsisServer::io_loop() {
   // Producer is bound to one channel shard, so publish order is FIFO.
   auto publish_ready = [&] {
     while (!im.pending.empty()) {
-      const std::uint64_t batch_size = im.pending.front().size();
+      const std::uint64_t batch_size = im.pending.front().synopses.size();
       if (outstanding() + batch_size > options_.max_outstanding_synopses &&
           batch_size <= options_.max_outstanding_synopses)
         break;  // wait for acks (oversized-vs-watermark batches pass anyway)
-      for (const auto& s : im.pending.front()) im.producer->push(s);
+      // Stamp the publish hop before the first push: once a synopsis is in
+      // the channel the consumer may dequeue it, and the span's publish
+      // timestamp must precede its dequeue timestamp.
+      obs::SpanTracer::global().on_published(
+          im.pending.front().span_token,
+          published_.load(std::memory_order_relaxed) + batch_size);
+      for (const auto& s : im.pending.front().synopses) im.producer->push(s);
       im.producer->flush();
       im.pending.pop_front();
       published_.fetch_add(batch_size, std::memory_order_relaxed);
@@ -311,14 +325,17 @@ void SynopsisServer::io_loop() {
   };
 
   // Queues a decoded batch, shedding the oldest when full.
-  auto enqueue_batch = [&](std::vector<core::Synopsis>&& batch) {
+  auto enqueue_batch = [&](std::vector<core::Synopsis>&& batch,
+                           std::uint64_t span_token) {
     if (batch.empty()) return;
     while (im.pending.size() >= options_.max_pending_batches) {
       bump(im.shed_batches, metrics.shed_batches);
-      bump(im.shed_synopses, metrics.shed_synopses, im.pending.front().size());
+      bump(im.shed_synopses, metrics.shed_synopses,
+           im.pending.front().synopses.size());
+      obs::SpanTracer::global().on_shed(im.pending.front().span_token);
       im.pending.pop_front();
     }
-    im.pending.push_back(std::move(batch));
+    im.pending.push_back({std::move(batch), span_token});
     im.pending_batches.store(im.pending.size(), std::memory_order_release);
   };
 
@@ -355,7 +372,9 @@ void SynopsisServer::io_loop() {
           bump(im.batches, metrics.batches);
           bump(im.synopses, metrics.synopses, batch.size());
           conn.synopses += batch.size();
-          enqueue_batch(std::move(batch));
+          const std::uint64_t span_token =
+              obs::SpanTracer::global().on_batch_decoded(batch.size());
+          enqueue_batch(std::move(batch), span_token);
           break;
         }
         case FrameType::kHeartbeat:

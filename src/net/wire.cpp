@@ -176,6 +176,7 @@ bool FrameDecoder::next(Frame& out) {
 void register_net_metrics() {
   detail::register_server_metrics();
   detail::register_client_metrics();
+  detail::register_http_metrics();
 }
 
 }  // namespace saad::net

@@ -143,15 +143,17 @@ class FrameDecoder {
   std::deque<Frame> ready_;
 };
 
-/// Registers every saad_net_* metric family in the global registry (both the
-/// server and the client side), so snapshots taken by tools that link the
-/// net layer always expose the full set, zero-valued when unused. Mirrors
-/// core::register_pipeline_metrics() (core/telemetry.h).
+/// Registers every saad_net_* and saad_http_* metric family in the global
+/// registry (synopsis server, client, and the admin listener), so snapshots
+/// taken by tools that link the net layer always expose the full set,
+/// zero-valued when unused. Mirrors core::register_pipeline_metrics()
+/// (core/telemetry.h).
 void register_net_metrics();
 
 namespace detail {
 void register_server_metrics();
 void register_client_metrics();
+void register_http_metrics();  // defined in http.cpp
 }  // namespace detail
 
 }  // namespace saad::net

@@ -1,11 +1,13 @@
 #include "obs/flight_recorder.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <csignal>
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <chrono>
+#include <ctime>
 
 #include <unistd.h>
 
@@ -105,10 +107,35 @@ std::string FlightRecorder::dump_text() const {
 namespace {
 
 // write(2)-only helpers for the signal path: no locale, no allocation.
+// write() may return short (pipes near capacity, sockets, EINTR), so every
+// chunk loops until fully written — a dump must never be silently truncated
+// mid-buffer. EAGAIN (the fd is non-blocking and full) backs off with
+// nanosleep, which is async-signal-safe, for a bounded number of retries;
+// any other error abandons the dump.
+void write_all(int fd, const char* data, std::size_t n) {
+  int eagain_retries = 1000;  // ~1s of 1ms backoffs, then give up
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w > 0) {
+      off += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (--eagain_retries < 0) return;
+      timespec ts{0, 1000000};  // 1ms
+      ::nanosleep(&ts, nullptr);
+      continue;
+    }
+    return;  // closed pipe, bad fd, ...: nothing useful left to do
+  }
+}
+
 void write_str(int fd, const char* s) {
   std::size_t n = 0;
   while (s[n] != '\0' && n < 4096) ++n;
-  [[maybe_unused]] auto ignored = ::write(fd, s, n);
+  write_all(fd, s, n);
 }
 
 void write_u64(int fd, std::uint64_t v) {
@@ -118,7 +145,7 @@ void write_u64(int fd, std::uint64_t v) {
     buf[--i] = static_cast<char>('0' + v % 10);
     v /= 10;
   } while (v != 0 && i > 0);
-  [[maybe_unused]] auto ignored = ::write(fd, buf + i, sizeof(buf) - i);
+  write_all(fd, buf + i, sizeof(buf) - i);
 }
 
 }  // namespace

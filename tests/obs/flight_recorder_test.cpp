@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <string>
+#include <thread>
 
 namespace saad::obs {
 namespace {
@@ -100,6 +105,58 @@ TEST(FlightRecorder, DumpToFdWritesCrashSafeText) {
   EXPECT_NE(text.find("#1 io-error: disk full on trace.tmp"),
             std::string::npos)
       << text;
+}
+
+// Regression test for short-write handling: a pipe shrunk to its minimum
+// capacity forces write(2) to return short counts and EAGAIN (the write end
+// is non-blocking) while a deliberately slow reader drains it. Every line of
+// a dump much larger than the pipe must still arrive intact and in order —
+// dump_to_fd must loop on short writes and back off on EAGAIN rather than
+// silently truncating the dump.
+TEST(FlightRecorder, DumpToFdSurvivesShortWritesOnTinyPipe) {
+  constexpr int kEvents = 64;
+  FlightRecorder recorder(kEvents);
+  const std::string pad(FlightRecorder::kDetailBytes - 32, 'x');
+  for (int i = 0; i < kEvents; ++i)
+    recorder.record(EventKind::kCustom, "event %04d %s", i, pad.c_str());
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+#ifdef F_SETPIPE_SZ
+  // One page is the floor; the dump is an order of magnitude bigger.
+  fcntl(fds[1], F_SETPIPE_SZ, 4096);
+#endif
+  ASSERT_EQ(fcntl(fds[1], F_SETFL, O_NONBLOCK), 0);
+
+  std::string text;
+  std::thread reader([&] {
+    char buf[256];  // small reads keep the pipe near-full for the writer
+    for (;;) {
+      const ssize_t n = read(fds[0], buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      text.append(buf, static_cast<std::size_t>(n));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  recorder.dump_to_fd(fds[1]);
+  close(fds[1]);
+  reader.join();
+  close(fds[0]);
+
+  EXPECT_NE(text.find("saad flight recorder (64 of 64 events)"),
+            std::string::npos);
+  for (int i = 0; i < kEvents; ++i) {
+    char marker[32];
+    std::snprintf(marker, sizeof(marker), "event %04d ", i);
+    EXPECT_NE(text.find(marker), std::string::npos) << marker;
+  }
+  // In order, newline-terminated: as many lines as events plus the banner.
+  std::size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, static_cast<std::size_t>(kEvents) + 1);
+  EXPECT_LT(text.find("event 0000 "), text.find("event 0063 "));
 }
 
 }  // namespace

@@ -1,0 +1,32 @@
+// saad_json_check — exits 0 iff stdin is exactly one well-formed JSON value.
+// A thin CLI over the strict checker the unit tests share (json_checker.h),
+// so shell acceptance tests can assert that /statusz and /spans responses
+// are RFC 8259-conformant without a JSON library:
+//
+//   curl_like http://127.0.0.1:$port/statusz | saad_json_check
+#include <cstdio>
+#include <string>
+
+#include "json_checker.h"
+
+int main() {
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, stdin)) > 0) text.append(buf, n);
+  if (std::ferror(stdin)) {
+    std::fprintf(stderr, "saad_json_check: read error on stdin\n");
+    return 2;
+  }
+  if (text.empty()) {
+    std::fprintf(stderr, "saad_json_check: empty input\n");
+    return 1;
+  }
+  if (!saad::testing::JsonChecker(text).valid()) {
+    std::fprintf(stderr,
+                 "saad_json_check: input is not well-formed JSON (%zu bytes)\n",
+                 text.size());
+    return 1;
+  }
+  return 0;
+}

@@ -50,10 +50,12 @@
 #include "core/telemetry.h"
 #include "core/trace_io.h"
 #include "net/client.h"
+#include "net/http.h"
 #include "net/server.h"
 #include "obs/exposition.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "systems/cassandra/cassandra.h"
 #include "systems/hbase/hbase.h"
 #include "workload/ycsb.h"
@@ -78,6 +80,10 @@ struct Args {
   bool once = false;          // exit after the first completed session
   std::string checkpoint_dir;      // warm-restart checkpoints (core/checkpoint.h)
   long long checkpoint_every = 1;  // checkpoint every N window-close barriers
+  long long admin_port = -1;       // admin HTTP plane (0 = ephemeral); -1 = off
+  std::string admin_port_file;     // write the bound admin port here
+  std::string trace_out;           // Chrome trace JSON of sampled spans on exit
+  long long span_every = 64;       // span sample rate (1 in N batches)
   // replay
   std::string connect;        // HOST:PORT of a running `serve`
   std::string pace = "fast";  // fast | recorded
@@ -150,6 +156,12 @@ Args parse(int argc, char** argv) {
     if (auto v = value("checkpoint-every"); !v.empty())
       args.checkpoint_every =
           parse_int_range(v, "checkpoint-every", 1, 1'000'000'000);
+    if (auto v = value("admin-port"); !v.empty())
+      args.admin_port = parse_int_range(v, "admin-port", 0, 65535);
+    if (auto v = value("admin-port-file"); !v.empty()) args.admin_port_file = v;
+    if (auto v = value("trace-out"); !v.empty()) args.trace_out = v;
+    if (auto v = value("span-every"); !v.empty())
+      args.span_every = parse_int_range(v, "span-every", 1, 1'000'000'000);
     if (auto v = value("skip"); !v.empty())
       args.skip = parse_int_range(v, "skip", 0, kMaxCount);
     if (auto v = value("limit"); !v.empty())
@@ -674,12 +686,49 @@ int cmd_serve(const Args& args) {
     }
   }
 
-  // Checkpointing needs the progressive close cursor even without --stats;
-  // print=false keeps stdout byte-identical to a plain serve.
-  const bool progressive = args.stats || checkpointing;
+  // Span tracing rides along whenever the admin plane or --trace-out asks
+  // for it. seed=0 pins the sampled set to batches 0, N, 2N, ... so the
+  // first decoded batch is always sampled and short acceptance runs see
+  // completed spans.
+  const bool tracing = args.admin_port >= 0 || !args.trace_out.empty();
+  obs::SpanTracer& tracer = obs::SpanTracer::global();
+  if (tracing) {
+    obs::SpanTracer::Options trace_options;
+    trace_options.sample_every = static_cast<std::uint64_t>(args.span_every);
+    trace_options.seed = 0;
+    tracer.enable(std::move(trace_options));
+  }
+
+  // Checkpointing and span tracing need the progressive close cursor even
+  // without --stats; print=false keeps stdout byte-identical to a plain
+  // serve.
+  const bool progressive = args.stats || checkpointing || tracing;
   LiveStats live(config.window, args.stats);
   live.resume_from(analyzer.restored_next_window());
   std::vector<core::Synopsis> batch;
+  std::uint64_t drained_total = 0;  // synopses drained: publish coordinates
+
+  // Live state the admin plane's /statusz and /readyz render. The consumer
+  // loop publishes here; the admin I/O thread only reads, so every field is
+  // an atomic (no locks shared with the hot path).
+  struct AdminState {
+    std::atomic<std::uint64_t> ingested{0};
+    std::atomic<std::int64_t> watermark_us{0};
+    std::atomic<std::int64_t> last_closed_window{-1};
+    std::atomic<std::uint64_t> close_barriers{0};
+    std::atomic<std::uint64_t> checkpoint_sequence{0};
+    std::atomic<std::int64_t> checkpoint_wall_us{0};
+    std::atomic<std::uint64_t> model_epoch{0};
+    std::atomic<std::uint64_t> verdicts{0};
+  } admin_state;
+  admin_state.ingested.store(ingested, std::memory_order_relaxed);
+  admin_state.model_epoch.store(analyzer.model_epoch(),
+                                std::memory_order_relaxed);
+  admin_state.verdicts.store(anomalies.size(), std::memory_order_relaxed);
+  if (resumed)
+    admin_state.checkpoint_sequence.store(resumed->sequence,
+                                          std::memory_order_relaxed);
+  const auto started_steady = std::chrono::steady_clock::now();
 
   // Hot model reload: SIGHUP stages, the pool applies at the next window
   // boundary, and adopt_model() then retires the previous model. staged
@@ -740,6 +789,15 @@ int cmd_serve(const Args& args) {
       return;
     }
     ++next_sequence;
+    // Published to /statusz only after the validated write landed, so the
+    // admin plane can never report a checkpoint that restart would reject.
+    admin_state.checkpoint_sequence.store(c.sequence,
+                                          std::memory_order_relaxed);
+    admin_state.checkpoint_wall_us.store(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
     std::fprintf(stderr,
                  "serve: checkpoint %llu (%s: %zu synopses, %zu verdicts)\n",
                  static_cast<unsigned long long>(c.sequence), why, ingested,
@@ -747,30 +805,185 @@ int cmd_serve(const Args& args) {
   };
 
   auto ingest_batch = [&] {
+    drained_total += batch.size();
+    tracer.on_dequeued(drained_total);
     for (const auto& s : batch) {
       analyzer.ingest(s);
       ++ingested;
       if (progressive) live.note(s);
     }
+    tracer.on_assigned(drained_total);
     server.ack(batch.size());
     acked_total += batch.size();
+    admin_state.ingested.store(ingested, std::memory_order_relaxed);
     if (progressive) {
       const UsTime safe = live.safe_now();
       if (live.window_ready(safe)) {
         auto closed = analyzer.advance_to(safe);
+        tracer.on_window_close(drained_total);
         adopt_model();
         live.absorb(closed);
         anomalies.insert(anomalies.end(),
                          std::make_move_iterator(closed.begin()),
                          std::make_move_iterator(closed.end()));
+        tracer.on_verdict_emit(drained_total);
         live.report_until(safe);
         ++close_barriers;
+        admin_state.watermark_us.store(safe, std::memory_order_relaxed);
+        admin_state.last_closed_window.store(
+            safe / config.window - 1, std::memory_order_relaxed);
+        admin_state.close_barriers.store(close_barriers,
+                                         std::memory_order_relaxed);
+        admin_state.model_epoch.store(analyzer.model_epoch(),
+                                      std::memory_order_relaxed);
+        admin_state.verdicts.store(anomalies.size(),
+                                   std::memory_order_relaxed);
         if (checkpointing && close_barriers % checkpoint_every == 0)
           write_checkpoint("window close");
       }
     }
     batch.clear();
   };
+
+  // Admin plane: a separate HTTP listener on its own port and I/O thread,
+  // so scrapes and probes can never head-of-line-block synopsis ingestion.
+  // Handlers run on the admin thread and read only atomics (admin_state,
+  // server.stats()), the lock-light metrics registry, and the tracer's own
+  // mutex-guarded export. All admin chatter goes to stderr — stdout stays
+  // byte-identical to `detect`.
+  net::AdminServer::Options admin_options;
+  admin_options.port = args.admin_port < 0
+                           ? 0
+                           : static_cast<std::uint16_t>(args.admin_port);
+  net::AdminServer admin(admin_options);
+  if (args.admin_port >= 0) {
+    admin.route("/metrics", [](const net::HttpRequest&) {
+      net::HttpResponse r;
+      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      r.body = obs::render_prometheus(obs::MetricsRegistry::global());
+      return r;
+    });
+    admin.route("/healthz", [](const net::HttpRequest&) {
+      net::HttpResponse r;
+      r.body = "ok\n";
+      return r;
+    });
+    // Ready = a client has hello'd (the first valid frame on any connection
+    // is always a hello) and the window watermark has started advancing.
+    admin.route("/readyz", [&](const net::HttpRequest&) {
+      net::HttpResponse r;
+      const bool helloed = server.stats().frames > 0;
+      const bool advancing =
+          admin_state.watermark_us.load(std::memory_order_relaxed) > 0;
+      if (helloed && advancing) {
+        r.body = "ready\n";
+      } else {
+        r.status = 503;
+        r.body = helloed ? "not ready: watermark not advancing\n"
+                         : "not ready: no hello yet\n";
+      }
+      return r;
+    });
+    admin.route("/statusz", [&](const net::HttpRequest&) {
+      const auto stats = server.stats();
+      const double uptime_s =
+          std::chrono::duration_cast<std::chrono::duration<double>>(
+              std::chrono::steady_clock::now() - started_steady)
+              .count();
+      const std::int64_t ckpt_wall =
+          admin_state.checkpoint_wall_us.load(std::memory_order_relaxed);
+      const double ckpt_age_s =
+          ckpt_wall == 0
+              ? -1.0
+              : static_cast<double>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count() -
+                    ckpt_wall) /
+                    1e6;
+      char buf[1536];
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"schema_version\":1,\"command\":\"serve\","
+          "\"uptime_s\":%.3f,"
+          "\"build\":{\"compiler\":\"%s\",\"metrics_enabled\":%s},"
+          "\"connections\":{\"active\":%llu,\"total\":%llu,"
+          "\"sessions\":%llu},"
+          "\"pipeline\":{\"ingested\":%llu,\"published\":%llu,"
+          "\"acked\":%llu,\"watermark_us\":%lld,"
+          "\"last_closed_window\":%lld,\"close_barriers\":%llu,"
+          "\"verdicts\":%llu},"
+          "\"checkpoint\":{\"enabled\":%s,\"sequence\":%llu,"
+          "\"age_s\":%.3f},"
+          "\"model\":{\"epoch\":%llu},"
+          "\"spans\":{\"enabled\":%s,\"sample_every\":%llu,"
+          "\"sampled\":%llu,\"completed\":%llu,\"abandoned\":%llu}}\n",
+          uptime_s, __VERSION__, obs::kMetricsEnabled ? "true" : "false",
+          static_cast<unsigned long long>(server.active_connections()),
+          static_cast<unsigned long long>(stats.connections),
+          static_cast<unsigned long long>(stats.sessions),
+          static_cast<unsigned long long>(
+              admin_state.ingested.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(stats.published),
+          static_cast<unsigned long long>(stats.published -
+                                          server.outstanding()),
+          static_cast<long long>(
+              admin_state.watermark_us.load(std::memory_order_relaxed)),
+          static_cast<long long>(
+              admin_state.last_closed_window.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              admin_state.close_barriers.load(std::memory_order_relaxed)),
+          static_cast<unsigned long long>(
+              admin_state.verdicts.load(std::memory_order_relaxed)),
+          checkpointing ? "true" : "false",
+          static_cast<unsigned long long>(
+              admin_state.checkpoint_sequence.load(std::memory_order_relaxed)),
+          ckpt_age_s,
+          static_cast<unsigned long long>(
+              admin_state.model_epoch.load(std::memory_order_relaxed)),
+          tracing ? "true" : "false",
+          static_cast<unsigned long long>(tracer.sample_every()),
+          static_cast<unsigned long long>(tracer.sampled()),
+          static_cast<unsigned long long>(tracer.completed_count()),
+          static_cast<unsigned long long>(tracer.abandoned()));
+      net::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = buf;
+      return r;
+    });
+    admin.route("/flightrecorder", [](const net::HttpRequest&) {
+      net::HttpResponse r;
+      r.body_writer = [](int fd) {
+        saad::obs::FlightRecorder::global().dump_to_fd(fd);
+      };
+      return r;
+    });
+    admin.route("/spans", [&](const net::HttpRequest&) {
+      net::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = tracer.chrome_trace_json();
+      r.body += "\n";
+      return r;
+    });
+    if (!admin.start()) {
+      std::fprintf(stderr, "serve: cannot listen on --admin-port=%lld\n",
+                   args.admin_port);
+      server.stop();
+      return 1;
+    }
+    std::fprintf(stderr, "serve: admin plane on 127.0.0.1:%u\n", admin.port());
+    if (!args.admin_port_file.empty()) {
+      std::ofstream pf(args.admin_port_file, std::ios::trunc);
+      pf << admin.port() << "\n";
+      if (!pf) {
+        std::fprintf(stderr, "serve: cannot write --admin-port-file=%s\n",
+                     args.admin_port_file.c_str());
+        admin.stop();
+        server.stop();
+        return 1;
+      }
+    }
+  }
 
   while (g_stop_requested == 0) {
     if (g_reload_requested != 0) {
@@ -805,6 +1018,9 @@ int cmd_serve(const Args& args) {
   ingest_batch();
 
   auto tail = analyzer.finish();
+  // finish() closes every window still open, so spans waiting on the close
+  // and emit hops complete here.
+  tracer.on_window_close(drained_total);
   adopt_model();
   if (args.stats) {
     live.absorb(tail);
@@ -812,6 +1028,28 @@ int cmd_serve(const Args& args) {
   }
   anomalies.insert(anomalies.end(), std::make_move_iterator(tail.begin()),
                    std::make_move_iterator(tail.end()));
+  tracer.on_verdict_emit(drained_total);
+  admin_state.verdicts.store(anomalies.size(), std::memory_order_relaxed);
+  admin_state.model_epoch.store(analyzer.model_epoch(),
+                                std::memory_order_relaxed);
+
+  // A signal-initiated shutdown writes a final checkpoint: every verdict
+  // (including the finish() tail) is captured, so a restart resumes with
+  // the complete report instead of losing everything since the last window
+  // barrier.
+  if (checkpointing && g_stop_requested != 0) write_checkpoint("shutdown");
+
+  if (!args.trace_out.empty()) {
+    if (tracer.write_chrome_trace(args.trace_out)) {
+      std::fprintf(stderr,
+                   "serve: wrote %zu span(s) as Chrome trace JSON to %s\n",
+                   tracer.completed().size(), args.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "serve: cannot write --trace-out=%s\n",
+                   args.trace_out.c_str());
+    }
+  }
+  admin.stop();
 
   const auto stats = server.stats();
   std::fprintf(stderr,
@@ -991,6 +1229,7 @@ int main(int argc, char** argv) {
   // complete (zero-valued families included) regardless of the command.
   saad::core::register_pipeline_metrics();
   saad::net::register_net_metrics();
+  saad::obs::register_span_metrics();
   int rc;
   if (args.command == "record") {
     rc = cmd_record(args);
@@ -1015,6 +1254,8 @@ int main(int argc, char** argv) {
         "[--metrics-out=<file>] [--stats] "
         "[--listen=PORT] [--port-file=<file>] [--once] "
         "[--checkpoint-dir=<dir>] [--checkpoint-every=N] "
+        "[--admin-port=PORT] [--admin-port-file=<file>] "
+        "[--trace-out=<file>] [--span-every=N] "
         "[--connect=HOST:PORT] [--pace=fast|recorded] [--speed=N] "
         "[--batch=N] [--retries=N] [--spool-trace=<file>] "
         "[--skip=N] [--limit=N]\n");

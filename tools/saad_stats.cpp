@@ -8,16 +8,30 @@
 //                                          TYPE presence, histogram bucket
 //                                          cumulativity and +Inf terminals
 //   saad_stats metrics.prom --require=F    fail unless family F is present
-//                                          (repeatable)
+//                                          (repeatable; comma-separates;
+//                                          a trailing '*' or '_' makes it a
+//                                          prefix pattern, e.g.
+//                                          --require=saad_span_,saad_http_)
 //   saad_stats metrics.prom --follow[=ms]  re-render whenever the file
 //                                          changes (poll interval, default
 //                                          1000 ms)
+//   saad_stats --url=http://H:P/metrics    scrape a live admin plane
+//                                          (saad_offline serve --admin-port)
+//                                          instead of reading a file; all of
+//                                          --check/--require/--follow work
+//                                          against the scraped text
+//   saad_stats --url=... --raw             print the fetched body verbatim
+//                                          (for /statusz, /spans, /healthz)
 //
-// Exit codes: 0 ok, 1 cannot read input, 2 usage, 3 validation or
-// --require failure. `-` reads stdin (single shot only).
+// Exit codes: 0 ok, 1 cannot read input or fetch the URL, 2 usage, 3
+// validation or --require failure. `-` reads stdin (single shot only).
+#include <netdb.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -410,16 +424,134 @@ std::string render_table(const Exposition& exposition) {
   return table.to_string();
 }
 
+// ---- Live scrape (--url) ---------------------------------------------------
+
+// Minimal HTTP/1.0 GET: the admin plane answers every request with
+// `Connection: close`, so read-to-EOF delimits the body (Content-Length is
+// advisory). Only http:// is supported; 5s connect/send/receive timeouts.
+std::optional<std::string> http_get(const std::string& url,
+                                    std::string& error) {
+  if (url.rfind("http://", 0) != 0) {
+    error = "only http:// URLs are supported";
+    return std::nullopt;
+  }
+  const std::string rest = url.substr(7);
+  const std::size_t slash = rest.find('/');
+  const std::string hostport =
+      slash == std::string::npos ? rest : rest.substr(0, slash);
+  const std::string target =
+      slash == std::string::npos ? "/" : rest.substr(slash);
+  const std::size_t colon = hostport.rfind(':');
+  const std::string host =
+      colon == std::string::npos ? hostport : hostport.substr(0, colon);
+  const std::string port =
+      colon == std::string::npos ? "80" : hostport.substr(colon + 1);
+  if (host.empty() || port.empty()) {
+    error = "malformed host:port in " + url;
+    return std::nullopt;
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (getaddrinfo(host.c_str(), port.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    error = "cannot resolve " + hostport;
+    return std::nullopt;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    timeval tv{5, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) {
+    error = "cannot connect to " + hostport;
+    return std::nullopt;
+  }
+
+  const std::string request = "GET " + target + " HTTP/1.0\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t w = ::write(fd, request.data() + off, request.size() - off);
+    if (w <= 0) {
+      ::close(fd);
+      error = "send failed to " + hostport;
+      return std::nullopt;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+
+  std::string response;
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      response.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF or timeout: the body is close-delimited
+  }
+  ::close(fd);
+
+  // "HTTP/1.x NNN ..." then headers then the body.
+  if (response.rfind("HTTP/1.", 0) != 0 || response.size() < 12) {
+    error = "malformed HTTP response from " + hostport;
+    return std::nullopt;
+  }
+  const std::string status = response.substr(9, 3);
+  std::size_t body = response.find("\r\n\r\n");
+  std::size_t skip = 4;
+  if (body == std::string::npos) {
+    body = response.find("\n\n");
+    skip = 2;
+  }
+  if (body == std::string::npos) {
+    error = "response from " + hostport + " has no header terminator";
+    return std::nullopt;
+  }
+  if (status != "200") {
+    error = "HTTP " + status + " from " + url;
+    return std::nullopt;
+  }
+  return response.substr(body + skip);
+}
+
 // ---- Driver ----------------------------------------------------------------
 
 struct Args {
   std::string path;
+  std::string url;  // scrape instead of reading path
   bool check = false;
+  bool raw = false;
   bool follow = false;
   long long follow_ms = 1000;
   std::vector<std::string> require;
   bool usage_error = false;
 };
+
+/// True when the exposition satisfies one --require entry: exact family
+/// name, or — when the pattern ends in '*' or '_' — any family with that
+/// prefix ('saad_span_' and 'saad_span_*' are equivalent).
+bool require_satisfied(Exposition& exposition, const std::string& pattern) {
+  if (!pattern.empty() && (pattern.back() == '*' || pattern.back() == '_')) {
+    std::string prefix = pattern;
+    if (prefix.back() == '*') prefix.pop_back();
+    for (const auto& family : exposition.families)
+      if (family.name.rfind(prefix, 0) == 0) return true;
+    return false;
+  }
+  return exposition.find(pattern) != nullptr;
+}
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -446,7 +578,23 @@ Args parse_args(int argc, char** argv) {
         args.usage_error = true;
       }
     } else if (arg.rfind("--require=", 0) == 0) {
-      args.require.push_back(arg.substr(10));
+      // Comma-separated list; each entry is an exact name or a prefix
+      // pattern (trailing '*' or '_').
+      const std::string list = arg.substr(10);
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t comma = list.find(',', start);
+        const std::string item =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!item.empty()) args.require.push_back(item);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg.rfind("--url=", 0) == 0) {
+      args.url = arg.substr(6);
+    } else if (arg == "--raw") {
+      args.raw = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       args.usage_error = true;
     } else if (args.path.empty()) {
@@ -455,13 +603,29 @@ Args parse_args(int argc, char** argv) {
       args.usage_error = true;
     }
   }
-  if (args.path.empty()) args.usage_error = true;
+  if (args.path.empty() == args.url.empty())
+    args.usage_error = true;  // exactly one input source
+  if (args.raw && args.url.empty()) args.usage_error = true;
   return args;
 }
 
 int run_once(const Args& args) {
   Exposition exposition;
-  if (args.path == "-") {
+  if (!args.url.empty()) {
+    std::string error;
+    const auto body = http_get(args.url, error);
+    if (!body) {
+      std::fprintf(stderr, "saad_stats: %s\n", error.c_str());
+      return 1;
+    }
+    if (args.raw) {
+      std::fwrite(body->data(), 1, body->size(), stdout);
+      std::fflush(stdout);
+      return 0;
+    }
+    std::istringstream in(*body);
+    exposition = parse_exposition(in);
+  } else if (args.path == "-") {
     exposition = parse_exposition(std::cin);
   } else {
     std::ifstream file(args.path);
@@ -483,10 +647,10 @@ int run_once(const Args& args) {
       std::fprintf(stderr, "saad_stats: %s\n", error.c_str());
     if (!exposition.errors.empty()) rc = 3;
   }
-  for (const auto& name : args.require) {
-    if (exposition.find(name) == nullptr) {
-      std::fprintf(stderr, "saad_stats: required family '%s' is missing\n",
-                   name.c_str());
+  for (const auto& pattern : args.require) {
+    if (!require_satisfied(exposition, pattern)) {
+      std::fprintf(stderr, "saad_stats: no family matching required '%s'\n",
+                   pattern.c_str());
       rc = 3;
     }
   }
@@ -503,11 +667,35 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (args.usage_error) {
     std::fprintf(stderr,
-                 "usage: saad_stats <metrics.prom|-> [--check] "
-                 "[--require=<family>]... [--follow[=ms]]\n");
+                 "usage: saad_stats <metrics.prom|-|--url=http://H:P/path> "
+                 "[--check] [--require=<family[,family]...>]... [--raw] "
+                 "[--follow[=ms]]\n");
     return 2;
   }
   if (!args.follow || args.path == "-") return run_once(args);
+
+  if (!args.url.empty()) {
+    // Live tail: re-scrape every interval, re-render when the body moved.
+    // A failed scrape (server restarting) is retried on the next tick.
+    std::string last_body;
+    for (;;) {
+      std::string error;
+      if (const auto body = http_get(args.url, error); body &&
+          *body != last_body) {
+        last_body = *body;
+        std::printf("\n=== %s ===\n", args.url.c_str());
+        if (args.raw) {
+          std::fwrite(body->data(), 1, body->size(), stdout);
+          std::fflush(stdout);
+        } else {
+          Args once = args;
+          once.follow = false;
+          run_once(once);
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(args.follow_ms));
+    }
+  }
 
   // Tail mode: re-render whenever the snapshot file's mtime or size moves.
   struct stat last {};
